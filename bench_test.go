@@ -1,0 +1,356 @@
+// Package repro's root benchmark harness regenerates every table and
+// figure of the paper's evaluation — one Benchmark per artifact, matching
+// the per-experiment index of DESIGN.md §4 — plus ablation benchmarks for
+// the design choices of §4.1. Each benchmark iteration runs the complete
+// experiment (training included) at the bench scale and reports the key
+// fidelity numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper end to end. Run a single artifact with e.g.
+// -bench=Fig3.
+package repro
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// benchScale keeps the full suite runnable in minutes on one CPU.
+func benchScale() experiments.Scale {
+	ns := core.DefaultConfig()
+	ns.Chunks = 3
+	ns.MaxLen = 4
+	ns.SeedSteps = 150
+	ns.FineTuneSteps = 50
+	ns.EmbedEpochs = 2
+	ns.Hidden = 24
+	return experiments.Scale{
+		FlowRecords:   400,
+		Packets:       900,
+		GenSize:       400,
+		BaselineSteps: 120,
+		STANEpochs:    5,
+		Runs:          2,
+		NetShare:      ns,
+		Seed:          1,
+	}
+}
+
+// runExperiment executes an experiment runner b.N times and reports a
+// selection of result cells as benchmark metrics.
+func runExperiment(b *testing.B, id string, report func(b *testing.B, t experiments.Table)) {
+	b.Helper()
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.RunByID(id, s)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == b.N-1 && report != nil {
+			report(b, tbl)
+		}
+	}
+}
+
+// metricCell reports one numeric table cell as a benchmark metric.
+func metricCell(b *testing.B, t experiments.Table, rowPrefix []string, col, metric string) {
+	b.Helper()
+	colIdx := -1
+	for i, h := range t.Header {
+		if h == col {
+			colIdx = i
+		}
+	}
+	if colIdx < 0 {
+		return
+	}
+rows:
+	for _, row := range t.Rows {
+		for j, want := range rowPrefix {
+			if j >= len(row) || row[j] != want {
+				continue rows
+			}
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[colIdx], "%"), 64)
+		if err == nil {
+			b.ReportMetric(v, metric)
+		}
+		return
+	}
+}
+
+// BenchmarkFig1aRecordsPerTuple — Figure 1a: CDF of NetFlow records with
+// the same five-tuple (UGR16).
+func BenchmarkFig1aRecordsPerTuple(b *testing.B) {
+	runExperiment(b, "fig1a", func(b *testing.B, t experiments.Table) {
+		metricCell(b, t, []string{"netshare"}, "frac>1", "netshare-frac>1")
+		metricCell(b, t, []string{"ctgan"}, "frac>1", "ctgan-frac>1")
+	})
+}
+
+// BenchmarkFig1bFlowSizeCDF — Figure 1b: flow-size CDF on CAIDA.
+func BenchmarkFig1bFlowSizeCDF(b *testing.B) {
+	runExperiment(b, "fig1b", func(b *testing.B, t experiments.Table) {
+		metricCell(b, t, []string{"netshare"}, "frac>1pkt", "netshare-frac>1pkt")
+		metricCell(b, t, []string{"pac-gan"}, "frac>1pkt", "pacgan-frac>1pkt")
+	})
+}
+
+// BenchmarkFig2LargeSupportFields — Figure 2: packets/bytes per flow
+// distributions (UGR16).
+func BenchmarkFig2LargeSupportFields(b *testing.B) {
+	runExperiment(b, "fig2", func(b *testing.B, t experiments.Table) {
+		metricCell(b, t, []string{"netshare", "pkts/flow"}, "EMD vs real", "netshare-pkt-emd")
+		metricCell(b, t, []string{"ctgan", "pkts/flow"}, "EMD vs real", "ctgan-pkt-emd")
+	})
+}
+
+// BenchmarkFig3TopPorts — Figure 3: top-5 service destination ports (TON).
+func BenchmarkFig3TopPorts(b *testing.B) {
+	runExperiment(b, "fig3", func(b *testing.B, t experiments.Table) {
+		metricCell(b, t, []string{"netshare"}, "DP JSD vs real", "netshare-dp-jsd")
+		metricCell(b, t, []string{"ctgan"}, "DP JSD vs real", "ctgan-dp-jsd")
+	})
+}
+
+// BenchmarkFig4ScalabilityFidelity — Figure 4: CPU time vs fidelity,
+// including the NetShare-V0 monolithic variant.
+func BenchmarkFig4ScalabilityFidelity(b *testing.B) {
+	runExperiment(b, "fig4", func(b *testing.B, t experiments.Table) {
+		metricCell(b, t, []string{"ugr16", "netshare"}, "avg JSD", "netshare-jsd")
+		metricCell(b, t, []string{"ugr16", "netshare-v0"}, "avg JSD", "netshare-v0-jsd")
+	})
+}
+
+// BenchmarkFig5PrivacyFidelity — Figure 5 + Table 5: the DP tradeoff
+// under naive DP-SGD vs public pre-training.
+func BenchmarkFig5PrivacyFidelity(b *testing.B) {
+	runExperiment(b, "fig5", nil)
+}
+
+// BenchmarkFig10FidelityBars — Figure 10 (+ appendix Figs 16/17): avg JSD
+// and normalized EMD for every model on all six datasets.
+func BenchmarkFig10FidelityBars(b *testing.B) {
+	runExperiment(b, "fig10", func(b *testing.B, t experiments.Table) {
+		metricCell(b, t, []string{"ugr16", "netshare"}, "avg JSD", "ugr16-netshare-jsd")
+		metricCell(b, t, []string{"caida", "netshare"}, "avg JSD", "caida-netshare-jsd")
+	})
+}
+
+// BenchmarkFig12TrafficPrediction — Figure 12: traffic-type prediction
+// accuracy on TON.
+func BenchmarkFig12TrafficPrediction(b *testing.B) {
+	runExperiment(b, "fig12", func(b *testing.B, t experiments.Table) {
+		metricCell(b, t, []string{"real"}, "MLP", "real-mlp-acc")
+		metricCell(b, t, []string{"netshare"}, "MLP", "netshare-mlp-acc")
+	})
+}
+
+// BenchmarkTable3RankCorrelation — Table 3: Spearman correlation of
+// classifier rankings (CIDDS, TON).
+func BenchmarkTable3RankCorrelation(b *testing.B) {
+	runExperiment(b, "tab3", func(b *testing.B, t experiments.Table) {
+		metricCell(b, t, []string{"cidds", "netshare"}, "rank corr", "cidds-netshare-rank")
+	})
+}
+
+// BenchmarkFig13SketchError — Figure 13: heavy-hitter estimation relative
+// error across four sketches and three datasets.
+func BenchmarkFig13SketchError(b *testing.B) {
+	runExperiment(b, "fig13", nil)
+}
+
+// BenchmarkFig14NetMLError — Figure 14: NetML anomaly-detection relative
+// error per mode.
+func BenchmarkFig14NetMLError(b *testing.B) {
+	runExperiment(b, "fig14", nil)
+}
+
+// BenchmarkTable4NetMLRank — Table 4: rank correlation of NetML modes.
+func BenchmarkTable4NetMLRank(b *testing.B) {
+	runExperiment(b, "tab4", func(b *testing.B, t experiments.Table) {
+		metricCell(b, t, []string{"caida", "netshare"}, "rank corr", "caida-netshare-rank")
+	})
+}
+
+// BenchmarkFig15DPCDFs — Figure 15: port and packet-length CDFs under DP.
+func BenchmarkFig15DPCDFs(b *testing.B) {
+	runExperiment(b, "fig15", nil)
+}
+
+// BenchmarkTable6NetFlowChecks — Table 6: Appendix B consistency checks on
+// UGR16 generations.
+func BenchmarkTable6NetFlowChecks(b *testing.B) {
+	runExperiment(b, "tab6", func(b *testing.B, t experiments.Table) {
+		metricCell(b, t, []string{"netshare"}, "test2 (byt/pkt)", "netshare-test2-pct")
+	})
+}
+
+// BenchmarkTable7PCAPChecks — Table 7: Appendix B consistency checks on
+// CAIDA generations.
+func BenchmarkTable7PCAPChecks(b *testing.B) {
+	runExperiment(b, "tab7", func(b *testing.B, t experiments.Table) {
+		metricCell(b, t, []string{"netshare"}, "test4 (min size)", "netshare-test4-pct")
+	})
+}
+
+// --- Ablation benchmarks (DESIGN.md §4): quantify §4.1's design choices.
+
+// netshareFlowJSD trains NetShare with cfg on UGR16 and returns the
+// destination-port JSD and the PKT-field EMD of its generations.
+func netshareFlowFidelity(b *testing.B, cfg core.Config, s experiments.Scale) (dpJSD, pktEMD float64) {
+	b.Helper()
+	real := datasets.UGR16(s.FlowRecords, s.Seed)
+	public := datasets.CAIDAChicago(s.Packets, s.Seed+500)
+	syn, err := core.TrainFlowSynthesizer(real, public, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := syn.Generate(s.GenSize)
+	rep := metrics.CompareFlows(real, gen)
+	return rep.JSD["DP"], rep.EMD["PKT"]
+}
+
+// BenchmarkAblationEncodings quantifies the Insight 2 / Table 2 encoding
+// choices: the log(1+x) transform vs raw min–max (PKT-field EMD), and bit
+// IPs vs private IP2Vec vectors (SA-field JSD plus the dictionary-reuse
+// rate that makes the vector encoding non-private).
+func BenchmarkAblationEncodings(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		cfg := s.NetShare
+		cfg.Seed = s.Seed
+		_, withLog := netshareFlowFidelity(b, cfg, s)
+		cfg.DisableLogTransform = true
+		_, without := netshareFlowFidelity(b, cfg, s)
+
+		vecCfg := s.NetShare
+		vecCfg.Seed = s.Seed
+		vecCfg.IPVectorEncoding = true
+		real := datasets.UGR16(s.FlowRecords, s.Seed)
+		public := datasets.CAIDAChicago(s.Packets, s.Seed+500)
+		syn, err := core.TrainFlowSynthesizer(real, public, vecCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen := syn.Generate(s.GenSize)
+		vecRep := metrics.CompareFlows(real, gen)
+		overlap := metrics.FlowOverlap(real, gen)
+
+		if i == b.N-1 {
+			b.ReportMetric(withLog, "pkt-emd-log")
+			b.ReportMetric(without, "pkt-emd-raw")
+			b.ReportMetric(vecRep.JSD["SA"], "sa-jsd-ipvector")
+			b.ReportMetric(overlap.SrcIP, "srcip-dict-reuse")
+		}
+	}
+}
+
+// BenchmarkAblationFlowTags compares training with and without the
+// Insight 3 flow tags.
+func BenchmarkAblationFlowTags(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		cfg := s.NetShare
+		cfg.Seed = s.Seed
+		jsdWith, _ := netshareFlowFidelity(b, cfg, s)
+		cfg.DisableFlowTags = true
+		jsdWithout, _ := netshareFlowFidelity(b, cfg, s)
+		if i == b.N-1 {
+			b.ReportMetric(jsdWith, "dp-jsd-tags")
+			b.ReportMetric(jsdWithout, "dp-jsd-notags")
+		}
+	}
+}
+
+// BenchmarkAblationChunks sweeps the chunk count M (Insight 3),
+// reporting CPU time per M.
+func BenchmarkAblationChunks(b *testing.B) {
+	s := benchScale()
+	real := datasets.UGR16(s.FlowRecords, s.Seed)
+	public := datasets.CAIDAChicago(s.Packets, s.Seed+500)
+	for i := 0; i < b.N; i++ {
+		for _, m := range []int{1, 2, 4} {
+			cfg := s.NetShare
+			cfg.Seed = s.Seed
+			cfg.Chunks = m
+			cfg.Parallel = false
+			syn, err := core.TrainFlowSynthesizer(real, public, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(syn.Stats().CPUTime.Seconds(), "cpu-s-m"+strconv.Itoa(m))
+			}
+		}
+	}
+}
+
+// BenchmarkMemorizationCheck — §8 extension: overlap-ratio overfitting
+// check on UGR16 and CAIDA.
+func BenchmarkMemorizationCheck(b *testing.B) {
+	runExperiment(b, "memorization", func(b *testing.B, t experiments.Table) {
+		metricCell(b, t, []string{"ugr16", "netshare"}, "5-tuple overlap", "netshare-tuple-overlap")
+	})
+}
+
+// BenchmarkExtensionIAT — §8 extension: within-flow inter-arrival-time EMD.
+func BenchmarkExtensionIAT(b *testing.B) {
+	runExperiment(b, "iat", nil)
+}
+
+// BenchmarkTrainFlowSynthesizer measures raw NetShare training throughput
+// (records/op) outside any experiment harness.
+func BenchmarkTrainFlowSynthesizer(b *testing.B) {
+	s := benchScale()
+	real := datasets.UGR16(s.FlowRecords, s.Seed)
+	public := datasets.CAIDAChicago(s.Packets, s.Seed+500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := s.NetShare
+		cfg.Seed = s.Seed + int64(i)
+		if _, err := core.TrainFlowSynthesizer(real, public, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerate measures generation throughput of a trained model.
+func BenchmarkGenerate(b *testing.B) {
+	s := benchScale()
+	real := datasets.UGR16(s.FlowRecords, s.Seed)
+	public := datasets.CAIDAChicago(s.Packets, s.Seed+500)
+	cfg := s.NetShare
+	cfg.Seed = s.Seed
+	syn, err := core.TrainFlowSynthesizer(real, public, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen := syn.Generate(500)
+		if len(gen.Records) != 500 {
+			b.Fatal("generation failed")
+		}
+	}
+}
+
+// BenchmarkChecksum measures the derived-field (checksum) post-processing.
+func BenchmarkChecksum(b *testing.B) {
+	tr := datasets.CAIDA(1000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hs := core.Headers(tr)
+		if !trace.VerifyChecksum(hs[0]) {
+			b.Fatal("bad checksum")
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command experiments reruns the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig3
+//	experiments -run all -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		run   = flag.String("run", "", "experiment id to run, or 'all'")
+		scale = flag.String("scale", "small", "scale: small or full")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	if *run == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var s experiments.Scale
+	switch *scale {
+	case "small":
+		s = experiments.SmallScale()
+	case "full":
+		s = experiments.FullScale()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	s.Seed = *seed
+
+	runOne := func(id string, runner experiments.Runner) {
+		t0 := time.Now()
+		tbl, err := runner(s)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Println(tbl.String())
+		log.Printf("%s completed in %v\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *run == "all" {
+		for _, e := range experiments.Registry {
+			runOne(e.ID, e.Run)
+		}
+		return
+	}
+	for _, e := range experiments.Registry {
+		if e.ID == *run {
+			runOne(e.ID, e.Run)
+			return
+		}
+	}
+	log.Fatalf("unknown experiment %q (use -list)", *run)
+}

@@ -1,0 +1,257 @@
+// Command netshare trains a NetShare model on a trace CSV (or a built-in
+// synthetic dataset) and writes a synthetic trace CSV.
+//
+// Usage:
+//
+//	netshare -kind netflow -dataset ugr16 -records 2000 -out synthetic.csv
+//	netshare -kind pcap -in real.csv -out synthetic.csv -chunks 5
+//	netshare -kind netflow -dataset ugr16 -dp -epsilon-noise 0.7 -out dp.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netshare: ")
+
+	var (
+		kind      = flag.String("kind", "netflow", "trace kind: netflow or pcap")
+		inPath    = flag.String("in", "", "input trace CSV (mutually exclusive with -dataset)")
+		dataset   = flag.String("dataset", "", "built-in dataset: ugr16|cidds|ton (netflow) or caida|dc|ca (pcap)")
+		records   = flag.Int("records", 2000, "records/packets to synthesize the built-in dataset with")
+		outPath   = flag.String("out", "synthetic.csv", "output CSV path")
+		genSize   = flag.Int("gen", 2000, "records/packets to generate")
+		chunks    = flag.Int("chunks", 5, "number of fixed-time chunks M (1 = NetShare-V0)")
+		seedSteps = flag.Int("seed-steps", 600, "seed-chunk generator steps")
+		ftSteps   = flag.Int("finetune-steps", 150, "fine-tune generator steps per chunk")
+		maxLen    = flag.Int("maxlen", 6, "max sequence length per flow sample")
+		seed      = flag.Int64("seed", 1, "random seed")
+		format    = flag.String("format", "csv", "output format: csv, pcap (packet traces), or netflow5 (flow traces)")
+		savePath  = flag.String("save", "", "save the trained model to this path")
+		loadPath  = flag.String("load", "", "skip training; load a model saved with -save")
+		dp        = flag.Bool("dp", false, "train with differential privacy (DP-SGD)")
+		dpNoise   = flag.Float64("epsilon-noise", 0.7, "DP-SGD noise multiplier sigma")
+		dpTarget  = flag.Float64("target-epsilon", 0, "calibrate sigma for this target epsilon (overrides -epsilon-noise)")
+		dpPre     = flag.Bool("dp-pretrain", true, "pre-train on public data before DP fine-tuning")
+		ipBase    = flag.String("ip-transform", "", "optional CIDR-style base (e.g. 10.0.0.0/8) to remap generated IPs into")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Chunks = *chunks
+	cfg.SeedSteps = *seedSteps
+	cfg.FineTuneSteps = *ftSteps
+	cfg.MaxLen = *maxLen
+	cfg.Seed = *seed
+	if *dp {
+		cfg.Chunks = 1
+		noise := *dpNoise
+		if *dpTarget > 0 {
+			noise = cfg.NoiseForTargetEpsilon(*dpTarget, 1e-5, *records)
+			log.Printf("calibrated sigma=%.3f for target epsilon=%.1f over %d DP steps",
+				noise, *dpTarget, cfg.DPSteps())
+		}
+		cfg.DP = &core.DPConfig{
+			NoiseMultiplier: noise,
+			ClipNorm:        1.0,
+			Delta:           1e-5,
+			Pretrain:        *dpPre,
+			PretrainSteps:   *seedSteps / 2,
+		}
+	}
+	public := datasets.CAIDAChicago(4000, *seed+500)
+
+	switch *kind {
+	case "netflow":
+		var syn *core.FlowSynthesizer
+		if *loadPath != "" {
+			var err error
+			if syn, err = loadFlowModel(*loadPath); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("loaded model from %s", *loadPath)
+		} else {
+			real, err := loadFlow(*inPath, *dataset, *records, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if syn, err = core.TrainFlowSynthesizer(real, public, cfg); err != nil {
+				log.Fatal(err)
+			}
+			st := syn.Stats()
+			log.Printf("trained %d chunk model(s): cpu=%v wall=%v epsilon=%.2f",
+				len(st.ChunkSamples), st.CPUTime.Round(1e6), st.WallTime.Round(1e6), st.Epsilon)
+		}
+		if *savePath != "" {
+			if err := saveModel(*savePath, syn.Save); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("saved model to %s", *savePath)
+		}
+		gen := syn.Generate(*genSize)
+		if *ipBase != "" {
+			base, bits, err := parseCIDR(*ipBase)
+			if err != nil {
+				log.Fatal(err)
+			}
+			core.TransformIPs(gen, base, bits)
+		}
+		if err := writeFlow(*outPath, gen, *format); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d flow records to %s (%s)", len(gen.Records), *outPath, *format)
+
+	case "pcap":
+		var syn *core.PacketSynthesizer
+		if *loadPath != "" {
+			var err error
+			if syn, err = loadPacketModel(*loadPath); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("loaded model from %s", *loadPath)
+		} else {
+			real, err := loadPacket(*inPath, *dataset, *records, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if syn, err = core.TrainPacketSynthesizer(real, public, cfg); err != nil {
+				log.Fatal(err)
+			}
+			st := syn.Stats()
+			log.Printf("trained %d chunk model(s): cpu=%v wall=%v epsilon=%.2f",
+				len(st.ChunkSamples), st.CPUTime.Round(1e6), st.WallTime.Round(1e6), st.Epsilon)
+		}
+		if *savePath != "" {
+			if err := saveModel(*savePath, syn.Save); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("saved model to %s", *savePath)
+		}
+		gen := syn.Generate(*genSize)
+		if err := writePacket(*outPath, gen, *format); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d packets to %s (%s)", len(gen.Packets), *outPath, *format)
+
+	default:
+		log.Fatalf("unknown -kind %q (want netflow or pcap)", *kind)
+	}
+}
+
+func loadFlow(inPath, dataset string, records int, seed int64) (*trace.FlowTrace, error) {
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadFlowCSV(f)
+	}
+	if dataset == "" {
+		return nil, fmt.Errorf("need -in or -dataset")
+	}
+	t := datasets.FlowByName(dataset, records, seed)
+	if t == nil {
+		return nil, fmt.Errorf("unknown netflow dataset %q", dataset)
+	}
+	return t, nil
+}
+
+func loadPacket(inPath, dataset string, packets int, seed int64) (*trace.PacketTrace, error) {
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadPacketCSV(f)
+	}
+	if dataset == "" {
+		return nil, fmt.Errorf("need -in or -dataset")
+	}
+	t := datasets.PacketByName(dataset, packets, seed)
+	if t == nil {
+		return nil, fmt.Errorf("unknown pcap dataset %q", dataset)
+	}
+	return t, nil
+}
+
+func writeFlow(path string, t *trace.FlowTrace, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch format {
+	case "csv":
+		return trace.WriteFlowCSV(f, t)
+	case "netflow5":
+		return trace.WriteNetFlowV5(f, t)
+	default:
+		return fmt.Errorf("format %q not supported for flow traces (want csv or netflow5)", format)
+	}
+}
+
+func writePacket(path string, t *trace.PacketTrace, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch format {
+	case "csv":
+		return trace.WritePacketCSV(f, t)
+	case "pcap":
+		return trace.WritePCAP(f, t)
+	default:
+		return fmt.Errorf("format %q not supported for packet traces (want csv or pcap)", format)
+	}
+}
+
+func saveModel(path string, save func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return save(f)
+}
+
+func loadFlowModel(path string) (*core.FlowSynthesizer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadFlowSynthesizer(f)
+}
+
+func loadPacketModel(path string) (*core.PacketSynthesizer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadPacketSynthesizer(f)
+}
+
+func parseCIDR(s string) (trace.IPv4, int, error) {
+	var a, b, c, d, bits int
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d/%d", &a, &b, &c, &d, &bits); err != nil {
+		return 0, 0, fmt.Errorf("invalid CIDR %q: %w", s, err)
+	}
+	if bits < 0 || bits > 32 {
+		return 0, 0, fmt.Errorf("invalid mask length %d", bits)
+	}
+	return trace.IPv4FromBytes(byte(a), byte(b), byte(c), byte(d)), bits, nil
+}

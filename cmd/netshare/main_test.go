@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/trace"
+)
+
+func TestParseCIDR(t *testing.T) {
+	ip, bits, err := parseCIDR("10.0.0.0/8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip != trace.IPv4FromBytes(10, 0, 0, 0) || bits != 8 {
+		t.Fatalf("parseCIDR = %v/%d", ip, bits)
+	}
+	for _, bad := range []string{"", "10.0.0.0", "10.0.0.0/40", "x/8"} {
+		if _, _, err := parseCIDR(bad); err == nil {
+			t.Fatalf("parseCIDR(%q) should fail", bad)
+		}
+	}
+}
+
+func TestWriteFlowFormats(t *testing.T) {
+	dir := t.TempDir()
+	tr := datasets.UGR16(50, 1)
+	for _, format := range []string{"csv", "netflow5"} {
+		path := filepath.Join(dir, "out."+format)
+		if err := writeFlow(path, tr, format); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+			t.Fatalf("%s: empty output", format)
+		}
+	}
+	if err := writeFlow(filepath.Join(dir, "x"), tr, "pcap"); err == nil {
+		t.Fatal("pcap format must be rejected for flows")
+	}
+}
+
+func TestWritePacketFormats(t *testing.T) {
+	dir := t.TempDir()
+	tr := datasets.CAIDA(50, 1)
+	for _, format := range []string{"csv", "pcap"} {
+		path := filepath.Join(dir, "out."+format)
+		if err := writePacket(path, tr, format); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+	}
+	if err := writePacket(filepath.Join(dir, "x"), tr, "netflow5"); err == nil {
+		t.Fatal("netflow5 format must be rejected for packets")
+	}
+}
+
+func TestLoadFlowInputs(t *testing.T) {
+	if _, err := loadFlow("", "", 10, 1); err == nil {
+		t.Fatal("missing source must fail")
+	}
+	if _, err := loadFlow("", "nope", 10, 1); err == nil {
+		t.Fatal("unknown dataset must fail")
+	}
+	tr, err := loadFlow("", "ugr16", 25, 1)
+	if err != nil || len(tr.Records) != 25 {
+		t.Fatalf("builtin load: %v, %d records", err, len(tr.Records))
+	}
+	// Round trip through a CSV file.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "in.csv")
+	if err := writeFlow(path, tr, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := loadFlow(path, "", 0, 0)
+	if err != nil || len(back.Records) != 25 {
+		t.Fatalf("csv load: %v, %d records", err, len(back.Records))
+	}
+}
+
+func TestModelSaveLoadHelpers(t *testing.T) {
+	// Error paths only; the happy path is covered by internal/core tests.
+	if _, err := loadFlowModel("/nonexistent/model"); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	if _, err := loadPacketModel("/nonexistent/model"); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	if err := saveModel("/nonexistent/dir/model", nil); err == nil {
+		t.Fatal("unwritable path must fail")
+	}
+}

@@ -1,0 +1,49 @@
+// Command pcapshare serves the NetShare web-service prototype (paper §5,
+// hosted by the authors at pcapshare.com): an HTTP API for submitting
+// traces, training NetShare, and downloading synthetic traces.
+//
+//	pcapshare -addr :8080 -jobs 2
+//
+//	curl -X POST localhost:8080/api/v1/jobs -d '{"kind":"netflow","dataset":"ugr16","records":2000,"generate":2000}'
+//	curl localhost:8080/api/v1/jobs/job-1
+//	curl -o syn.csv 'localhost:8080/api/v1/jobs/job-1/trace?format=csv'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/webapi"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcapshare: ")
+
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		jobs = flag.Int("jobs", 1, "max concurrent training jobs")
+	)
+	flag.Parse()
+
+	api := webapi.NewServer(*jobs)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(api.Handler()),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s (%v)", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+	})
+}

@@ -1,0 +1,77 @@
+// Command tracegen emits the synthetic stand-ins for the paper's six
+// evaluation datasets as CSV files, so the "real" traces can be inspected
+// or fed to external tools.
+//
+// Usage:
+//
+//	tracegen -dataset ugr16 -n 10000 -out ugr16.csv
+//	tracegen -all -n 5000 -dir ./traces
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/datasets"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	var (
+		dataset = flag.String("dataset", "", "dataset name: ugr16|cidds|ton|caida|caida-chicago|dc|ca")
+		n       = flag.Int("n", 5000, "records (netflow) or packets (pcap)")
+		out     = flag.String("out", "", "output CSV path (default <dataset>.csv)")
+		all     = flag.Bool("all", false, "emit every dataset")
+		dir     = flag.String("dir", ".", "output directory for -all")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *all {
+		for _, name := range datasets.FlowDatasetNames {
+			emit(name, filepath.Join(*dir, name+".csv"), *n, *seed)
+		}
+		for _, name := range append(datasets.PacketDatasetNames, "caida-chicago") {
+			emit(name, filepath.Join(*dir, name+".csv"), *n, *seed)
+		}
+		return
+	}
+	if *dataset == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := *out
+	if path == "" {
+		path = *dataset + ".csv"
+	}
+	emit(*dataset, path, *n, *seed)
+}
+
+func emit(name, path string, n int, seed int64) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	if ft := datasets.FlowByName(name, n, seed); ft != nil {
+		if err := trace.WriteFlowCSV(f, ft); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d flow records to %s", len(ft.Records), path)
+		return
+	}
+	if pt := datasets.PacketByName(name, n, seed); pt != nil {
+		if err := trace.WritePacketCSV(f, pt); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d packets to %s", len(pt.Packets), path)
+		return
+	}
+	log.Fatalf("unknown dataset %q", name)
+}

@@ -1,0 +1,58 @@
+// DP sharing: train NetShare with differential privacy, comparing naive
+// DP-SGD against public pre-training (the paper's Insight 4 / Finding 3),
+// and apply the IP-transformation privacy extension before "sharing".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	private := datasets.UGR16(600, 1)
+	public := datasets.CAIDAChicago(2000, 2) // same-domain public backbone trace
+
+	train := func(pretrain bool) (*trace.FlowTrace, float64) {
+		cfg := core.DefaultConfig()
+		cfg.Chunks = 1
+		cfg.SeedSteps = 60
+		cfg.DP = &core.DPConfig{
+			NoiseMultiplier: 0.7,
+			ClipNorm:        1.0,
+			Delta:           1e-5,
+			Pretrain:        pretrain,
+			PretrainSteps:   150,
+		}
+		syn, err := core.TrainFlowSynthesizer(private, public, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return syn.Generate(600), syn.Stats().Epsilon
+	}
+
+	naive, epsNaive := train(false)
+	pretrained, epsPre := train(true)
+
+	repNaive := metrics.CompareFlows(private, naive)
+	repPre := metrics.CompareFlows(private, pretrained)
+
+	fmt.Println("privacy-fidelity comparison at matched DP-SGD noise:")
+	fmt.Printf("%-22s eps=%-8.2f avg JSD=%.3f avg EMD=%.3f\n",
+		"naive DP", epsNaive, repNaive.AvgJSD(), repNaive.AvgEMD())
+	fmt.Printf("%-22s eps=%-8.2f avg JSD=%.3f avg EMD=%.3f\n",
+		"DP pretrained (SAME)", epsPre, repPre.AvgJSD(), repPre.AvgEMD())
+	fmt.Println("\nthe pre-trained model spends the same privacy budget but starts from")
+	fmt.Println("public-data weights, so fewer noisy steps are needed (paper Finding 3).")
+
+	// Optional privacy extension (§5): remap synthetic IPs into a private
+	// range before sharing.
+	core.TransformIPs(pretrained, trace.IPv4FromBytes(10, 0, 0, 0), 8)
+	fmt.Printf("\nafter IP transformation, first record: %v\n", pretrained.Records[0].Tuple)
+}

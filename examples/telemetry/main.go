@@ -1,0 +1,64 @@
+// Telemetry: evaluate sketch-based heavy-hitter estimation on real vs
+// NetShare-synthetic packet traces — the paper's App #2 (Figure 13). A
+// data holder can use this loop to verify that a synthetic trace supports
+// sketch benchmarking before sharing it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/metrics"
+	"repro/internal/sketch"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	real := datasets.CAIDA(2000, 1)
+	public := datasets.CAIDAChicago(2000, 2)
+
+	cfg := core.DefaultConfig()
+	cfg.Chunks = 3
+	cfg.SeedSteps = 300
+	cfg.FineTuneSteps = 100
+	syn, err := core.TrainPacketSynthesizer(real, public, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := syn.Generate(2000)
+
+	// Heavy hitters by destination IP at the paper's 0.1% threshold.
+	const threshold = 0.001
+	fmt.Println("heavy-hitter count estimation (destination IP, threshold 0.1%):")
+	fmt.Printf("%-14s %-12s %-12s %s\n", "sketch", "err(real)", "err(syn)", "relative gap")
+	for _, name := range sketch.SketchOrder {
+		builders := sketch.StandardBuilders(512)
+		var realSum, synSum float64
+		const runs = 5
+		for run := int64(0); run < runs; run++ {
+			realErr, _ := sketch.EstimationError(builders[name](run), real, sketch.KeyDstIP, threshold)
+			synErr, _ := sketch.EstimationError(builders[name](run), gen, sketch.KeyDstIP, threshold)
+			realSum += realErr
+			synSum += synErr
+		}
+		realErr, synErr := realSum/runs, synSum/runs
+		fmt.Printf("%-14s %-12.4f %-12.4f %.3f\n",
+			name, realErr, synErr, metrics.RelativeError(realErr, synErr))
+	}
+
+	// Order preservation: do the sketches rank the same on both traces?
+	realErrs := make([]float64, 0, len(sketch.SketchOrder))
+	synErrs := make([]float64, 0, len(sketch.SketchOrder))
+	for _, name := range sketch.SketchOrder {
+		builders := sketch.StandardBuilders(512)
+		re, _ := sketch.EstimationError(builders[name](7), real, sketch.KeyDstIP, threshold)
+		se, _ := sketch.EstimationError(builders[name](7), gen, sketch.KeyDstIP, threshold)
+		realErrs = append(realErrs, re)
+		synErrs = append(synErrs, se)
+	}
+	fmt.Printf("\nsketch-ranking Spearman correlation (1.0 = order preserved): %.2f\n",
+		metrics.Spearman(realErrs, synErrs))
+}

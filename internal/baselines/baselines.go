@@ -1,0 +1,40 @@
+// Package baselines reimplements the six synthetic-trace generators the
+// paper compares against (§6.1): CTGAN, E-WGAN-GP, and STAN for NetFlow
+// traces; CTGAN, PAC-GAN, PacketCGAN, and Flow-WGAN for PCAP traces. Each
+// follows its source's *formulation* — per-record tabular modeling, its
+// characteristic field encoding, and its timestamp handling — because the
+// paper's findings (no multi-packet flows, truncated large-support fields,
+// missing port modes) are consequences of those formulations, not of the
+// underlying tensor runtime. Network architectures are scaled to CPU
+// training like the rest of this reproduction; simplifications are noted on
+// each type.
+package baselines
+
+import (
+	"time"
+
+	"repro/internal/trace"
+)
+
+// FlowSynthesizer generates synthetic NetFlow traces.
+type FlowSynthesizer interface {
+	// Name returns the baseline's paper name.
+	Name() string
+	// Generate produces n synthetic flow records.
+	Generate(n int) *trace.FlowTrace
+	// TrainTime returns the training cost (Fig. 4's x axis).
+	TrainTime() time.Duration
+}
+
+// PacketSynthesizer generates synthetic PCAP traces.
+type PacketSynthesizer interface {
+	Name() string
+	Generate(n int) *trace.PacketTrace
+	TrainTime() time.Duration
+}
+
+// FlowBaselineNames lists the NetFlow baselines in paper order.
+var FlowBaselineNames = []string{"ctgan", "stan", "e-wgan-gp"}
+
+// PacketBaselineNames lists the PCAP baselines in paper order.
+var PacketBaselineNames = []string{"ctgan", "pac-gan", "packetcgan", "flow-wgan"}

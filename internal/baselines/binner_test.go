@@ -1,0 +1,80 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogBinnerRoundTrip(t *testing.T) {
+	values := []float64{1, 10, 100, 1000, 100000}
+	b := newLogBinner(values, 24)
+	for _, v := range values {
+		bin := b.bin(v)
+		if bin >= 24 {
+			t.Fatalf("bin(%v) = %d out of range", v, bin)
+		}
+		center := b.center(bin)
+		// The bin center is within one log-bin width of the value.
+		if math.Abs(math.Log1p(center)-math.Log1p(v)) > (b.hi-b.lo)/24+1e-9 {
+			t.Fatalf("center(%d) = %v too far from %v", bin, center, v)
+		}
+	}
+}
+
+func TestLogBinnerClampsOutOfRange(t *testing.T) {
+	b := newLogBinner([]float64{10, 100}, 8)
+	if b.bin(1) != 0 {
+		t.Fatal("below-range values must clamp to bin 0")
+	}
+	if b.bin(1e9) != 7 {
+		t.Fatal("above-range values must clamp to the last bin")
+	}
+}
+
+func TestLogBinnerDegenerate(t *testing.T) {
+	b := newLogBinner(nil, 4)
+	if bin := b.bin(5); bin >= 4 {
+		t.Fatalf("empty-fit binner bin = %d", bin)
+	}
+	same := newLogBinner([]float64{7, 7}, 4)
+	if c := same.center(same.bin(7)); c <= 0 {
+		t.Fatalf("degenerate binner center = %v", c)
+	}
+}
+
+func TestLinBinnerMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		lb := newLinBinner([]float64{0, 1000}, 16)
+		x, y := float64(a%1000), float64(b%1000)
+		if x > y {
+			x, y = y, x
+		}
+		return lb.bin(x) <= lb.bin(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinBinnerCenters(t *testing.T) {
+	lb := newLinBinner([]float64{0, 100}, 10)
+	if c := lb.center(0); math.Abs(c-5) > 1e-9 {
+		t.Fatalf("center(0) = %v, want 5", c)
+	}
+	if c := lb.center(9); math.Abs(c-95) > 1e-9 {
+		t.Fatalf("center(9) = %v, want 95", c)
+	}
+}
+
+func TestSquashUnsquash(t *testing.T) {
+	for _, x := range []float64{-5, -1, 0, 0.5, 3} {
+		if got := unsquash(squash(x)); math.Abs(got-x) > 1e-6 {
+			t.Fatalf("squash round trip: %v -> %v", x, got)
+		}
+	}
+	// Extreme inputs clamp instead of producing infinities.
+	if math.IsInf(unsquash(1), 0) || math.IsInf(unsquash(0), 0) {
+		t.Fatal("unsquash must clamp at the boundaries")
+	}
+}

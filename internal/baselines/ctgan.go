@@ -1,0 +1,272 @@
+package baselines
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/encoding"
+	"repro/internal/nn"
+	"repro/internal/trace"
+)
+
+// CTGAN is the tabular-GAN baseline (Xu et al. 2019) extended to network
+// traces as the paper describes: IPs and ports are bit encoded with each
+// bit a 2-class categorical variable; timestamps and sizes are continuous
+// ([0,1] min–max on the raw scale — no log transform, which is why large-
+// support fields come out truncated, Challenge 2); protocol and label are
+// categorical. Every record is an independent row, so generated traces
+// contain essentially no repeated five-tuples (Challenge 1).
+//
+// Simplification vs. the original: mode-specific normalization and
+// training-by-sampling are replaced by plain WGAN-GP, which preserves the
+// formulation-level properties above.
+type CTGAN struct {
+	gan      *tabularGAN
+	kind     trace.Kind
+	dur      time.Duration
+	timeNorm encoding.MinMax
+	durNorm  encoding.MinMax
+	pktNorm  encoding.MinMax
+	bytNorm  encoding.MinMax
+	sizeNorm encoding.MinMax
+}
+
+func bitSchema(name string, bits int) []nn.FieldSpec {
+	out := make([]nn.FieldSpec, bits)
+	for i := range out {
+		out[i] = nn.FieldSpec{Name: name, Kind: nn.FieldCategorical, Size: 2}
+	}
+	return out
+}
+
+func ctganFlowSchema() []nn.FieldSpec {
+	var s []nn.FieldSpec
+	s = append(s, bitSchema("sip", 32)...)
+	s = append(s, bitSchema("dip", 32)...)
+	s = append(s, bitSchema("sport", 16)...)
+	s = append(s, bitSchema("dport", 16)...)
+	s = append(s, nn.FieldSpec{Name: "proto", Kind: nn.FieldCategorical, Size: encoding.NumProtocols})
+	s = append(s,
+		nn.FieldSpec{Name: "ts", Kind: nn.FieldContinuous, Size: 1},
+		nn.FieldSpec{Name: "td", Kind: nn.FieldContinuous, Size: 1},
+		nn.FieldSpec{Name: "pkt", Kind: nn.FieldContinuous, Size: 1},
+		nn.FieldSpec{Name: "byt", Kind: nn.FieldContinuous, Size: 1},
+		nn.FieldSpec{Name: "label", Kind: nn.FieldCategorical, Size: int(trace.NumLabels)},
+	)
+	return s
+}
+
+func ctganPacketSchema() []nn.FieldSpec {
+	var s []nn.FieldSpec
+	s = append(s, bitSchema("sip", 32)...)
+	s = append(s, bitSchema("dip", 32)...)
+	s = append(s, bitSchema("sport", 16)...)
+	s = append(s, bitSchema("dport", 16)...)
+	s = append(s, nn.FieldSpec{Name: "proto", Kind: nn.FieldCategorical, Size: encoding.NumProtocols})
+	s = append(s,
+		nn.FieldSpec{Name: "time", Kind: nn.FieldContinuous, Size: 1},
+		nn.FieldSpec{Name: "size", Kind: nn.FieldContinuous, Size: 1},
+		nn.FieldSpec{Name: "ttl", Kind: nn.FieldContinuous, Size: 1},
+	)
+	return s
+}
+
+// appendBits2 appends a bit string as consecutive 2-class one-hots.
+func appendBits2(row []float64, bits []float64) []float64 {
+	for _, b := range bits {
+		if b >= 0.5 {
+			row = append(row, 0, 1)
+		} else {
+			row = append(row, 1, 0)
+		}
+	}
+	return row
+}
+
+// bitsFrom2 reads n bits from consecutive 2-class one-hots.
+func bitsFrom2(row []float64, n int) ([]float64, []float64) {
+	bits := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if row[2*i+1] >= row[2*i] {
+			bits[i] = 1
+		}
+	}
+	return bits, row[2*n:]
+}
+
+// TrainCTGANFlows fits CTGAN on a NetFlow trace.
+func TrainCTGANFlows(t *trace.FlowTrace, steps int, seed int64) (*CTGAN, error) {
+	c := &CTGAN{kind: trace.KindNetFlow}
+	var ts, td, pkt, byt []float64
+	for _, r := range t.Records {
+		ts = append(ts, float64(r.Start))
+		td = append(td, float64(r.Duration))
+		pkt = append(pkt, float64(r.Packets))
+		byt = append(byt, float64(r.Bytes))
+	}
+	c.timeNorm.Fit(ts)
+	c.durNorm.Fit(td)
+	c.pktNorm.Fit(pkt)
+	c.bytNorm.Fit(byt)
+
+	rows := make([][]float64, len(t.Records))
+	for i, r := range t.Records {
+		row := make([]float64, 0, nn.Width(ctganFlowSchema()))
+		row = appendBits2(row, encoding.IPBits(r.Tuple.SrcIP))
+		row = appendBits2(row, encoding.IPBits(r.Tuple.DstIP))
+		row = appendBits2(row, encoding.PortBits(r.Tuple.SrcPort))
+		row = appendBits2(row, encoding.PortBits(r.Tuple.DstPort))
+		row = append(row, encoding.ProtoOneHot(r.Tuple.Proto)...)
+		row = append(row,
+			c.timeNorm.Transform(float64(r.Start)),
+			c.durNorm.Transform(float64(r.Duration)),
+			c.pktNorm.Transform(float64(r.Packets)),
+			c.bytNorm.Transform(float64(r.Bytes)),
+		)
+		label := make([]float64, trace.NumLabels)
+		label[r.Label] = 1
+		rows[i] = append(row, label...)
+	}
+
+	cfg := defaultTabularConfig(ctganFlowSchema())
+	cfg.Seed = seed
+	gan, err := newTabularGAN(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dur, err := gan.timedTrain(rows, nil, steps)
+	if err != nil {
+		return nil, err
+	}
+	c.gan, c.dur = gan, dur
+	return c, nil
+}
+
+// TrainCTGANPackets fits CTGAN on a PCAP trace.
+func TrainCTGANPackets(t *trace.PacketTrace, steps int, seed int64) (*CTGAN, error) {
+	c := &CTGAN{kind: trace.KindPCAP}
+	var ts, sz []float64
+	for _, p := range t.Packets {
+		ts = append(ts, float64(p.Time))
+		sz = append(sz, float64(p.Size))
+	}
+	c.timeNorm.Fit(ts)
+	c.sizeNorm.Fit(sz)
+
+	rows := make([][]float64, len(t.Packets))
+	for i, p := range t.Packets {
+		row := make([]float64, 0, nn.Width(ctganPacketSchema()))
+		row = appendBits2(row, encoding.IPBits(p.Tuple.SrcIP))
+		row = appendBits2(row, encoding.IPBits(p.Tuple.DstIP))
+		row = appendBits2(row, encoding.PortBits(p.Tuple.SrcPort))
+		row = appendBits2(row, encoding.PortBits(p.Tuple.DstPort))
+		row = append(row, encoding.ProtoOneHot(p.Tuple.Proto)...)
+		row = append(row,
+			c.timeNorm.Transform(float64(p.Time)),
+			c.sizeNorm.Transform(float64(p.Size)),
+			float64(p.TTL)/255,
+		)
+		rows[i] = row
+	}
+
+	cfg := defaultTabularConfig(ctganPacketSchema())
+	cfg.Seed = seed
+	gan, err := newTabularGAN(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dur, err := gan.timedTrain(rows, nil, steps)
+	if err != nil {
+		return nil, err
+	}
+	c.gan, c.dur = gan, dur
+	return c, nil
+}
+
+// Name implements the synthesizer interfaces.
+func (c *CTGAN) Name() string { return "ctgan" }
+
+// TrainTime implements the synthesizer interfaces.
+func (c *CTGAN) TrainTime() time.Duration { return c.dur }
+
+// Generate produces n synthetic flow records (NetFlow mode).
+func (c *CTGAN) Generate(n int) *trace.FlowTrace {
+	if c.kind != trace.KindNetFlow {
+		panic("baselines: CTGAN trained on packets; use GeneratePackets")
+	}
+	out := &trace.FlowTrace{Records: make([]trace.FlowRecord, 0, n)}
+	for _, row := range c.gan.generate(n, nil) {
+		var r trace.FlowRecord
+		var bits []float64
+		bits, row = bitsFrom2(row, 32)
+		r.Tuple.SrcIP = encoding.IPFromBits(bits)
+		bits, row = bitsFrom2(row, 32)
+		r.Tuple.DstIP = encoding.IPFromBits(bits)
+		bits, row = bitsFrom2(row, 16)
+		r.Tuple.SrcPort = encoding.PortFromBits(bits)
+		bits, row = bitsFrom2(row, 16)
+		r.Tuple.DstPort = encoding.PortFromBits(bits)
+		r.Tuple.Proto = encoding.ProtoFromOneHot(row[:encoding.NumProtocols])
+		row = row[encoding.NumProtocols:]
+		r.Start = int64(c.timeNorm.Inverse(row[0]))
+		r.Duration = int64(c.durNorm.Inverse(row[1]))
+		r.Packets = int64(math.Round(c.pktNorm.Inverse(row[2])))
+		if r.Packets < 1 {
+			r.Packets = 1
+		}
+		r.Bytes = int64(math.Round(c.bytNorm.Inverse(row[3])))
+		if r.Bytes < 1 {
+			r.Bytes = 1
+		}
+		for l := 0; l < int(trace.NumLabels); l++ {
+			if row[4+l] == 1 {
+				r.Label = trace.Label(l)
+				break
+			}
+		}
+		out.Records = append(out.Records, r)
+	}
+	out.SortByStart()
+	return out
+}
+
+// GeneratePackets produces n synthetic packets (PCAP mode).
+func (c *CTGAN) GeneratePackets(n int) *trace.PacketTrace {
+	if c.kind != trace.KindPCAP {
+		panic("baselines: CTGAN trained on flows; use Generate")
+	}
+	out := &trace.PacketTrace{Packets: make([]trace.Packet, 0, n)}
+	for _, row := range c.gan.generate(n, nil) {
+		var p trace.Packet
+		var bits []float64
+		bits, row = bitsFrom2(row, 32)
+		p.Tuple.SrcIP = encoding.IPFromBits(bits)
+		bits, row = bitsFrom2(row, 32)
+		p.Tuple.DstIP = encoding.IPFromBits(bits)
+		bits, row = bitsFrom2(row, 16)
+		p.Tuple.SrcPort = encoding.PortFromBits(bits)
+		bits, row = bitsFrom2(row, 16)
+		p.Tuple.DstPort = encoding.PortFromBits(bits)
+		p.Tuple.Proto = encoding.ProtoFromOneHot(row[:encoding.NumProtocols])
+		row = row[encoding.NumProtocols:]
+		p.Time = int64(c.timeNorm.Inverse(row[0]))
+		p.Size = int(math.Round(c.sizeNorm.Inverse(row[1])))
+		if p.Size < 1 {
+			p.Size = 1
+		}
+		p.TTL = uint8(math.Round(row[2] * 255))
+		p.Flags = 2
+		out.Packets = append(out.Packets, p)
+	}
+	out.SortByTime()
+	return out
+}
+
+// ctganPacketAdapter exposes the PCAP mode through PacketSynthesizer.
+type ctganPacketAdapter struct{ *CTGAN }
+
+func (a ctganPacketAdapter) Generate(n int) *trace.PacketTrace { return a.GeneratePackets(n) }
+
+// AsPacketSynthesizer adapts a PCAP-mode CTGAN to the PacketSynthesizer
+// interface.
+func (c *CTGAN) AsPacketSynthesizer() PacketSynthesizer { return ctganPacketAdapter{c} }

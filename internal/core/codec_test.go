@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/dgan"
+	"repro/internal/ip2vec"
+	"repro/internal/nn"
+	"repro/internal/trace"
+)
+
+// codecFixture builds a flow codec over a small trace.
+func codecFixture(t *testing.T) (*flowCodec, *trace.FlowTrace) {
+	t.Helper()
+	real := datasets.UGR16(300, 40)
+	public := datasets.CAIDAChicago(1200, 41)
+	cfg := testConfig()
+	embed, err := newPortEmbedding(public, cfg.EmbedDim, cfg.EmbedEpochs, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newFlowCodec(cfg, embed, real), real
+}
+
+func TestFlowCodecEncodeWidths(t *testing.T) {
+	codec, real := codecFixture(t)
+	series := trace.SplitFlowSeries(real)
+	chunks := trace.ChunkFlowSeries(series, codec.cfg.Chunks)
+	sample := codec.encode(chunks[0][0])
+	if len(sample.Meta) != nn.Width(codec.metaSchema()) {
+		t.Fatalf("metadata width %d, want %d", len(sample.Meta), nn.Width(codec.metaSchema()))
+	}
+	for i, f := range sample.Features {
+		if len(f) != nn.Width(codec.featureSchema()) {
+			t.Fatalf("feature %d width %d", i, len(f))
+		}
+		for j, v := range f {
+			if v < 0 || v > 1 {
+				t.Fatalf("feature %d[%d] = %v outside [0,1]", i, j, v)
+			}
+		}
+	}
+	if len(sample.Features) > codec.cfg.MaxLen {
+		t.Fatal("sequence not truncated at MaxLen")
+	}
+}
+
+func TestFlowCodecRoundTrip(t *testing.T) {
+	codec, real := codecFixture(t)
+	series := trace.SplitFlowSeries(real)
+	tags := trace.FlowTags{StartsHere: true, Presence: make([]bool, codec.cfg.Chunks)}
+
+	for _, s := range series[:20] {
+		tagged := &trace.TaggedFlowSeries{Series: s, Tags: tags}
+		sample := codec.encode(tagged)
+		recs := codec.decode(sample)
+		n := len(s.Records)
+		if n > codec.cfg.MaxLen {
+			n = codec.cfg.MaxLen
+		}
+		if len(recs) != n {
+			t.Fatalf("decoded %d records, want %d", len(recs), n)
+		}
+		for i, got := range recs {
+			want := s.Records[i]
+			// IPs are lossless through bit encoding.
+			if got.Tuple.SrcIP != want.Tuple.SrcIP || got.Tuple.DstIP != want.Tuple.DstIP {
+				t.Fatalf("IP round trip failed: %v vs %v", got.Tuple, want.Tuple)
+			}
+			// Destination ports go through the public embedding: ports in
+			// the public vocabulary round-trip exactly; absent ones fall
+			// back to the numerically nearest vocabulary port by design.
+			if codec.embed.model.Has(ip2vec.PortWord(want.Tuple.DstPort)) &&
+				got.Tuple.DstPort != want.Tuple.DstPort {
+				t.Fatalf("in-vocabulary port %d decoded to %d", want.Tuple.DstPort, got.Tuple.DstPort)
+			}
+			// Continuous fields survive within transform resolution.
+			if relDiff(float64(got.Packets), float64(want.Packets)) > 0.2 && math.Abs(float64(got.Packets-want.Packets)) > 2 {
+				t.Fatalf("packets %d decoded to %d", want.Packets, got.Packets)
+			}
+			if got.Label != want.Label {
+				t.Fatalf("label %v decoded to %v", want.Label, got.Label)
+			}
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+func TestFlowCodecDecodeClampsPathologicalSamples(t *testing.T) {
+	codec, _ := codecFixture(t)
+	// A sample whose continuous values sit at the extremes must decode to
+	// valid records, not panic or produce non-positive counts.
+	meta := make([]float64, nn.Width(codec.metaSchema()))
+	feat := make([]float64, nn.Width(codec.featureSchema()))
+	feat[4] = 1 // one-hot label = benign
+	recs := codec.decode(dgan.Sample{Meta: meta, Features: [][]float64{feat}})
+	if len(recs) != 1 {
+		t.Fatal("decode failed")
+	}
+	if recs[0].Packets < 1 || recs[0].Bytes < 1 {
+		t.Fatalf("pathological sample decoded to invalid counts: %+v", recs[0])
+	}
+}

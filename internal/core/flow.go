@@ -1,0 +1,367 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dgan"
+	"repro/internal/encoding"
+	"repro/internal/ip2vec"
+	"repro/internal/nn"
+	"repro/internal/trace"
+)
+
+// flowCodec converts between trace.FlowSeries and dgan samples: the
+// metadata is the encoded five-tuple plus flow tags, the measurement
+// sequence is one element per NetFlow record (start, duration, packets,
+// bytes, label) per the paper's §4.1.
+type flowCodec struct {
+	cfg     Config
+	embed   *portEmbedding
+	ipEmbed *ipEmbedding // non-nil only under the IPVectorEncoding ablation
+
+	timeNorm encoding.MinMax // flow start times (global)
+	durNorm  scalarCodec
+	pktNorm  scalarCodec
+	bytNorm  scalarCodec
+}
+
+// scalarCodec abstracts over encoding.MinMax and encoding.LogMinMax so the
+// log-transform ablation can swap them and persistence can capture their
+// fitted ranges.
+type scalarCodec interface {
+	Fit(xs []float64)
+	Transform(x float64) float64
+	Inverse(y float64) float64
+	Range() (lo, hi float64, ok bool)
+	RestoreRange(lo, hi float64)
+}
+
+// newScalarCodec selects the Insight 2 log transform unless disabled.
+func newScalarCodec(cfg Config) scalarCodec {
+	if cfg.DisableLogTransform {
+		return &encoding.MinMax{}
+	}
+	return &encoding.LogMinMax{}
+}
+
+func newFlowCodec(cfg Config, embed *portEmbedding, t *trace.FlowTrace) *flowCodec {
+	c := &flowCodec{
+		cfg: cfg, embed: embed,
+		durNorm: newScalarCodec(cfg),
+		pktNorm: newScalarCodec(cfg),
+		bytNorm: newScalarCodec(cfg),
+	}
+	starts := make([]float64, 0, len(t.Records))
+	durs := make([]float64, 0, len(t.Records))
+	pkts := make([]float64, 0, len(t.Records))
+	byts := make([]float64, 0, len(t.Records))
+	for _, r := range t.Records {
+		starts = append(starts, float64(r.Start))
+		durs = append(durs, float64(r.Duration))
+		pkts = append(pkts, float64(r.Packets))
+		byts = append(byts, float64(r.Bytes))
+	}
+	c.timeNorm.Fit(starts)
+	c.durNorm.Fit(durs)
+	c.pktNorm.Fit(pkts)
+	c.bytNorm.Fit(byts)
+	return c
+}
+
+func (c *flowCodec) metaSchema() []nn.FieldSpec {
+	return metaSchemaFor(c.cfg, c.ipEmbed != nil)
+}
+
+// metaSchemaFor builds the shared metadata layout: IPs (bits or embedding),
+// port/protocol embeddings, then flow tags.
+func metaSchemaFor(cfg Config, ipVector bool) []nn.FieldSpec {
+	ipW := 32
+	if ipVector {
+		ipW = cfg.EmbedDim
+	}
+	return []nn.FieldSpec{
+		{Name: "src_ip", Kind: nn.FieldContinuous, Size: ipW},
+		{Name: "dst_ip", Kind: nn.FieldContinuous, Size: ipW},
+		{Name: "src_port_emb", Kind: nn.FieldContinuous, Size: cfg.EmbedDim},
+		{Name: "dst_port_emb", Kind: nn.FieldContinuous, Size: cfg.EmbedDim},
+		{Name: "proto_emb", Kind: nn.FieldContinuous, Size: cfg.EmbedDim},
+		{Name: "tag_start", Kind: nn.FieldContinuous, Size: 1},
+		{Name: "tag_presence", Kind: nn.FieldContinuous, Size: cfg.Chunks},
+	}
+}
+
+func (c *flowCodec) featureSchema() []nn.FieldSpec {
+	return []nn.FieldSpec{
+		{Name: "start", Kind: nn.FieldContinuous, Size: 1},
+		{Name: "duration", Kind: nn.FieldContinuous, Size: 1},
+		{Name: "packets", Kind: nn.FieldContinuous, Size: 1},
+		{Name: "bytes", Kind: nn.FieldContinuous, Size: 1},
+		{Name: "label", Kind: nn.FieldCategorical, Size: int(trace.NumLabels)},
+	}
+}
+
+// encodeMeta packs a tuple plus tags into the metadata vector.
+func (c *flowCodec) encodeMeta(ft trace.FiveTuple, tags trace.FlowTags) []float64 {
+	out := make([]float64, 0, nn.Width(c.metaSchema()))
+	out = appendIP(out, ft.SrcIP, c.ipEmbed)
+	out = appendIP(out, ft.DstIP, c.ipEmbed)
+	out = append(out, c.embed.encodePort(ft.SrcPort)...)
+	out = append(out, c.embed.encodePort(ft.DstPort)...)
+	out = append(out, c.embed.encodeProto(ft.Proto)...)
+	return append(out, encodeTags(c.cfg, tags)...)
+}
+
+// appendIP encodes one address: NetShare's bit encoding, or the Table 2
+// ablation's private embedding when ipEmbed is set.
+func appendIP(out []float64, ip trace.IPv4, ipEmbed *ipEmbedding) []float64 {
+	if ipEmbed != nil {
+		return append(out, ipEmbed.encode(ip)...)
+	}
+	return append(out, encoding.IPBits(ip)...)
+}
+
+// decodeIPs extracts both addresses from the metadata prefix and returns
+// the offset of the first port field.
+func decodeIPs(meta []float64, ipEmbed *ipEmbedding) (src, dst trace.IPv4, off int) {
+	if ipEmbed != nil {
+		d := ipEmbed.dim
+		return ipEmbed.decode(meta[0:d]), ipEmbed.decode(meta[d : 2*d]), 2 * d
+	}
+	return encoding.IPFromBits(meta[0:32]), encoding.IPFromBits(meta[32:64]), 64
+}
+
+// encodeTags emits the Insight 3 flow tags (or zeros under the ablation).
+func encodeTags(cfg Config, tags trace.FlowTags) []float64 {
+	out := make([]float64, 1+cfg.Chunks)
+	if cfg.DisableFlowTags {
+		return out
+	}
+	if tags.StartsHere {
+		out[0] = 1
+	}
+	for i := 0; i < cfg.Chunks && i < len(tags.Presence); i++ {
+		if tags.Presence[i] {
+			out[1+i] = 1
+		}
+	}
+	return out
+}
+
+// decodeMeta inverts encodeMeta (the tags are training aids and are
+// discarded).
+func (c *flowCodec) decodeMeta(meta []float64) trace.FiveTuple {
+	d := c.cfg.EmbedDim
+	var ft trace.FiveTuple
+	var off int
+	ft.SrcIP, ft.DstIP, off = decodeIPs(meta, c.ipEmbed)
+	ft.SrcPort = c.embed.decodePort(meta[off : off+d])
+	ft.DstPort = c.embed.decodePort(meta[off+d : off+2*d])
+	ft.Proto = c.embed.decodeProto(meta[off+2*d : off+3*d])
+	return ft
+}
+
+// encode converts a tagged series into a training sample, truncating the
+// record sequence at MaxLen.
+func (c *flowCodec) encode(t *trace.TaggedFlowSeries) dgan.Sample {
+	s := dgan.Sample{Meta: c.encodeMeta(t.Series.Tuple, t.Tags)}
+	for i, r := range t.Series.Records {
+		if i >= c.cfg.MaxLen {
+			break
+		}
+		f := make([]float64, 0, nn.Width(c.featureSchema()))
+		f = append(f,
+			c.timeNorm.Transform(float64(r.Start)),
+			c.durNorm.Transform(float64(r.Duration)),
+			c.pktNorm.Transform(float64(r.Packets)),
+			c.bytNorm.Transform(float64(r.Bytes)),
+		)
+		label := make([]float64, trace.NumLabels)
+		if int(r.Label) < len(label) {
+			label[r.Label] = 1
+		}
+		s.Features = append(s.Features, append(f, label...))
+	}
+	return s
+}
+
+// decode converts a generated sample back into flow records (post-
+// processing: inverse transforms, integer rounding, label argmax).
+func (c *flowCodec) decode(s dgan.Sample) []trace.FlowRecord {
+	ft := c.decodeMeta(s.Meta)
+	out := make([]trace.FlowRecord, 0, len(s.Features))
+	for _, f := range s.Features {
+		rec := trace.FlowRecord{Tuple: ft}
+		rec.Start = int64(c.timeNorm.Inverse(f[0]))
+		rec.Duration = int64(c.durNorm.Inverse(f[1]))
+		rec.Packets = int64(math.Round(c.pktNorm.Inverse(f[2])))
+		if rec.Packets < 1 {
+			rec.Packets = 1
+		}
+		rec.Bytes = int64(math.Round(c.bytNorm.Inverse(f[3])))
+		if rec.Bytes < 1 {
+			rec.Bytes = 1
+		}
+		for l := 0; l < int(trace.NumLabels); l++ {
+			if f[4+l] == 1 {
+				rec.Label = trace.Label(l)
+				break
+			}
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// FlowSynthesizer is a trained NetShare model for NetFlow traces.
+type FlowSynthesizer struct {
+	cfg    Config
+	codec  *flowCodec
+	models []*dgan.Model
+	stats  Stats
+}
+
+// TrainFlowSynthesizer runs the full NetShare pipeline on a flow trace.
+// public supplies the IP2Vec corpus (and DP pre-training data when
+// configured); the paper uses a CAIDA backbone trace.
+func TrainFlowSynthesizer(t *trace.FlowTrace, public *trace.PacketTrace, cfg Config) (*FlowSynthesizer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(t.Records) == 0 {
+		return nil, fmt.Errorf("core: empty flow trace")
+	}
+	if public == nil || len(public.Packets) == 0 {
+		return nil, fmt.Errorf("core: a public packet trace is required for the port embedding")
+	}
+	embed, err := newPortEmbedding(public, cfg.EmbedDim, cfg.EmbedEpochs, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	codec := newFlowCodec(cfg, embed, t)
+	if cfg.IPVectorEncoding {
+		ipEmbed, err := newIPEmbedding(ip2vec.FlowSentences(t), cfg.EmbedDim, cfg.EmbedEpochs, cfg.Seed+3)
+		if err != nil {
+			return nil, err
+		}
+		codec.ipEmbed = ipEmbed
+	}
+
+	// Insight 1: merge epochs (the input is already merged), split by
+	// five-tuple; Insight 3: chunk by time with flow tags.
+	series := trace.SplitFlowSeries(t)
+	chunks := trace.ChunkFlowSeries(series, cfg.Chunks)
+	chunkSamples := make([][]dgan.Sample, len(chunks))
+	for i, chunk := range chunks {
+		for _, tagged := range chunk {
+			chunkSamples[i] = append(chunkSamples[i], codec.encode(tagged))
+		}
+	}
+	if len(chunkSamples[0]) == 0 {
+		return nil, fmt.Errorf("core: seed chunk is empty; reduce Chunks")
+	}
+
+	// DP pre-training corpus: flow samples derived from the public packet
+	// trace (its flows re-expressed as single NetFlow records).
+	var publicSamples []dgan.Sample
+	if cfg.DP != nil && cfg.DP.Pretrain {
+		publicSamples = publicFlowSamples(codec, public, cfg)
+	}
+
+	ganCfg := ganConfig(cfg, codec.metaSchema(), codec.featureSchema())
+	models, stats, err := trainChunks(cfg, ganCfg, chunkSamples, publicSamples)
+	if err != nil {
+		return nil, err
+	}
+	return &FlowSynthesizer{cfg: cfg, codec: codec, models: models, stats: stats}, nil
+}
+
+// publicFlowSamples converts a public packet trace into flow-style training
+// samples for DP pre-training.
+func publicFlowSamples(codec *flowCodec, public *trace.PacketTrace, cfg Config) []dgan.Sample {
+	flows := trace.SplitFlows(public)
+	samples := make([]dgan.Sample, 0, len(flows))
+	for _, f := range flows {
+		var bytes int64
+		for _, p := range f.Packets {
+			bytes += int64(p.Size)
+		}
+		rec := trace.FlowRecord{
+			Tuple:    f.Tuple,
+			Start:    f.Start(),
+			Duration: f.End() - f.Start(),
+			Packets:  int64(len(f.Packets)),
+			Bytes:    bytes,
+		}
+		tagged := &trace.TaggedFlowSeries{
+			Series: &trace.FlowSeries{Tuple: f.Tuple, Records: []trace.FlowRecord{rec}},
+			Tags:   trace.FlowTags{StartsHere: true, Presence: make([]bool, cfg.Chunks)},
+		}
+		samples = append(samples, codec.encode(tagged))
+	}
+	return samples
+}
+
+func ganConfig(cfg Config, meta, feat []nn.FieldSpec) dgan.Config {
+	g := dgan.DefaultConfig()
+	g.MetaSchema = meta
+	g.FeatureSchema = feat
+	g.MaxLen = cfg.MaxLen
+	g.Hidden = cfg.Hidden
+	g.Batch = cfg.Batch
+	g.NoiseDim = cfg.NoiseDim
+	g.CriticIters = cfg.CriticIters
+	g.GPWeight = cfg.GPWeight
+	g.LR = cfg.LR
+	g.Seed = cfg.Seed
+	return g
+}
+
+// Generate produces approximately n synthetic flow records, drawing flow
+// samples from each chunk model proportionally to the chunk's training
+// share and reassembling by start time (§4.2 post-processing).
+func (s *FlowSynthesizer) Generate(n int) *trace.FlowTrace {
+	out := &trace.FlowTrace{}
+	perChunk := splitCounts(n, s.stats.ChunkSamples)
+	for i, m := range s.models {
+		if perChunk[i] == 0 {
+			continue
+		}
+		// Samples are flows; records per flow vary, so generate flows until
+		// the record budget for this chunk is met.
+		budget := perChunk[i]
+		for budget > 0 {
+			batch := m.Generate(maxInt(budget/2, 1))
+			for _, sample := range batch {
+				recs := s.codec.decode(sample)
+				for _, r := range recs {
+					if budget == 0 {
+						break
+					}
+					out.Records = append(out.Records, r)
+					budget--
+				}
+			}
+		}
+	}
+	out.SortByStart()
+	return out
+}
+
+// Stats returns the training cost report.
+func (s *FlowSynthesizer) Stats() Stats { return s.stats }
+
+// TransformIPs remaps every generated address into the given base/mask
+// range — the optional privacy extension of §5 (IP transformation to a
+// user-specified or default private range).
+func TransformIPs(t *trace.FlowTrace, base trace.IPv4, maskBits int) {
+	mask := trace.IPv4(0)
+	if maskBits > 0 {
+		mask = trace.IPv4(^uint32(0) << (32 - maskBits))
+	}
+	for i := range t.Records {
+		r := &t.Records[i]
+		r.Tuple.SrcIP = base&mask | r.Tuple.SrcIP&^mask
+		r.Tuple.DstIP = base&mask | r.Tuple.DstIP&^mask
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/encoding"
+	"repro/internal/ip2vec"
+	"repro/internal/trace"
+)
+
+// IP vector encoding — the "IP/vector" row of the paper's Table 2. An
+// IP2Vec embedding of addresses gives good fidelity and scalability, but
+// the dictionary must be trained on the *private* trace (public data does
+// not cover private address space), so it is fundamentally incompatible
+// with differential privacy. NetShare therefore uses bit encoding for IPs;
+// this mode exists as the ablation quantifying that design choice.
+
+// ipEmbedding wraps a privately trained IP2Vec model for address
+// encode/decode.
+type ipEmbedding struct {
+	model *ip2vec.Model
+	dim   int
+	norms []encoding.MinMax
+}
+
+// newIPEmbedding trains an address embedding on the private trace's
+// five-tuple sentences.
+func newIPEmbedding(sentences [][]ip2vec.Word, dim, epochs int, seed int64) (*ipEmbedding, error) {
+	cfg := ip2vec.DefaultConfig()
+	cfg.Dim = dim
+	cfg.Epochs = epochs
+	cfg.Seed = seed
+	model, err := ip2vec.Train(sentences, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: train IP embedding: %w", err)
+	}
+	ips := model.Words(ip2vec.KindIP)
+	if len(ips) == 0 {
+		return nil, fmt.Errorf("core: trace produced no IP vocabulary")
+	}
+	e := &ipEmbedding{model: model, dim: dim, norms: make([]encoding.MinMax, dim)}
+	cols := make([][]float64, dim)
+	for _, w := range ips {
+		v, _ := model.Vector(w)
+		for d, x := range v {
+			cols[d] = append(cols[d], x)
+		}
+	}
+	for d := range e.norms {
+		e.norms[d].Fit(cols[d])
+	}
+	return e, nil
+}
+
+// encode returns the normalized embedding of ip; unseen addresses (rare:
+// the embedding is trained on the same trace being encoded) map to the
+// first vocabulary entry.
+func (e *ipEmbedding) encode(ip trace.IPv4) []float64 {
+	w := ip2vec.IPWord(ip)
+	if !e.model.Has(w) {
+		w = e.model.Words(ip2vec.KindIP)[0]
+	}
+	v, _ := e.model.Vector(w)
+	out := make([]float64, e.dim)
+	for d, x := range v {
+		out[d] = e.norms[d].Transform(x)
+	}
+	return out
+}
+
+// decode maps a normalized vector to the nearest vocabulary address.
+func (e *ipEmbedding) decode(v []float64) trace.IPv4 {
+	raw := make([]float64, e.dim)
+	for d, x := range v {
+		raw[d] = e.norms[d].Inverse(x)
+	}
+	w, ok := e.model.Nearest(ip2vec.KindIP, raw)
+	if !ok {
+		return 0
+	}
+	return trace.IPv4(w.Value)
+}

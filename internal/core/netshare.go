@@ -1,0 +1,457 @@
+// Package core implements NetShare (Yin et al., SIGCOMM 2022): an
+// end-to-end synthetic IP header trace generator combining the paper's four
+// insights.
+//
+//	I1 — merge measurement epochs, split by five-tuple, and model the result
+//	     with a time-series GAN (internal/dgan) instead of a tabular GAN;
+//	I2 — bit-encode IP addresses, embed ports and protocols with IP2Vec
+//	     trained on public data, and log-transform large-support numerics;
+//	I3 — slice the flow set into M fixed-time chunks with explicit flow
+//	     tags, train a seed model on chunk 0, and fine-tune the remaining
+//	     chunks in parallel;
+//	I4 — for differential privacy, pre-train on a public trace and
+//	     fine-tune with DP-SGD on the private data.
+//
+// The package exposes two symmetric pipelines: FlowSynthesizer for NetFlow
+// traces and PacketSynthesizer for PCAP traces.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/dgan"
+	"repro/internal/encoding"
+	"repro/internal/ip2vec"
+	"repro/internal/privacy"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a NetShare training run.
+type Config struct {
+	// Chunks is M, the number of fixed-time chunks (Insight 3). Chunks=1
+	// disables chunked fine-tuning and yields the NetShare-V0 variant of
+	// Figure 4.
+	Chunks int
+	// MaxLen caps the measurement sequence length per flow sample; longer
+	// flows are truncated during encoding.
+	MaxLen int
+	// SeedSteps is the number of generator updates for the seed chunk (and
+	// for the single model when Chunks=1).
+	SeedSteps int
+	// FineTuneSteps is the number of generator updates for each fine-tuned
+	// chunk; the scalability win of Insight 3 comes from
+	// FineTuneSteps < SeedSteps.
+	FineTuneSteps int
+	// Parallel fine-tunes non-seed chunks concurrently.
+	Parallel bool
+
+	// EmbedDim is the IP2Vec embedding width for ports and protocols.
+	EmbedDim int
+	// EmbedEpochs is the IP2Vec training epoch count.
+	EmbedEpochs int
+
+	// GAN knobs, passed through to dgan.
+	Hidden      int
+	Batch       int
+	NoiseDim    int
+	CriticIters int
+	GPWeight    float64
+	LR          float64
+
+	// DP, when non-nil, enables differentially private training (Insight 4).
+	DP *DPConfig
+
+	// Ablation switches (off in normal operation; used by the ablation
+	// benchmarks to quantify the design choices of §4.1).
+	//
+	// DisableFlowTags zeroes the flow-tag metadata (the start-here flag and
+	// per-chunk presence vector of Insight 3), so chunk models lose
+	// cross-chunk correlation information.
+	DisableFlowTags bool
+	// DisableLogTransform replaces the log(1+x) transform on
+	// packets/bytes per flow (Insight 2) with raw min–max normalization,
+	// reproducing the baselines' truncated-support failure mode.
+	DisableLogTransform bool
+	// IPVectorEncoding replaces bit-encoded IPs with an IP2Vec embedding
+	// trained on the PRIVATE trace — Table 2's "IP/vector" row. Good
+	// fidelity, but the dictionary depends on the private data, so this
+	// mode is rejected together with DP.
+	IPVectorEncoding bool
+
+	Seed int64
+}
+
+// DPConfig selects the private-training mode of Finding 3.
+type DPConfig struct {
+	NoiseMultiplier float64 // σ of DP-SGD
+	ClipNorm        float64 // per-sample clipping bound
+	Delta           float64
+	// Pretrain, when true, warm-starts from a model trained on the public
+	// trace before DP-SGD fine-tuning ("DP Pretrained"); false is naive
+	// DP-SGD from scratch ("Naive DP").
+	Pretrain bool
+	// PretrainSteps is the number of non-private steps on public data.
+	PretrainSteps int
+}
+
+// DefaultConfig returns a CPU-friendly configuration; the defaults mirror
+// the paper's structure (M=10 chunks on 1M records) scaled to the small
+// synthetic traces used here.
+func DefaultConfig() Config {
+	return Config{
+		Chunks:        5,
+		MaxLen:        6,
+		SeedSteps:     400,
+		FineTuneSteps: 120,
+		Parallel:      true,
+		EmbedDim:      8,
+		EmbedEpochs:   3,
+		Hidden:        32,
+		Batch:         16,
+		NoiseDim:      8,
+		CriticIters:   2,
+		GPWeight:      10,
+		LR:            1e-3,
+		Seed:          1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Chunks <= 0 {
+		return fmt.Errorf("core: Chunks must be positive, got %d", c.Chunks)
+	}
+	if c.MaxLen <= 0 {
+		return fmt.Errorf("core: MaxLen must be positive, got %d", c.MaxLen)
+	}
+	if c.SeedSteps <= 0 || (c.Chunks > 1 && c.FineTuneSteps <= 0) {
+		return fmt.Errorf("core: training steps must be positive")
+	}
+	if c.EmbedDim <= 0 || c.EmbedEpochs <= 0 {
+		return fmt.Errorf("core: embedding parameters must be positive")
+	}
+	if c.IPVectorEncoding && c.DP != nil {
+		return fmt.Errorf("core: IP vector encoding trains its dictionary on private data and cannot be combined with DP (Table 2)")
+	}
+	if c.DP != nil {
+		probe := privacy.DPSGDConfig{
+			ClipNorm:        c.DP.ClipNorm,
+			NoiseMultiplier: c.DP.NoiseMultiplier,
+			SampleRate:      0.5,
+			Delta:           c.DP.Delta,
+		}
+		if err := probe.Validate(); err != nil {
+			return err
+		}
+		if c.DP.Pretrain && c.DP.PretrainSteps <= 0 {
+			return fmt.Errorf("core: Pretrain requires PretrainSteps > 0")
+		}
+	}
+	return nil
+}
+
+// DPSteps returns the number of DP-SGD compositions a training run with
+// this configuration will spend: each of the SeedSteps generator updates
+// performs CriticIters critic rounds, and every round finalizes one noisy
+// lot for the main critic and one for the auxiliary critic.
+func (c Config) DPSteps() int { return c.SeedSteps * c.CriticIters * 2 }
+
+// NoiseForTargetEpsilon calibrates the DP-SGD noise multiplier σ so a run
+// with this configuration on a dataset of n flow samples stays within
+// (targetEps, delta). It inverts the RDP accountant numerically.
+func (c Config) NoiseForTargetEpsilon(targetEps, delta float64, n int) float64 {
+	rate := float64(c.Batch) / float64(maxInt(n, c.Batch))
+	if rate > 1 {
+		rate = 1
+	}
+	return privacy.NoiseForEpsilon(targetEps, rate, c.DPSteps(), delta)
+}
+
+// Stats reports a training run's cost, the quantities behind Figure 4.
+type Stats struct {
+	// CPUTime is the summed training time over all chunks — the paper's
+	// "total CPU hours" axis.
+	CPUTime time.Duration
+	// WallTime is the elapsed time; with Parallel fine-tuning it is lower
+	// than CPUTime.
+	WallTime time.Duration
+	// SeedTime is the seed chunk's share of CPUTime.
+	SeedTime time.Duration
+	// Epsilon is the spent DP budget (0 without DP).
+	Epsilon float64
+	// ChunkSamples records how many flow samples each chunk contained.
+	ChunkSamples []int
+}
+
+// portEmbedding wraps the public-data IP2Vec model plus per-dimension
+// normalizers mapping embedding space into the generator's [0,1] range.
+type portEmbedding struct {
+	model *ip2vec.Model
+	dim   int
+	norms []encoding.MinMax
+	ports []ip2vec.Word // sorted port vocabulary for numeric fallback
+}
+
+// newPortEmbedding trains IP2Vec on a public packet trace (the paper uses a
+// CAIDA backbone trace) and fits the normalizers over the port/protocol
+// vocabulary.
+func newPortEmbedding(public *trace.PacketTrace, dim, epochs int, seed int64) (*portEmbedding, error) {
+	cfg := ip2vec.DefaultConfig()
+	cfg.Dim = dim
+	cfg.Epochs = epochs
+	cfg.Seed = seed
+	model, err := ip2vec.Train(ip2vec.PacketSentences(public), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: train port embedding: %w", err)
+	}
+	pe := &portEmbedding{model: model, dim: dim, ports: model.Words(ip2vec.KindPort)}
+	if len(pe.ports) == 0 {
+		return nil, fmt.Errorf("core: public trace produced no port vocabulary")
+	}
+	pe.norms = make([]encoding.MinMax, dim)
+	var cols = make([][]float64, dim)
+	for _, kind := range []ip2vec.WordKind{ip2vec.KindPort, ip2vec.KindProto} {
+		for _, w := range model.Words(kind) {
+			v, _ := model.Vector(w)
+			for d, x := range v {
+				cols[d] = append(cols[d], x)
+			}
+		}
+	}
+	for d := range pe.norms {
+		pe.norms[d].Fit(cols[d])
+	}
+	return pe, nil
+}
+
+// encodePort returns the normalized embedding of p, substituting the
+// numerically nearest in-vocabulary port when p is unseen (public backbone
+// data covers nearly all ports, so this is rare).
+func (pe *portEmbedding) encodePort(p uint16) []float64 {
+	w := ip2vec.PortWord(p)
+	if !pe.model.Has(w) {
+		w = pe.nearestPortByValue(p)
+	}
+	v, _ := pe.model.Vector(w)
+	out := make([]float64, pe.dim)
+	for d, x := range v {
+		out[d] = pe.norms[d].Transform(x)
+	}
+	return out
+}
+
+func (pe *portEmbedding) nearestPortByValue(p uint16) ip2vec.Word {
+	best := pe.ports[0]
+	bestD := diffU32(best.Value, uint32(p))
+	for _, w := range pe.ports[1:] {
+		if d := diffU32(w.Value, uint32(p)); d < bestD {
+			best, bestD = w, d
+		}
+	}
+	return best
+}
+
+func diffU32(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// decodePort maps a normalized embedding vector back to a concrete port by
+// nearest-neighbour search over the public dictionary.
+func (pe *portEmbedding) decodePort(v []float64) uint16 {
+	raw := make([]float64, pe.dim)
+	for d, x := range v {
+		raw[d] = pe.norms[d].Inverse(x)
+	}
+	w, ok := pe.model.Nearest(ip2vec.KindPort, raw)
+	if !ok {
+		return 0
+	}
+	return uint16(w.Value)
+}
+
+// encodeProto returns the normalized embedding of a protocol.
+func (pe *portEmbedding) encodeProto(p trace.Protocol) []float64 {
+	w := ip2vec.ProtoWord(p)
+	if !pe.model.Has(w) {
+		w = ip2vec.ProtoWord(trace.TCP)
+	}
+	v, _ := pe.model.Vector(w)
+	out := make([]float64, pe.dim)
+	for d, x := range v {
+		out[d] = pe.norms[d].Transform(x)
+	}
+	return out
+}
+
+// decodeProto maps a normalized embedding back to a protocol.
+func (pe *portEmbedding) decodeProto(v []float64) trace.Protocol {
+	raw := make([]float64, pe.dim)
+	for d, x := range v {
+		raw[d] = pe.norms[d].Inverse(x)
+	}
+	w, ok := pe.model.Nearest(ip2vec.KindProto, raw)
+	if !ok {
+		return trace.TCP
+	}
+	return trace.Protocol(w.Value)
+}
+
+// trainChunks trains the per-chunk models over encoded sample sets
+// following Insight 3: chunk 0 is the seed; the rest warm-start from it and
+// fine-tune (in parallel when requested). It returns the models and stats.
+func trainChunks(cfg Config, ganCfg dgan.Config, chunkSamples [][]dgan.Sample, public []dgan.Sample) ([]*dgan.Model, Stats, error) {
+	var st Stats
+	st.ChunkSamples = make([]int, len(chunkSamples))
+	for i, s := range chunkSamples {
+		st.ChunkSamples[i] = len(s)
+	}
+	wallStart := time.Now()
+
+	models := make([]*dgan.Model, len(chunkSamples))
+	seedCfg := ganCfg
+	seedCfg.Seed = cfg.Seed
+	seed, err := dgan.New(seedCfg)
+	if err != nil {
+		return nil, st, err
+	}
+
+	var dp *privacy.DPSGD
+	if cfg.DP != nil {
+		if cfg.DP.Pretrain {
+			if len(public) == 0 {
+				return nil, st, fmt.Errorf("core: DP pretraining requires public samples")
+			}
+			t0 := time.Now()
+			if _, err := seed.Train(public, cfg.DP.PretrainSteps); err != nil {
+				return nil, st, err
+			}
+			st.CPUTime += time.Since(t0)
+		}
+		n := len(chunkSamples[0])
+		rate := float64(ganCfg.Batch) / float64(maxInt(n, ganCfg.Batch))
+		if rate > 1 {
+			rate = 1
+		}
+		dp, err = privacy.NewDPSGD(privacy.DPSGDConfig{
+			ClipNorm:        cfg.DP.ClipNorm,
+			NoiseMultiplier: cfg.DP.NoiseMultiplier,
+			SampleRate:      rate,
+			Delta:           cfg.DP.Delta,
+		}, rand.New(rand.NewSource(cfg.Seed+101)))
+		if err != nil {
+			return nil, st, err
+		}
+	}
+
+	// Seed chunk.
+	t0 := time.Now()
+	if dp != nil {
+		_, err = seed.TrainDP(chunkSamples[0], cfg.SeedSteps, dp)
+	} else {
+		_, err = seed.Train(chunkSamples[0], cfg.SeedSteps)
+	}
+	if err != nil {
+		return nil, st, err
+	}
+	st.SeedTime = time.Since(t0)
+	st.CPUTime += st.SeedTime
+	models[0] = seed
+
+	// Fine-tune remaining chunks, warm-started from the seed model.
+	type result struct {
+		idx int
+		dur time.Duration
+		err error
+	}
+	fineTune := func(idx int) result {
+		mCfg := ganCfg
+		mCfg.Seed = cfg.Seed + int64(idx)*31
+		m, err := dgan.New(mCfg)
+		if err != nil {
+			return result{idx: idx, err: err}
+		}
+		if err := m.Warmstart(seed); err != nil {
+			return result{idx: idx, err: err}
+		}
+		t := time.Now()
+		if len(chunkSamples[idx]) > 0 {
+			if _, err := m.Train(chunkSamples[idx], cfg.FineTuneSteps); err != nil {
+				return result{idx: idx, err: err}
+			}
+		}
+		models[idx] = m
+		return result{idx: idx, dur: time.Since(t)}
+	}
+
+	if cfg.Parallel {
+		var wg sync.WaitGroup
+		results := make([]result, len(chunkSamples))
+		for i := 1; i < len(chunkSamples); i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i] = fineTune(i)
+			}(i)
+		}
+		wg.Wait()
+		for i := 1; i < len(chunkSamples); i++ {
+			if results[i].err != nil {
+				return nil, st, results[i].err
+			}
+			st.CPUTime += results[i].dur
+		}
+	} else {
+		for i := 1; i < len(chunkSamples); i++ {
+			res := fineTune(i)
+			if res.err != nil {
+				return nil, st, res.err
+			}
+			st.CPUTime += res.dur
+		}
+	}
+
+	if dp != nil {
+		st.Epsilon = dp.Epsilon()
+	}
+	st.WallTime = time.Since(wallStart)
+	return models, st, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// splitCounts apportions n generated samples across chunks proportionally
+// to their real sample counts (empty chunks get none).
+func splitCounts(n int, chunkSizes []int) []int {
+	var total int
+	for _, c := range chunkSizes {
+		total += c
+	}
+	out := make([]int, len(chunkSizes))
+	if total == 0 {
+		return out
+	}
+	assigned := 0
+	for i, c := range chunkSizes {
+		out[i] = n * c / total
+		assigned += out[i]
+	}
+	// Distribute the remainder to the largest chunks first.
+	for i := 0; assigned < n; i = (i + 1) % len(chunkSizes) {
+		if chunkSizes[i] > 0 {
+			out[i]++
+			assigned++
+		}
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dgan"
+	"repro/internal/encoding"
+	"repro/internal/ip2vec"
+	"repro/internal/nn"
+	"repro/internal/trace"
+)
+
+// packetCodec converts between trace.PacketFlow and dgan samples: the
+// metadata is the encoded five-tuple plus flow tags, the measurement
+// sequence is one element per packet (timestamp, size, TTL) per §4.1.
+type packetCodec struct {
+	cfg     Config
+	embed   *portEmbedding
+	ipEmbed *ipEmbedding // non-nil only under the IPVectorEncoding ablation
+
+	timeNorm encoding.MinMax
+	sizeNorm scalarCodec
+}
+
+func newPacketCodec(cfg Config, embed *portEmbedding, t *trace.PacketTrace) *packetCodec {
+	c := &packetCodec{cfg: cfg, embed: embed, sizeNorm: newScalarCodec(cfg)}
+	times := make([]float64, 0, len(t.Packets))
+	sizes := make([]float64, 0, len(t.Packets))
+	for _, p := range t.Packets {
+		times = append(times, float64(p.Time))
+		sizes = append(sizes, float64(p.Size))
+	}
+	c.timeNorm.Fit(times)
+	c.sizeNorm.Fit(sizes)
+	return c
+}
+
+func (c *packetCodec) metaSchema() []nn.FieldSpec {
+	return metaSchemaFor(c.cfg, c.ipEmbed != nil)
+}
+
+func (c *packetCodec) featureSchema() []nn.FieldSpec {
+	return []nn.FieldSpec{
+		{Name: "time", Kind: nn.FieldContinuous, Size: 1},
+		{Name: "size", Kind: nn.FieldContinuous, Size: 1},
+		{Name: "ttl", Kind: nn.FieldContinuous, Size: 1},
+	}
+}
+
+func (c *packetCodec) encodeMeta(ft trace.FiveTuple, tags trace.FlowTags) []float64 {
+	out := make([]float64, 0, nn.Width(c.metaSchema()))
+	out = appendIP(out, ft.SrcIP, c.ipEmbed)
+	out = appendIP(out, ft.DstIP, c.ipEmbed)
+	out = append(out, c.embed.encodePort(ft.SrcPort)...)
+	out = append(out, c.embed.encodePort(ft.DstPort)...)
+	out = append(out, c.embed.encodeProto(ft.Proto)...)
+	return append(out, encodeTags(c.cfg, tags)...)
+}
+
+func (c *packetCodec) decodeMeta(meta []float64) trace.FiveTuple {
+	d := c.cfg.EmbedDim
+	var ft trace.FiveTuple
+	var off int
+	ft.SrcIP, ft.DstIP, off = decodeIPs(meta, c.ipEmbed)
+	ft.SrcPort = c.embed.decodePort(meta[off : off+d])
+	ft.DstPort = c.embed.decodePort(meta[off+d : off+2*d])
+	ft.Proto = c.embed.decodeProto(meta[off+2*d : off+3*d])
+	return ft
+}
+
+func (c *packetCodec) encode(t *trace.TaggedPacketFlow) dgan.Sample {
+	s := dgan.Sample{Meta: c.encodeMeta(t.Flow.Tuple, t.Tags)}
+	for i, p := range t.Flow.Packets {
+		if i >= c.cfg.MaxLen {
+			break
+		}
+		s.Features = append(s.Features, []float64{
+			c.timeNorm.Transform(float64(p.Time)),
+			c.sizeNorm.Transform(float64(p.Size)),
+			float64(p.TTL) / 255,
+		})
+	}
+	return s
+}
+
+// decode converts a generated sample back into packets. Post-processing
+// (§4.2): sizes are clamped to the protocol minimum so derived headers are
+// valid, and the checksum-bearing header can be produced via
+// trace.IPv4Header.
+func (c *packetCodec) decode(s dgan.Sample) *trace.PacketFlow {
+	ft := c.decodeMeta(s.Meta)
+	f := &trace.PacketFlow{Tuple: ft}
+	for _, feat := range s.Features {
+		size := int(math.Round(c.sizeNorm.Inverse(feat[1])))
+		if min := trace.MinPacketSize(ft.Proto); size < min {
+			size = min
+		}
+		if size > trace.MaxPacket {
+			size = trace.MaxPacket
+		}
+		f.Packets = append(f.Packets, trace.Packet{
+			Time:  int64(c.timeNorm.Inverse(feat[0])),
+			Tuple: ft,
+			Size:  size,
+			TTL:   uint8(math.Round(feat[2] * 255)),
+			Flags: 2,
+		})
+	}
+	// Packets within a flow must be time ordered.
+	for i := 1; i < len(f.Packets); i++ {
+		if f.Packets[i].Time < f.Packets[i-1].Time {
+			f.Packets[i].Time = f.Packets[i-1].Time
+		}
+	}
+	return f
+}
+
+// PacketSynthesizer is a trained NetShare model for PCAP traces.
+type PacketSynthesizer struct {
+	cfg    Config
+	codec  *packetCodec
+	models []*dgan.Model
+	stats  Stats
+}
+
+// TrainPacketSynthesizer runs the full NetShare pipeline on a packet trace.
+// public supplies the IP2Vec corpus and optional DP pre-training data.
+func TrainPacketSynthesizer(t *trace.PacketTrace, public *trace.PacketTrace, cfg Config) (*PacketSynthesizer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(t.Packets) == 0 {
+		return nil, fmt.Errorf("core: empty packet trace")
+	}
+	if public == nil || len(public.Packets) == 0 {
+		return nil, fmt.Errorf("core: a public packet trace is required for the port embedding")
+	}
+	embed, err := newPortEmbedding(public, cfg.EmbedDim, cfg.EmbedEpochs, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	codec := newPacketCodec(cfg, embed, t)
+	if cfg.IPVectorEncoding {
+		ipEmbed, err := newIPEmbedding(ip2vec.PacketSentences(t), cfg.EmbedDim, cfg.EmbedEpochs, cfg.Seed+3)
+		if err != nil {
+			return nil, err
+		}
+		codec.ipEmbed = ipEmbed
+	}
+
+	flows := trace.SplitFlows(t)
+	chunks := trace.ChunkPacketFlows(flows, cfg.Chunks)
+	chunkSamples := make([][]dgan.Sample, len(chunks))
+	for i, chunk := range chunks {
+		for _, tagged := range chunk {
+			chunkSamples[i] = append(chunkSamples[i], codec.encode(tagged))
+		}
+	}
+	if len(chunkSamples[0]) == 0 {
+		return nil, fmt.Errorf("core: seed chunk is empty; reduce Chunks")
+	}
+
+	var publicSamples []dgan.Sample
+	if cfg.DP != nil && cfg.DP.Pretrain {
+		publicSamples = publicPacketSamples(codec, public, cfg)
+	}
+
+	ganCfg := ganConfig(cfg, codec.metaSchema(), codec.featureSchema())
+	models, stats, err := trainChunks(cfg, ganCfg, chunkSamples, publicSamples)
+	if err != nil {
+		return nil, err
+	}
+	return &PacketSynthesizer{cfg: cfg, codec: codec, models: models, stats: stats}, nil
+}
+
+func publicPacketSamples(codec *packetCodec, public *trace.PacketTrace, cfg Config) []dgan.Sample {
+	flows := trace.SplitFlows(public)
+	samples := make([]dgan.Sample, 0, len(flows))
+	for _, f := range flows {
+		tagged := &trace.TaggedPacketFlow{
+			Flow: f,
+			Tags: trace.FlowTags{StartsHere: true, Presence: make([]bool, cfg.Chunks)},
+		}
+		samples = append(samples, codec.encode(tagged))
+	}
+	return samples
+}
+
+// Generate produces approximately n synthetic packets assembled into a
+// time-sorted trace.
+func (s *PacketSynthesizer) Generate(n int) *trace.PacketTrace {
+	var flows []*trace.PacketFlow
+	perChunk := splitCounts(n, s.stats.ChunkSamples)
+	for i, m := range s.models {
+		if perChunk[i] == 0 {
+			continue
+		}
+		budget := perChunk[i]
+		for budget > 0 {
+			batch := m.Generate(maxInt(budget/2, 1))
+			for _, sample := range batch {
+				f := s.codec.decode(sample)
+				if len(f.Packets) > budget {
+					f.Packets = f.Packets[:budget]
+				}
+				budget -= len(f.Packets)
+				flows = append(flows, f)
+				if budget == 0 {
+					break
+				}
+			}
+		}
+	}
+	return trace.AssemblePackets(flows)
+}
+
+// Stats returns the training cost report.
+func (s *PacketSynthesizer) Stats() Stats { return s.stats }
+
+// Headers materializes valid IPv4 headers (with checksums) for every
+// packet of a generated trace — the derived-field step of §4.2.
+func Headers(t *trace.PacketTrace) [][]byte {
+	out := make([][]byte, len(t.Packets))
+	for i, p := range t.Packets {
+		h := trace.IPv4Header{
+			TotalLength: uint16(p.Size),
+			ID:          uint16(i),
+			Flags:       p.Flags,
+			TTL:         p.TTL,
+			Protocol:    p.Tuple.Proto,
+			SrcIP:       p.Tuple.SrcIP,
+			DstIP:       p.Tuple.DstIP,
+		}
+		out[i] = h.Marshal()
+	}
+	return out
+}

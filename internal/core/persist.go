@@ -1,0 +1,224 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/dgan"
+	"repro/internal/encoding"
+	"repro/internal/ip2vec"
+)
+
+// Model persistence: a trained synthesizer (chunk models, port embedding,
+// and fitted normalizers) can be saved once and reloaded for repeated
+// generation, so data holders train once and serve many requests.
+// Optimizer state is not persisted; a loaded model generates and can be
+// fine-tuned further from its weights.
+
+// rangeWire captures one fitted normalizer's bounds.
+type rangeWire struct{ Lo, Hi float64 }
+
+func captureRange(c interface {
+	Range() (float64, float64, bool)
+}) (rangeWire, error) {
+	lo, hi, ok := c.Range()
+	if !ok {
+		return rangeWire{}, fmt.Errorf("core: normalizer not fitted")
+	}
+	return rangeWire{Lo: lo, Hi: hi}, nil
+}
+
+// embedWire captures the port embedding.
+type embedWire struct {
+	Model []byte
+	Dim   int
+	Norms []rangeWire
+}
+
+func captureEmbed(pe *portEmbedding) (embedWire, error) {
+	enc, err := pe.model.Encode()
+	if err != nil {
+		return embedWire{}, err
+	}
+	w := embedWire{Model: enc, Dim: pe.dim}
+	for i := range pe.norms {
+		r, err := captureRange(&pe.norms[i])
+		if err != nil {
+			return embedWire{}, err
+		}
+		w.Norms = append(w.Norms, r)
+	}
+	return w, nil
+}
+
+func restoreEmbed(w embedWire) (*portEmbedding, error) {
+	model, err := ip2vec.Decode(w.Model)
+	if err != nil {
+		return nil, err
+	}
+	if len(w.Norms) != w.Dim {
+		return nil, fmt.Errorf("core: embedding has %d norms, want %d", len(w.Norms), w.Dim)
+	}
+	pe := &portEmbedding{model: model, dim: w.Dim, ports: model.Words(ip2vec.KindPort)}
+	if len(pe.ports) == 0 {
+		return nil, fmt.Errorf("core: persisted embedding has no port vocabulary")
+	}
+	pe.norms = make([]encoding.MinMax, w.Dim)
+	for i, r := range w.Norms {
+		pe.norms[i].RestoreRange(r.Lo, r.Hi)
+	}
+	return pe, nil
+}
+
+// flowSynWire is the gob wire form of a FlowSynthesizer.
+type flowSynWire struct {
+	Config Config
+	Stats  Stats
+	Embed  embedWire
+	Time   rangeWire
+	Dur    rangeWire
+	Pkt    rangeWire
+	Byt    rangeWire
+	Models [][]byte
+}
+
+// Save serializes the trained synthesizer to w. The IPVectorEncoding
+// ablation mode is not persistable (its private dictionary exists only to
+// quantify Table 2's tradeoff).
+func (s *FlowSynthesizer) Save(w io.Writer) error {
+	if s.codec.ipEmbed != nil {
+		return fmt.Errorf("core: IPVectorEncoding models are ablation-only and cannot be persisted")
+	}
+	wire := flowSynWire{Config: s.cfg, Stats: s.stats}
+	var err error
+	if wire.Embed, err = captureEmbed(s.codec.embed); err != nil {
+		return err
+	}
+	if wire.Time, err = captureRange(&s.codec.timeNorm); err != nil {
+		return err
+	}
+	if wire.Dur, err = captureRange(s.codec.durNorm); err != nil {
+		return err
+	}
+	if wire.Pkt, err = captureRange(s.codec.pktNorm); err != nil {
+		return err
+	}
+	if wire.Byt, err = captureRange(s.codec.bytNorm); err != nil {
+		return err
+	}
+	for _, m := range s.models {
+		enc, err := m.Encode()
+		if err != nil {
+			return err
+		}
+		wire.Models = append(wire.Models, enc)
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("core: save flow synthesizer: %w", err)
+	}
+	return nil
+}
+
+// LoadFlowSynthesizer deserializes a synthesizer produced by Save.
+func LoadFlowSynthesizer(r io.Reader) (*FlowSynthesizer, error) {
+	var wire flowSynWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: load flow synthesizer: %w", err)
+	}
+	if len(wire.Models) == 0 {
+		return nil, fmt.Errorf("core: persisted synthesizer has no models")
+	}
+	embed, err := restoreEmbed(wire.Embed)
+	if err != nil {
+		return nil, err
+	}
+	codec := &flowCodec{
+		cfg: wire.Config, embed: embed,
+		durNorm: newScalarCodec(wire.Config),
+		pktNorm: newScalarCodec(wire.Config),
+		bytNorm: newScalarCodec(wire.Config),
+	}
+	codec.timeNorm.RestoreRange(wire.Time.Lo, wire.Time.Hi)
+	codec.durNorm.RestoreRange(wire.Dur.Lo, wire.Dur.Hi)
+	codec.pktNorm.RestoreRange(wire.Pkt.Lo, wire.Pkt.Hi)
+	codec.bytNorm.RestoreRange(wire.Byt.Lo, wire.Byt.Hi)
+
+	s := &FlowSynthesizer{cfg: wire.Config, codec: codec, stats: wire.Stats}
+	for _, enc := range wire.Models {
+		m, err := dgan.DecodeModel(enc)
+		if err != nil {
+			return nil, err
+		}
+		s.models = append(s.models, m)
+	}
+	return s, nil
+}
+
+// packetSynWire is the gob wire form of a PacketSynthesizer.
+type packetSynWire struct {
+	Config Config
+	Stats  Stats
+	Embed  embedWire
+	Time   rangeWire
+	Size   rangeWire
+	Models [][]byte
+}
+
+// Save serializes the trained synthesizer to w. The IPVectorEncoding
+// ablation mode is not persistable.
+func (s *PacketSynthesizer) Save(w io.Writer) error {
+	if s.codec.ipEmbed != nil {
+		return fmt.Errorf("core: IPVectorEncoding models are ablation-only and cannot be persisted")
+	}
+	wire := packetSynWire{Config: s.cfg, Stats: s.stats}
+	var err error
+	if wire.Embed, err = captureEmbed(s.codec.embed); err != nil {
+		return err
+	}
+	if wire.Time, err = captureRange(&s.codec.timeNorm); err != nil {
+		return err
+	}
+	if wire.Size, err = captureRange(s.codec.sizeNorm); err != nil {
+		return err
+	}
+	for _, m := range s.models {
+		enc, err := m.Encode()
+		if err != nil {
+			return err
+		}
+		wire.Models = append(wire.Models, enc)
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("core: save packet synthesizer: %w", err)
+	}
+	return nil
+}
+
+// LoadPacketSynthesizer deserializes a synthesizer produced by Save.
+func LoadPacketSynthesizer(r io.Reader) (*PacketSynthesizer, error) {
+	var wire packetSynWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: load packet synthesizer: %w", err)
+	}
+	if len(wire.Models) == 0 {
+		return nil, fmt.Errorf("core: persisted synthesizer has no models")
+	}
+	embed, err := restoreEmbed(wire.Embed)
+	if err != nil {
+		return nil, err
+	}
+	codec := &packetCodec{cfg: wire.Config, embed: embed, sizeNorm: newScalarCodec(wire.Config)}
+	codec.timeNorm.RestoreRange(wire.Time.Lo, wire.Time.Hi)
+	codec.sizeNorm.RestoreRange(wire.Size.Lo, wire.Size.Hi)
+
+	s := &PacketSynthesizer{cfg: wire.Config, codec: codec, stats: wire.Stats}
+	for _, enc := range wire.Models {
+		m, err := dgan.DecodeModel(enc)
+		if err != nil {
+			return nil, err
+		}
+		s.models = append(s.models, m)
+	}
+	return s, nil
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func trainTinyFlow(t *testing.T) (*FlowSynthesizer, *trace.FlowTrace) {
+	t.Helper()
+	real := datasets.UGR16(200, 30)
+	public := datasets.CAIDAChicago(800, 31)
+	cfg := testConfig()
+	cfg.Chunks = 2
+	cfg.SeedSteps = 50
+	cfg.FineTuneSteps = 15
+	syn, err := TrainFlowSynthesizer(real, public, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return syn, real
+}
+
+func TestFlowSynthesizerSaveLoad(t *testing.T) {
+	syn, real := trainTinyFlow(t)
+	var buf bytes.Buffer
+	if err := syn.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFlowSynthesizer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := loaded.Generate(150)
+	if len(gen.Records) != 150 {
+		t.Fatalf("loaded model generated %d records", len(gen.Records))
+	}
+	for i, r := range gen.Records {
+		if r.Packets < 1 || r.Bytes < 1 || r.Duration < 0 {
+			t.Fatalf("record %d invalid: %+v", i, r)
+		}
+	}
+	// Stats survive the round trip.
+	if loaded.Stats().CPUTime != syn.Stats().CPUTime {
+		t.Fatal("stats lost in round trip")
+	}
+	// Decoded values must still map into the real trace's ranges: the
+	// normalizers were restored, so times stay within the fitted span.
+	maxStart := real.Duration()
+	for _, r := range gen.Records {
+		if r.Start < 0 || r.Start > maxStart+1 {
+			t.Fatalf("start %d outside fitted range [0,%d]", r.Start, maxStart)
+		}
+	}
+}
+
+func TestFlowSaveLoadGeneratesSameDistributionFamily(t *testing.T) {
+	syn, real := trainTinyFlow(t)
+	var buf bytes.Buffer
+	if err := syn.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFlowSynthesizer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same weights, same architecture: the two generators' output
+	// distributions should be close (not identical — fresh RNG streams).
+	a := syn.Generate(300)
+	b := loaded.Generate(300)
+	repA := metrics.CompareFlows(real, a)
+	repB := metrics.CompareFlows(real, b)
+	if diff := repA.AvgJSD() - repB.AvgJSD(); diff > 0.15 || diff < -0.15 {
+		t.Fatalf("loaded model diverges: avg JSD %v vs %v", repA.AvgJSD(), repB.AvgJSD())
+	}
+}
+
+func TestPacketSynthesizerSaveLoad(t *testing.T) {
+	real := datasets.CAIDA(400, 32)
+	public := datasets.CAIDAChicago(800, 33)
+	cfg := testConfig()
+	cfg.Chunks = 2
+	cfg.SeedSteps = 50
+	cfg.FineTuneSteps = 15
+	syn, err := TrainPacketSynthesizer(real, public, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := syn.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPacketSynthesizer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := loaded.Generate(120)
+	if len(gen.Packets) != 120 {
+		t.Fatalf("loaded model generated %d packets", len(gen.Packets))
+	}
+	for i, p := range gen.Packets {
+		if p.Size < trace.MinPacketSize(p.Tuple.Proto) {
+			t.Fatalf("packet %d undersized after load", i)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadFlowSynthesizer(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage must fail")
+	}
+	if _, err := LoadPacketSynthesizer(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input must fail")
+	}
+}

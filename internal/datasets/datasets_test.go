@@ -1,0 +1,261 @@
+package datasets
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestUGR16Basics(t *testing.T) {
+	tr := UGR16(2000, 1)
+	if len(tr.Records) != 2000 {
+		t.Fatalf("got %d records", len(tr.Records))
+	}
+	for i, r := range tr.Records {
+		if r.Packets < 1 {
+			t.Fatalf("record %d has %d packets", i, r.Packets)
+		}
+		if r.Bytes < r.Packets*28 {
+			t.Fatalf("record %d: %d bytes for %d packets is below UDP minimum", i, r.Bytes, r.Packets)
+		}
+		if r.Duration < 0 {
+			t.Fatalf("record %d has negative duration", i)
+		}
+		if i > 0 && r.Start < tr.Records[i-1].Start {
+			t.Fatal("records must be sorted by start")
+		}
+	}
+}
+
+func TestUGR16Deterministic(t *testing.T) {
+	a := UGR16(200, 42)
+	b := UGR16(200, 42)
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatal("same seed must give identical traces")
+		}
+	}
+	c := UGR16(200, 43)
+	same := true
+	for i := range a.Records {
+		if a.Records[i] != c.Records[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestUGR16MultiRecordTuples(t *testing.T) {
+	tr := UGR16(5000, 2)
+	counts := trace.RecordsPerTuple(tr)
+	max := counts[len(counts)-1]
+	if max < 2 {
+		t.Fatal("long-lived flows must produce multiple records per tuple (Fig. 1a)")
+	}
+	// Majority of tuples should still be single-record.
+	singles := 0
+	for _, c := range counts {
+		if c == 1 {
+			singles++
+		}
+	}
+	if float64(singles)/float64(len(counts)) < 0.5 {
+		t.Fatalf("expected mostly single-record tuples, got %d/%d", singles, len(counts))
+	}
+}
+
+func TestUGR16HeavyTail(t *testing.T) {
+	tr := UGR16(5000, 3)
+	var small, large int
+	for _, r := range tr.Records {
+		if r.Packets <= 3 {
+			small++
+		}
+		if r.Packets >= 100 {
+			large++
+		}
+	}
+	if small == 0 || large == 0 {
+		t.Fatalf("packets-per-flow must span mice and elephants: small=%d large=%d", small, large)
+	}
+}
+
+func TestTONLabelMix(t *testing.T) {
+	tr := TON(8000, 4)
+	counts := make(map[trace.Label]int)
+	for _, r := range tr.Records {
+		counts[r.Label]++
+	}
+	attackFrac := 1 - float64(counts[trace.Benign])/float64(len(tr.Records))
+	if attackFrac < 0.25 || attackFrac > 0.45 {
+		t.Fatalf("TON attack fraction = %v, want ~0.35", attackFrac)
+	}
+	// Nine attack types, each present.
+	attackTypes := 0
+	for l, c := range counts {
+		if l != trace.Benign && c > 0 {
+			attackTypes++
+		}
+	}
+	if attackTypes != 9 {
+		t.Fatalf("TON should contain 9 attack types, got %d", attackTypes)
+	}
+}
+
+func TestCIDDSAttackTypes(t *testing.T) {
+	tr := CIDDS(4000, 5)
+	counts := make(map[trace.Label]int)
+	for _, r := range tr.Records {
+		counts[r.Label]++
+	}
+	for _, l := range []trace.Label{trace.DoS, trace.BruteForce, trace.PortScan} {
+		if counts[l] == 0 {
+			t.Fatalf("CIDDS missing attack type %v", l)
+		}
+	}
+}
+
+func TestAttackSignatures(t *testing.T) {
+	tr := CIDDS(8000, 6)
+	var dosPkts, scanPkts, benignPkts float64
+	var dosN, scanN, benignN int
+	for _, r := range tr.Records {
+		switch r.Label {
+		case trace.DoS:
+			dosPkts += float64(r.Packets)
+			dosN++
+		case trace.PortScan:
+			scanPkts += float64(r.Packets)
+			scanN++
+		case trace.Benign:
+			benignPkts += float64(r.Packets)
+			benignN++
+		}
+	}
+	if dosN == 0 || scanN == 0 || benignN == 0 {
+		t.Fatal("need all three classes")
+	}
+	if dosPkts/float64(dosN) <= benignPkts/float64(benignN) {
+		t.Fatal("DoS flows should carry more packets than benign on average")
+	}
+	if scanPkts/float64(scanN) >= benignPkts/float64(benignN) {
+		t.Fatal("port scans should carry fewer packets than benign on average")
+	}
+}
+
+func TestCAIDAPacketTrace(t *testing.T) {
+	tr := CAIDA(3000, 7)
+	if len(tr.Packets) != 3000 {
+		t.Fatalf("got %d packets", len(tr.Packets))
+	}
+	for i, p := range tr.Packets {
+		if p.Size < trace.MinPacketSize(p.Tuple.Proto) {
+			t.Fatalf("packet %d size %d below protocol minimum", i, p.Size)
+		}
+		if p.Size > 1501 {
+			t.Fatalf("packet %d size %d above MTU", i, p.Size)
+		}
+		if i > 0 && p.Time < tr.Packets[i-1].Time {
+			t.Fatal("packets must be time sorted")
+		}
+	}
+}
+
+func TestCAIDAMultiPacketFlows(t *testing.T) {
+	tr := CAIDA(5000, 8)
+	flows := trace.SplitFlows(tr)
+	multi := 0
+	for _, f := range flows {
+		if len(f.Packets) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("backbone trace must contain multi-packet flows (Fig. 1b)")
+	}
+}
+
+func TestPortMixTopPorts(t *testing.T) {
+	tr := TON(6000, 9)
+	counts := make(map[uint16]int)
+	for _, r := range tr.Records {
+		counts[r.Tuple.DstPort]++
+	}
+	// The five service ports of Fig. 3 must all be present and port 53 must
+	// be the most frequent of them for TON's mix.
+	for _, p := range trace.ServicePorts {
+		if counts[p] == 0 {
+			t.Fatalf("service port %d missing", p)
+		}
+	}
+	if counts[53] < counts[21] {
+		t.Fatal("port 53 should dominate port 21 in TON")
+	}
+}
+
+func TestPortProtocolConsistency(t *testing.T) {
+	tr := UGR16(3000, 10)
+	for _, r := range tr.Records {
+		if want := trace.PortProtocol(r.Tuple.DstPort); want != 0 && r.Tuple.Proto != want {
+			t.Fatalf("port %d should imply %v, got %v", r.Tuple.DstPort, want, r.Tuple.Proto)
+		}
+	}
+}
+
+func TestByNameLookups(t *testing.T) {
+	for _, name := range FlowDatasetNames {
+		if FlowByName(name, 50, 1) == nil {
+			t.Fatalf("FlowByName(%q) = nil", name)
+		}
+	}
+	for _, name := range PacketDatasetNames {
+		if PacketByName(name, 50, 1) == nil {
+			t.Fatalf("PacketByName(%q) = nil", name)
+		}
+	}
+	if PacketByName("caida-chicago", 50, 1) == nil {
+		t.Fatal("public Chicago trace must be available")
+	}
+	if FlowByName("nope", 50, 1) != nil || PacketByName("nope", 50, 1) != nil {
+		t.Fatal("unknown names must return nil")
+	}
+}
+
+func TestChicagoDiffersFromNY(t *testing.T) {
+	ny := CAIDA(500, 11)
+	chi := CAIDAChicago(500, 11)
+	// Address pools must differ (different collectors).
+	if ny.Packets[0].Tuple.SrcIP.Octets()[0] == chi.Packets[0].Tuple.SrcIP.Octets()[0] {
+		t.Fatal("NY and Chicago collectors must use different address pools")
+	}
+}
+
+func TestDCIsDataCenterLike(t *testing.T) {
+	tr := DC(4000, 12)
+	tcp := 0
+	for _, p := range tr.Packets {
+		if p.Tuple.Proto == trace.TCP {
+			tcp++
+		}
+	}
+	if frac := float64(tcp) / float64(len(tr.Packets)); frac < 0.8 {
+		t.Fatalf("DC TCP share = %v, want > 0.8", frac)
+	}
+}
+
+func TestCAScanHeavy(t *testing.T) {
+	tr := CA(5000, 13)
+	flows := trace.SplitFlows(tr)
+	singles := 0
+	for _, f := range flows {
+		if len(f.Packets) == 1 {
+			singles++
+		}
+	}
+	if float64(singles)/float64(len(flows)) < 0.3 {
+		t.Fatalf("CCDC trace should be probe heavy; single-packet flows = %d/%d", singles, len(flows))
+	}
+}

@@ -1,0 +1,188 @@
+package datasets
+
+import "repro/internal/trace"
+
+// Preset configurations for the six traces of the paper's §6.1 plus the two
+// public pre-training traces of Finding 3. Parameters follow each dataset's
+// published characterization (deployment, port mix, attack composition).
+
+func ip(a, b, c, d byte) trace.IPv4 { return trace.IPv4FromBytes(a, b, c, d) }
+
+// ispPorts is a wide ISP-style service mix dominated by web and DNS.
+var ispPorts = []PortWeight{
+	{Port: 53, Weight: 30}, {Port: 80, Weight: 25}, {Port: 445, Weight: 12},
+	{Port: 443, Weight: 18}, {Port: 21, Weight: 5}, {Port: 22, Weight: 3},
+	{Port: 25, Weight: 3}, {Port: 123, Weight: 2}, {Port: 8080, Weight: 2},
+}
+
+// UGR16 synthesizes the Spanish-ISP NetFlow trace (NetFlow-1): wide host
+// population, heavy-tailed flow sizes, a small share of labeled attacks.
+func UGR16(records int, seed int64) *trace.FlowTrace {
+	return GenerateFlows(FlowConfig{
+		Name: "ugr16", Seed: seed, Records: records,
+		TimeSpan:  60_000_000, // one minute of collector output
+		NumSrcIPs: 512, NumDstIPs: 384, IPZipf: 1.1,
+		SrcBase: ip(42, 10, 0, 0), DstBase: ip(187, 20, 0, 0),
+		Ports:    ispPorts,
+		TCPShare: 0.72, UDPShare: 0.25,
+		PktMu: 1.4, PktSigma: 1.8, // spans 1 .. ~1e4 packets per flow
+		MinBytesPerPkt: 40, MaxBytesPerPkt: 1500,
+		DurPerPktUS:     800,
+		MultiRecordProb: 0.12, MaxExtraRecords: 6, // Fig. 1a tail
+		AttackFraction: 0.05,
+		AttackMix:      []trace.Label{trace.DoS, trace.PortScan, trace.BruteForce},
+	})
+}
+
+// CIDDS synthesizes the small-business emulation (NetFlow-2): few hosts,
+// client/server structure, injected DoS / brute-force / port-scan traffic.
+func CIDDS(records int, seed int64) *trace.FlowTrace {
+	return GenerateFlows(FlowConfig{
+		Name: "cidds", Seed: seed, Records: records,
+		TimeSpan:  120_000_000,
+		NumSrcIPs: 48, NumDstIPs: 24, IPZipf: 0.9,
+		SrcBase: ip(192, 168, 100, 0), DstBase: ip(192, 168, 200, 0),
+		Ports: []PortWeight{
+			{Port: 80, Weight: 28}, {Port: 443, Weight: 22}, {Port: 53, Weight: 18},
+			{Port: 25, Weight: 10}, {Port: 445, Weight: 10}, {Port: 22, Weight: 8},
+			{Port: 21, Weight: 4},
+		},
+		TCPShare: 0.8, UDPShare: 0.18,
+		PktMu: 1.6, PktSigma: 1.5,
+		MinBytesPerPkt: 40, MaxBytesPerPkt: 1500,
+		DurPerPktUS:     1200,
+		MultiRecordProb: 0.10, MaxExtraRecords: 4,
+		AttackFraction: 0.18,
+		AttackMix:      []trace.Label{trace.DoS, trace.BruteForce, trace.PortScan},
+	})
+}
+
+// TON synthesizes the TON_IoT telemetry trace (NetFlow-3): ~65% normal and
+// nine evenly distributed attack classes, IoT-style device population.
+func TON(records int, seed int64) *trace.FlowTrace {
+	return GenerateFlows(FlowConfig{
+		Name: "ton", Seed: seed, Records: records,
+		TimeSpan:  180_000_000,
+		NumSrcIPs: 128, NumDstIPs: 64, IPZipf: 1.0,
+		SrcBase: ip(3, 122, 0, 0), DstBase: ip(192, 168, 1, 0),
+		Ports: []PortWeight{
+			{Port: 53, Weight: 24}, {Port: 80, Weight: 22}, {Port: 445, Weight: 16},
+			{Port: 443, Weight: 14}, {Port: 21, Weight: 8}, {Port: 1883, Weight: 8},
+			{Port: 123, Weight: 4}, {Port: 22, Weight: 4},
+		},
+		TCPShare: 0.68, UDPShare: 0.3,
+		PktMu: 1.2, PktSigma: 1.6,
+		MinBytesPerPkt: 40, MaxBytesPerPkt: 1400,
+		DurPerPktUS:     1000,
+		MultiRecordProb: 0.08, MaxExtraRecords: 3,
+		AttackFraction: 0.35, // paper: 34.93% attacks, nine types evenly
+		AttackMix: []trace.Label{
+			trace.Backdoor, trace.DDoS, trace.DoS, trace.Injection, trace.MITM,
+			trace.Password, trace.Ransomware, trace.Scanning, trace.XSS,
+		},
+	})
+}
+
+// caidaLike builds a backbone PCAP config; collector selects the address
+// pools and seed so the New York (private) and Chicago 2015 (public,
+// pre-training) traces differ but share domain structure.
+func caidaLike(name string, packets int, seed int64, srcBase, dstBase trace.IPv4) *trace.PacketTrace {
+	return GeneratePackets(PacketConfig{
+		Name: name, Seed: seed, Packets: packets,
+		TimeSpan:  10_000_000, // 10s of backbone traffic
+		NumSrcIPs: 1024, NumDstIPs: 1024, IPZipf: 1.05,
+		SrcBase: srcBase, DstBase: dstBase,
+		Ports:    ispPorts,
+		TCPShare: 0.82, UDPShare: 0.16,
+		FlowPktMu: 1.3, FlowPktSigma: 1.7,
+		SmallPktShare: 0.45, LargePktShare: 0.3, // bimodal backbone sizes
+		TTLChoices: []uint8{48, 54, 64, 115, 128, 244},
+	})
+}
+
+// CAIDA synthesizes the New York 2018 backbone trace (PCAP-1).
+func CAIDA(packets int, seed int64) *trace.PacketTrace {
+	return caidaLike("caida-ny", packets, seed, ip(12, 0, 0, 0), ip(96, 16, 0, 0))
+}
+
+// CAIDAChicago synthesizes the Chicago 2015 backbone trace, the public
+// pre-training dataset of Finding 3 ("DP Pretrained-SAME") and the IP2Vec
+// embedding corpus of Insight 2.
+func CAIDAChicago(packets int, seed int64) *trace.PacketTrace {
+	return caidaLike("caida-chicago", packets, seed+7777, ip(64, 32, 0, 0), ip(208, 8, 0, 0))
+}
+
+// DC synthesizes the UNI1 data-center capture (PCAP-2): small host pool,
+// rack locality, high TCP share, many small RPC packets. It doubles as the
+// "DIFF domain" public pre-training dataset.
+func DC(packets int, seed int64) *trace.PacketTrace {
+	return GeneratePackets(PacketConfig{
+		Name: "dc", Seed: seed, Packets: packets,
+		TimeSpan:  5_000_000,
+		NumSrcIPs: 96, NumDstIPs: 96, IPZipf: 0.8,
+		SrcBase: ip(10, 2, 0, 0), DstBase: ip(10, 4, 0, 0),
+		Ports: []PortWeight{
+			{Port: 80, Weight: 25}, {Port: 443, Weight: 15}, {Port: 445, Weight: 20},
+			{Port: 53, Weight: 10}, {Port: 9000, Weight: 15}, {Port: 11211, Weight: 10},
+			{Port: 3306, Weight: 5},
+		},
+		TCPShare: 0.92, UDPShare: 0.07,
+		FlowPktMu: 1.8, FlowPktSigma: 1.4,
+		SmallPktShare: 0.6, LargePktShare: 0.2,
+		TTLChoices: []uint8{64, 128},
+	})
+}
+
+// CA synthesizes the Mid-Atlantic CCDC cyber-attack capture (PCAP-3): scan
+// and exploit heavy, many single-packet probe flows.
+func CA(packets int, seed int64) *trace.PacketTrace {
+	return GeneratePackets(PacketConfig{
+		Name: "ca", Seed: seed, Packets: packets,
+		TimeSpan:  30_000_000,
+		NumSrcIPs: 160, NumDstIPs: 64, IPZipf: 0.7,
+		SrcBase: ip(172, 16, 0, 0), DstBase: ip(10, 10, 0, 0),
+		Ports: []PortWeight{
+			{Port: 445, Weight: 25}, {Port: 80, Weight: 20}, {Port: 22, Weight: 15},
+			{Port: 21, Weight: 12}, {Port: 53, Weight: 10}, {Port: 443, Weight: 8},
+			{Port: 3389, Weight: 6}, {Port: 23, Weight: 4},
+		},
+		TCPShare: 0.86, UDPShare: 0.12,
+		FlowPktMu: 0.9, FlowPktSigma: 1.9, // scan-heavy: mostly tiny flows, some huge
+		SmallPktShare: 0.65, LargePktShare: 0.15,
+		TTLChoices: []uint8{64, 128},
+	})
+}
+
+// FlowDatasetNames lists the NetFlow presets in paper order.
+var FlowDatasetNames = []string{"ugr16", "cidds", "ton"}
+
+// PacketDatasetNames lists the PCAP presets in paper order.
+var PacketDatasetNames = []string{"caida", "dc", "ca"}
+
+// FlowByName returns the named NetFlow preset.
+func FlowByName(name string, records int, seed int64) *trace.FlowTrace {
+	switch name {
+	case "ugr16":
+		return UGR16(records, seed)
+	case "cidds":
+		return CIDDS(records, seed)
+	case "ton":
+		return TON(records, seed)
+	}
+	return nil
+}
+
+// PacketByName returns the named PCAP preset.
+func PacketByName(name string, packets int, seed int64) *trace.PacketTrace {
+	switch name {
+	case "caida":
+		return CAIDA(packets, seed)
+	case "caida-chicago":
+		return CAIDAChicago(packets, seed)
+	case "dc":
+		return DC(packets, seed)
+	case "ca":
+		return CA(packets, seed)
+	}
+	return nil
+}

@@ -1,0 +1,308 @@
+// Package dgan implements a DoppelGANger-style time-series GAN (Lin et al.
+// 2020), the generative building block of NetShare's Insight 1. Each
+// training sample is a (metadata, measurement sequence) pair: for NetShare,
+// the metadata is the encoded five-tuple (plus flow tags) and the sequence
+// holds the per-packet or per-record measurements.
+//
+// The architecture follows the paper's Appendix C configuration: a
+// metadata generator (MLP), a recurrent measurement generator (GRU with a
+// time-distributed projection), a Wasserstein critic with gradient penalty
+// over the full (metadata ++ padded sequence) vector, and an enabled
+// auxiliary critic over the metadata alone. Continuous fields use [0,1]
+// normalization (sigmoid outputs); auto-normalization and packing are not
+// used.
+package dgan
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+)
+
+// Config parameterizes the GAN.
+type Config struct {
+	MetaSchema    []nn.FieldSpec // metadata fields (activated widths)
+	FeatureSchema []nn.FieldSpec // per-timestep measurement fields
+	MaxLen        int            // maximum sequence length T
+	NoiseDim      int            // latent width for both generators
+	Hidden        int            // hidden width of all networks
+	Batch         int            // minibatch size
+	CriticIters   int            // critic updates per generator update
+	GPWeight      float64        // gradient-penalty λ
+	LR            float64        // Adam learning rate
+	Seed          int64
+}
+
+// DefaultConfig returns a small configuration suitable for CPU training.
+func DefaultConfig() Config {
+	return Config{
+		MaxLen:      8,
+		NoiseDim:    8,
+		Hidden:      32,
+		Batch:       16,
+		CriticIters: 2,
+		GPWeight:    10,
+		LR:          1e-3,
+		Seed:        1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if len(c.MetaSchema) == 0 || len(c.FeatureSchema) == 0 {
+		return fmt.Errorf("dgan: schemas must be non-empty")
+	}
+	if c.MaxLen <= 0 || c.NoiseDim <= 0 || c.Hidden <= 0 || c.Batch <= 0 {
+		return fmt.Errorf("dgan: dimensions must be positive")
+	}
+	if c.CriticIters <= 0 || c.GPWeight < 0 || c.LR <= 0 {
+		return fmt.Errorf("dgan: invalid training parameters")
+	}
+	return nil
+}
+
+// Sample is one training or generated sample: activated metadata plus a
+// measurement sequence of up to MaxLen steps.
+type Sample struct {
+	Meta     []float64
+	Features [][]float64
+}
+
+// presenceSpec is the internal per-step flag marking real (vs padding)
+// timesteps; DoppelGANger's "generation flag".
+var presenceSpec = nn.FieldSpec{Name: "_presence", Kind: nn.FieldContinuous, Size: 1}
+
+// Model is a trainable DoppelGANger instance.
+type Model struct {
+	Config Config
+
+	metaW, featW int // activated widths (featW includes the presence flag)
+
+	// Generator.
+	metaGen  *nn.MLP
+	metaHead *nn.OutputHead
+	seqGRU   *nn.GRU
+	seqProj  *nn.TimeDense
+	seqHeads []*nn.OutputHead // one per timestep (each caches its forward)
+
+	// Critics.
+	critic    *nn.MLP
+	auxCritic *nn.MLP
+
+	optG, optD, optAux *nn.Adam
+	rng                *rand.Rand
+
+	// Generator forward caches for the backward pass.
+	lastZMeta *mat.Matrix
+	lastMeta  *mat.Matrix
+	lastFeats []*mat.Matrix
+}
+
+// New builds a model from cfg.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	featSchema := append(append([]nn.FieldSpec(nil), cfg.FeatureSchema...), presenceSpec)
+	m := &Model{
+		Config: cfg,
+		metaW:  nn.Width(cfg.MetaSchema),
+		featW:  nn.Width(featSchema),
+		rng:    r,
+	}
+	m.metaGen = nn.NewMLP("g.meta", []int{cfg.NoiseDim, cfg.Hidden, cfg.Hidden, m.metaW}, nn.ReLU, nn.Identity, r)
+	m.metaHead = nn.NewOutputHead(cfg.MetaSchema)
+	m.seqGRU = nn.NewGRU("g.gru", cfg.NoiseDim+m.metaW, cfg.Hidden)
+	nn.InitXavier(m.seqGRU, r)
+	m.seqProj = nn.NewTimeDense("g.proj", cfg.Hidden, m.featW)
+	nn.InitXavier(m.seqProj, r)
+	m.seqHeads = make([]*nn.OutputHead, cfg.MaxLen)
+	for t := range m.seqHeads {
+		m.seqHeads[t] = nn.NewOutputHead(featSchema)
+	}
+	inW := m.metaW + cfg.MaxLen*m.featW
+	m.critic = nn.NewMLP("d.main", []int{inW, cfg.Hidden, cfg.Hidden, 1}, nn.LeakyReLU, nn.Identity, r)
+	m.auxCritic = nn.NewMLP("d.aux", []int{m.metaW, cfg.Hidden, 1}, nn.LeakyReLU, nn.Identity, r)
+	m.optG = nn.NewAdam(cfg.LR)
+	m.optD = nn.NewAdam(cfg.LR)
+	m.optAux = nn.NewAdam(cfg.LR)
+	return m, nil
+}
+
+// generatorModule aggregates the generator's trainable pieces.
+type generatorModule struct{ m *Model }
+
+func (g generatorModule) Params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, g.m.metaGen.Params()...)
+	ps = append(ps, g.m.seqGRU.Params()...)
+	ps = append(ps, g.m.seqProj.Params()...)
+	return ps
+}
+
+// Generator returns the generator as an nn.Module (for snapshots and
+// fine-tuning).
+func (m *Model) Generator() nn.Module { return generatorModule{m} }
+
+// modelModule aggregates every trainable parameter.
+type modelModule struct{ m *Model }
+
+func (mm modelModule) Params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, generatorModule{mm.m}.Params()...)
+	ps = append(ps, mm.m.critic.Params()...)
+	ps = append(ps, mm.m.auxCritic.Params()...)
+	return ps
+}
+
+// Params implements nn.Module over the full model, enabling
+// Snapshot/Restore-based fine-tuning (Insights 3 and 4).
+func (m *Model) Params() []*nn.Param { return modelModule{m}.Params() }
+
+// Warmstart copies the weights of src into m. Configurations must build
+// identical architectures.
+func (m *Model) Warmstart(src *Model) error {
+	if err := nn.TakeSnapshot(src).Restore(m); err != nil {
+		return fmt.Errorf("dgan: warmstart: %w", err)
+	}
+	m.optG.Reset()
+	m.optD.Reset()
+	m.optAux.Reset()
+	return nil
+}
+
+// noise fills a fresh batch×dim matrix with N(0,1).
+func (m *Model) noise(batch, dim int) *mat.Matrix {
+	z := mat.New(batch, dim)
+	z.RandNorm(m.rng, 1)
+	return z
+}
+
+// forwardGenerator runs the full generator for a batch, caching everything
+// backwardGenerator needs. It returns the activated metadata and per-step
+// activated features (soft categorical probabilities).
+func (m *Model) forwardGenerator(batch int) (*mat.Matrix, []*mat.Matrix) {
+	cfg := m.Config
+	m.lastZMeta = m.noise(batch, cfg.NoiseDim)
+	metaRaw := m.metaGen.Forward(m.lastZMeta)
+	meta := m.metaHead.Forward(metaRaw)
+	m.lastMeta = meta
+
+	xs := make([]*mat.Matrix, cfg.MaxLen)
+	for t := 0; t < cfg.MaxLen; t++ {
+		z := m.noise(batch, cfg.NoiseDim)
+		x := mat.New(batch, cfg.NoiseDim+m.metaW)
+		for i := 0; i < batch; i++ {
+			copy(x.Row(i)[:cfg.NoiseDim], z.Row(i))
+			copy(x.Row(i)[cfg.NoiseDim:], meta.Row(i))
+		}
+		xs[t] = x
+	}
+	hs := m.seqGRU.Forward(xs, nil)
+	raws := m.seqProj.Forward(hs)
+	feats := make([]*mat.Matrix, cfg.MaxLen)
+	for t := range raws {
+		feats[t] = m.seqHeads[t].Forward(raws[t])
+	}
+	m.lastFeats = feats
+	return meta, feats
+}
+
+// backwardGenerator propagates dMeta (gradient on activated metadata from
+// every consumer) and dFeats (per-step gradients on activated features)
+// through the whole generator, accumulating parameter gradients.
+func (m *Model) backwardGenerator(dMeta *mat.Matrix, dFeats []*mat.Matrix) {
+	cfg := m.Config
+	dRaws := make([]*mat.Matrix, cfg.MaxLen)
+	for t := range dFeats {
+		dRaws[t] = m.seqHeads[t].Backward(dFeats[t])
+	}
+	dHs := m.seqProj.Backward(dRaws)
+	dXs := m.seqGRU.Backward(dHs)
+
+	dMetaTotal := dMeta.Clone()
+	for _, dx := range dXs {
+		for i := 0; i < dx.Rows; i++ {
+			src := dx.Row(i)[cfg.NoiseDim:]
+			dst := dMetaTotal.Row(i)
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+	}
+	dMetaRaw := m.metaHead.Backward(dMetaTotal)
+	m.metaGen.Backward(dMetaRaw)
+}
+
+// flatten packs metadata plus padded features into critic input rows.
+func (m *Model) flatten(meta *mat.Matrix, feats []*mat.Matrix) *mat.Matrix {
+	batch := meta.Rows
+	out := mat.New(batch, m.metaW+m.Config.MaxLen*m.featW)
+	for i := 0; i < batch; i++ {
+		row := out.Row(i)
+		copy(row[:m.metaW], meta.Row(i))
+		for t, f := range feats {
+			copy(row[m.metaW+t*m.featW:m.metaW+(t+1)*m.featW], f.Row(i))
+		}
+	}
+	return out
+}
+
+// unflatten splits a critic-input gradient back into metadata and per-step
+// feature gradients.
+func (m *Model) unflatten(d *mat.Matrix) (*mat.Matrix, []*mat.Matrix) {
+	batch := d.Rows
+	dMeta := mat.New(batch, m.metaW)
+	dFeats := make([]*mat.Matrix, m.Config.MaxLen)
+	for t := range dFeats {
+		dFeats[t] = mat.New(batch, m.featW)
+	}
+	for i := 0; i < batch; i++ {
+		row := d.Row(i)
+		copy(dMeta.Row(i), row[:m.metaW])
+		for t := 0; t < m.Config.MaxLen; t++ {
+			copy(dFeats[t].Row(i), row[m.metaW+t*m.featW:m.metaW+(t+1)*m.featW])
+		}
+	}
+	return dMeta, dFeats
+}
+
+// encodeReal packs a real sample into a critic-input row: metadata, then
+// each timestep's features with a trailing presence flag (1 for real steps,
+// 0 padding).
+func (m *Model) encodeReal(s Sample, row []float64) {
+	copy(row[:m.metaW], s.Meta)
+	for t := 0; t < m.Config.MaxLen; t++ {
+		base := m.metaW + t*m.featW
+		if t < len(s.Features) {
+			copy(row[base:base+m.featW-1], s.Features[t])
+			row[base+m.featW-1] = 1
+		} else {
+			for j := base; j < base+m.featW; j++ {
+				row[j] = 0
+			}
+		}
+	}
+}
+
+// realBatch assembles a random minibatch of real samples as critic input.
+func (m *Model) realBatch(samples []Sample, batch int) *mat.Matrix {
+	out := mat.New(batch, m.metaW+m.Config.MaxLen*m.featW)
+	for i := 0; i < batch; i++ {
+		s := samples[m.rng.Intn(len(samples))]
+		m.encodeReal(s, out.Row(i))
+	}
+	return out
+}
+
+// metaSlice extracts the metadata columns of critic-input rows.
+func (m *Model) metaSlice(x *mat.Matrix) *mat.Matrix {
+	out := mat.New(x.Rows, m.metaW)
+	for i := 0; i < x.Rows; i++ {
+		copy(out.Row(i), x.Row(i)[:m.metaW])
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package dgan
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// modelWire is the gob wire form of a trained Model: the configuration
+// (which fully determines the architecture) plus a weight snapshot.
+// Optimizer moments and RNG state are not persisted; a decoded model
+// generates correctly and can be fine-tuned further with fresh optimizer
+// state.
+type modelWire struct {
+	Config Config
+	Snap   *nn.Snapshot
+}
+
+// Encode serializes the trained model.
+func (m *Model) Encode() ([]byte, error) {
+	w := modelWire{Config: m.Config, Snap: nn.TakeSnapshot(m)}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("dgan: encode model: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeModel deserializes a model produced by Encode.
+func DecodeModel(b []byte) (*Model, error) {
+	var w modelWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("dgan: decode model: %w", err)
+	}
+	m, err := New(w.Config)
+	if err != nil {
+		return nil, fmt.Errorf("dgan: decode model config: %w", err)
+	}
+	if err := w.Snap.Restore(m); err != nil {
+		return nil, fmt.Errorf("dgan: restore weights: %w", err)
+	}
+	return m, nil
+}

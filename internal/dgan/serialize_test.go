@@ -1,0 +1,48 @@
+package dgan
+
+import "testing"
+
+func TestModelEncodeDecode(t *testing.T) {
+	m, err := New(toyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(toySamples(64, 1), 30); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeModel(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weights must match exactly.
+	pa, pb := m.Params(), back.Params()
+	if len(pa) != len(pb) {
+		t.Fatal("parameter count changed")
+	}
+	for i := range pa {
+		for j := range pa[i].W.Data {
+			if pa[i].W.Data[j] != pb[i].W.Data[j] {
+				t.Fatalf("param %s differs after round trip", pa[i].Name)
+			}
+		}
+	}
+	// The decoded model generates valid samples.
+	gen := back.Generate(10)
+	if len(gen) != 10 {
+		t.Fatal("decoded model failed to generate")
+	}
+	// And can be fine-tuned further.
+	if _, err := back.Train(toySamples(32, 2), 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeModelRejectsGarbage(t *testing.T) {
+	if _, err := DecodeModel([]byte("bogus")); err == nil {
+		t.Fatal("garbage must fail")
+	}
+}

@@ -1,0 +1,217 @@
+package dgan
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/privacy"
+)
+
+// Stats summarizes a training run.
+type Stats struct {
+	Steps      int
+	CriticLoss float64 // last critic Wasserstein loss (pre-penalty)
+	GenLoss    float64 // last generator loss
+}
+
+// Train runs `steps` generator updates (each preceded by CriticIters critic
+// updates) over the sample set. It returns an error for an empty sample
+// set or malformed sample shapes.
+func (m *Model) Train(samples []Sample, steps int) (Stats, error) {
+	if err := m.checkSamples(samples); err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	for i := 0; i < steps; i++ {
+		for c := 0; c < m.Config.CriticIters; c++ {
+			st.CriticLoss = m.criticStep(samples, nil)
+		}
+		st.GenLoss = m.generatorStep()
+		st.Steps++
+	}
+	return st, nil
+}
+
+// TrainDP runs DP-SGD training: the critics (which observe private data)
+// are updated with per-sample clipped, noised gradients accumulated through
+// dp; the generator update is post-processing of the critic and needs no
+// extra noise. Pre-train on public data with Train, then fine-tune with
+// TrainDP (Insight 4).
+func (m *Model) TrainDP(samples []Sample, steps int, dp *privacy.DPSGD) (Stats, error) {
+	if err := m.checkSamples(samples); err != nil {
+		return Stats{}, err
+	}
+	if dp == nil {
+		return Stats{}, fmt.Errorf("dgan: TrainDP requires a DPSGD instance")
+	}
+	var st Stats
+	for i := 0; i < steps; i++ {
+		for c := 0; c < m.Config.CriticIters; c++ {
+			st.CriticLoss = m.criticStep(samples, dp)
+		}
+		st.GenLoss = m.generatorStep()
+		st.Steps++
+	}
+	return st, nil
+}
+
+func (m *Model) checkSamples(samples []Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("dgan: no training samples")
+	}
+	for i, s := range samples {
+		if len(s.Meta) != m.metaW {
+			return fmt.Errorf("dgan: sample %d metadata width %d, want %d", i, len(s.Meta), m.metaW)
+		}
+		if len(s.Features) == 0 || len(s.Features) > m.Config.MaxLen {
+			return fmt.Errorf("dgan: sample %d has %d steps, want 1..%d", i, len(s.Features), m.Config.MaxLen)
+		}
+		for t, f := range s.Features {
+			if len(f) != m.featW-1 {
+				return fmt.Errorf("dgan: sample %d step %d width %d, want %d", i, t, len(f), m.featW-1)
+			}
+		}
+	}
+	return nil
+}
+
+// criticStep performs one WGAN-GP update of both critics. When dp is
+// non-nil the data-dependent gradients are accumulated per sample through
+// DP-SGD before the optimizer step.
+func (m *Model) criticStep(samples []Sample, dp *privacy.DPSGD) float64 {
+	batch := m.Config.Batch
+	real := m.realBatch(samples, batch)
+	meta, feats := m.forwardGenerator(batch)
+	fake := m.flatten(meta, feats)
+
+	var loss float64
+	if dp == nil {
+		outR := m.critic.Forward(real)
+		outF := m.critic.Forward(fake)
+		l, gr, gf := nn.WassersteinCriticLoss(outR, outF)
+		loss = l
+		// Backward passes must each follow their own forward.
+		m.critic.Forward(real)
+		m.critic.Backward(gr)
+		m.critic.Forward(fake)
+		m.critic.Backward(gf)
+		nn.GradientPenalty(m.critic, real, fake, m.Config.GPWeight, m.rng.Float64)
+		m.optD.Step(m.critic)
+
+		realMeta := m.metaSlice(real)
+		outRM := m.auxCritic.Forward(realMeta)
+		outFM := m.auxCritic.Forward(meta)
+		_, grm, gfm := nn.WassersteinCriticLoss(outRM, outFM)
+		m.auxCritic.Forward(realMeta)
+		m.auxCritic.Backward(grm)
+		m.auxCritic.Forward(meta)
+		m.auxCritic.Backward(gfm)
+		nn.GradientPenalty(m.auxCritic, realMeta, meta, m.Config.GPWeight, m.rng.Float64)
+		m.optAux.Step(m.auxCritic)
+		return loss
+	}
+
+	// DP path: per-sample gradients for the real-data terms, clipped and
+	// noised; the fake-data and penalty terms are data independent given
+	// the generator, so they are applied normally after Finalize.
+	loss = m.dpCriticUpdate(m.critic, real, fake, dp)
+	realMeta := m.metaSlice(real)
+	m.dpCriticUpdate(m.auxCritic, realMeta, meta, dp)
+	return loss
+}
+
+// dpCriticUpdate updates one critic under DP-SGD and returns the
+// Wasserstein loss estimate.
+func (m *Model) dpCriticUpdate(critic *nn.MLP, real, fake *mat.Matrix, dp *privacy.DPSGD) float64 {
+	batch := real.Rows
+	// Per-sample real gradients → clip → accumulate.
+	for i := 0; i < batch; i++ {
+		row := mat.NewFrom(1, real.Cols, real.Row(i))
+		critic.Forward(row)
+		g := mat.New(1, 1)
+		g.Fill(-1) // d/dD of −D(real_i)
+		critic.Backward(g)
+		dp.AccumulateSample(critic)
+	}
+	dp.Finalize(critic, batch)
+	// Fake term and gradient penalty are post-processing w.r.t. the private
+	// data; add their gradients on top of the noised real-term gradient.
+	outF := critic.Forward(fake)
+	_, gf := nn.WassersteinGenLoss(outF)
+	gf.Scale(-1) // critic maximizes D(real)−D(fake): fake term is +mean
+	critic.Backward(gf)
+	nn.GradientPenalty(critic, fake, fake, m.Config.GPWeight, m.rng.Float64)
+
+	outR := critic.Forward(real)
+	outF2 := critic.Forward(fake)
+	l, _, _ := nn.WassersteinCriticLoss(outR, outF2)
+	opt := m.optD
+	if critic == m.auxCritic {
+		opt = m.optAux
+	}
+	opt.Step(critic)
+	return l
+}
+
+// generatorStep performs one generator update against both critics.
+func (m *Model) generatorStep() float64 {
+	batch := m.Config.Batch
+	meta, feats := m.forwardGenerator(batch)
+	fake := m.flatten(meta, feats)
+
+	out := m.critic.Forward(fake)
+	loss, g := nn.WassersteinGenLoss(out)
+	dInput := m.critic.Backward(g)
+	nn.ZeroGrads(m.critic) // discard critic pollution from this pass
+	dMeta, dFeats := m.unflatten(dInput)
+
+	outAux := m.auxCritic.Forward(meta)
+	_, gAux := nn.WassersteinGenLoss(outAux)
+	dMetaAux := m.auxCritic.Backward(gAux)
+	nn.ZeroGrads(m.auxCritic)
+	dMeta.Add(dMetaAux)
+
+	m.backwardGenerator(dMeta, dFeats)
+	m.optG.Step(generatorModule{m})
+	return loss
+}
+
+// Generate produces n synthetic samples. Categorical fields are sampled
+// from the generator's softmax distributions; sequences are cut at the
+// first step whose presence flag falls below 0.5 (minimum length 1).
+func (m *Model) Generate(n int) []Sample {
+	out := make([]Sample, 0, n)
+	for len(out) < n {
+		batch := m.Config.Batch
+		if rem := n - len(out); rem < batch {
+			batch = rem
+		}
+		meta, feats := m.forwardGenerator(batch)
+		for i := 0; i < batch; i++ {
+			s := Sample{
+				Meta: nn.SampleRow(m.Config.MetaSchema, meta.Row(i), false, m.rng.Float64),
+			}
+			for t := 0; t < m.Config.MaxLen; t++ {
+				row := feats[t].Row(i)
+				presence := row[len(row)-1]
+				if t > 0 && presence < 0.5 {
+					break
+				}
+				full := nn.SampleRow(m.featSchema(), row, false, m.rng.Float64)
+				s.Features = append(s.Features, full[:m.featW-1])
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (m *Model) featSchema() []nn.FieldSpec {
+	return append(append([]nn.FieldSpec(nil), m.Config.FeatureSchema...), presenceSpec)
+}
+
+// Rand exposes the model's seeded source for callers that need coordinated
+// sampling (e.g. post-processing draws).
+func (m *Model) Rand() *rand.Rand { return m.rng }

@@ -1,0 +1,24 @@
+package encoding_test
+
+import (
+	"fmt"
+
+	"repro/internal/encoding"
+	"repro/internal/trace"
+)
+
+// ExampleIPBits shows NetShare's bitwise IP representation (Insight 2).
+func ExampleIPBits() {
+	ip, _ := trace.ParseIPv4("192.0.2.1")
+	bits := encoding.IPBits(ip)
+	fmt.Println(len(bits), encoding.IPFromBits(bits))
+	// Output: 32 192.0.2.1
+}
+
+// ExampleLogMinMax shows the log(1+x) transform for large-support fields.
+func ExampleLogMinMax() {
+	var l encoding.LogMinMax
+	l.Fit([]float64{1, 1e6}) // packets per flow span six orders of magnitude
+	fmt.Printf("%.2f %.2f %.2f\n", l.Transform(1), l.Transform(1000), l.Transform(1e6))
+	// Output: 0.00 0.47 1.00
+}

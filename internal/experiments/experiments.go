@@ -1,0 +1,161 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (§6 and appendices). Each runner trains the models it
+// needs on the synthetic stand-in datasets, measures the paper's metric,
+// and returns a Table whose rows mirror what the paper reports. Absolute
+// numbers differ from the paper (CPU-scale models, synthetic traces); the
+// quantities, comparisons, and orderings are the same.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Scale bundles the knobs that trade experiment cost against resolution.
+type Scale struct {
+	FlowRecords int // NetFlow dataset size
+	Packets     int // PCAP dataset size
+	GenSize     int // generated trace size
+
+	BaselineSteps int // tabular-GAN training steps
+	STANEpochs    int
+	Runs          int // repeated trials for sketch/NetML tasks
+
+	NetShare core.Config // base NetShare configuration
+
+	Seed int64
+}
+
+// SmallScale returns the configuration used by tests and benchmarks:
+// everything completes in seconds per experiment on one CPU.
+func SmallScale() Scale {
+	ns := core.DefaultConfig()
+	ns.Chunks = 3
+	ns.MaxLen = 4
+	ns.SeedSteps = 250
+	ns.FineTuneSteps = 80
+	ns.EmbedEpochs = 2
+	return Scale{
+		FlowRecords:   600,
+		Packets:       1200,
+		GenSize:       600,
+		BaselineSteps: 200,
+		STANEpochs:    6,
+		Runs:          3,
+		NetShare:      ns,
+		Seed:          1,
+	}
+}
+
+// FullScale returns a heavier configuration for cmd/experiments runs
+// (minutes per experiment).
+func FullScale() Scale {
+	ns := core.DefaultConfig()
+	ns.Chunks = 5
+	ns.MaxLen = 6
+	ns.SeedSteps = 1200
+	ns.FineTuneSteps = 300
+	return Scale{
+		FlowRecords:   4000,
+		Packets:       8000,
+		GenSize:       4000,
+		BaselineSteps: 1000,
+		STANEpochs:    15,
+		Runs:          10,
+		NetShare:      ns,
+		Seed:          1,
+	}
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string // experiment id (fig1a, tab6, ...)
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// f3 formats a float with three decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// pct formats a fraction as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+
+// Runner executes one experiment at a scale.
+type Runner func(Scale) (Table, error)
+
+// Registry maps experiment ids to runners, in paper order.
+var Registry = []struct {
+	ID   string
+	Desc string
+	Run  Runner
+}{
+	{"fig1a", "CDF of NetFlow records with same five-tuple (UGR16)", Fig1a},
+	{"fig1b", "CDF of flow size on CAIDA (PCAP)", Fig1b},
+	{"fig2", "Distributions of unbounded NetFlow fields (UGR16)", Fig2},
+	{"fig3", "Top-5 service destination ports (TON)", Fig3},
+	{"fig4", "Scalability–fidelity tradeoffs (UGR16 + CAIDA)", Fig4},
+	{"fig5", "Privacy–fidelity tradeoffs (UGR16 + CAIDA)", Fig5},
+	{"fig10", "JSD and normalized EMD across all six datasets", Fig10},
+	{"fig12", "NetFlow traffic-type prediction accuracy (TON)", Fig12},
+	{"tab3", "Rank correlation of prediction algorithms (CIDDS, TON)", Table3},
+	{"fig13", "Heavy-hitter estimation relative error (CAIDA, DC, CA)", Fig13},
+	{"fig14", "NetML anomaly-detection relative error (CAIDA, DC, CA)", Fig14},
+	{"tab4", "Rank correlation of NetML modes", Table4},
+	{"fig15", "Packet-level CDFs under differential privacy", Fig15},
+	{"tab6", "NetFlow consistency checks (UGR16)", Table6},
+	{"tab7", "PCAP consistency checks (CAIDA)", Table7},
+	// Extensions beyond the paper's published figures (§8 directions).
+	{"memorization", "Overlap-ratio overfitting check (§8)", Memorization},
+	{"iat", "Within-flow inter-arrival-time EMD (§8 extension)", TemporalIAT},
+}
+
+// RunByID executes the experiment with the given id.
+func RunByID(id string, s Scale) (Table, error) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e.Run(s)
+		}
+	}
+	return Table{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// tinyScale is the smallest configuration that still exercises every code
+// path; used only by tests.
+func tinyScale() Scale {
+	ns := core.DefaultConfig()
+	ns.Chunks = 2
+	ns.MaxLen = 3
+	ns.SeedSteps = 100
+	ns.FineTuneSteps = 30
+	ns.EmbedEpochs = 2
+	ns.Hidden = 24
+	return Scale{
+		FlowRecords:   250,
+		Packets:       700,
+		GenSize:       250,
+		BaselineSteps: 80,
+		STANEpochs:    4,
+		Runs:          1,
+		NetShare:      ns,
+		Seed:          1,
+	}
+}
+
+func cell(t Table, row int, col string) string {
+	for i, h := range t.Header {
+		if h == col {
+			return t.Rows[row][i]
+		}
+	}
+	return ""
+}
+
+func cellF(tb testing.TB, t Table, row int, col string) float64 {
+	tb.Helper()
+	s := cell(t, row, col)
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		tb.Fatalf("cell %d/%s = %q not numeric", row, col, s)
+	}
+	return v
+}
+
+func findRow(t Table, want ...string) int {
+	for i, row := range t.Rows {
+		ok := true
+		for j, w := range want {
+			if j >= len(row) || row[j] != w {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestTrainFlowZoo(t *testing.T) {
+	z, err := trainFlowZoo("ugr16", tinyScale(), true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ctgan", "stan", "e-wgan-gp", "netshare"} {
+		if z.syn[name] == nil {
+			t.Fatalf("missing model %s", name)
+		}
+		if len(z.syn[name].Records) == 0 {
+			t.Fatalf("%s generated nothing", name)
+		}
+		if z.times[name] <= 0 {
+			t.Fatalf("%s has no training time", name)
+		}
+	}
+	if _, err := trainFlowZoo("nope", tinyScale(), false, false); err == nil {
+		t.Fatal("unknown dataset must fail")
+	}
+}
+
+func TestFig1aNetShareRecoversMultiRecordTuples(t *testing.T) {
+	tbl, err := Fig1a(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	realRow := findRow(tbl, "real")
+	ctganRow := findRow(tbl, "ctgan")
+	nsRow := findRow(tbl, "netshare")
+	if realRow < 0 || ctganRow < 0 || nsRow < 0 {
+		t.Fatalf("missing rows in %v", tbl.Rows)
+	}
+	// The paper's Challenge 1: CTGAN essentially never repeats tuples,
+	// NetShare does.
+	if cellF(t, tbl, ctganRow, "frac>1") > 0.05 {
+		t.Fatalf("ctgan should not repeat tuples: %v", cell(tbl, ctganRow, "frac>1"))
+	}
+	if cellF(t, tbl, nsRow, "frac>1") <= cellF(t, tbl, ctganRow, "frac>1") {
+		t.Fatal("netshare must produce more multi-record tuples than ctgan")
+	}
+}
+
+func TestFig3NetShareRecoversPortModes(t *testing.T) {
+	tbl, err := Fig3(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctganRow := findRow(tbl, "ctgan")
+	nsRow := findRow(tbl, "netshare")
+	if ctganRow < 0 || nsRow < 0 {
+		t.Fatal("missing rows")
+	}
+	// The headline Fig. 3 claim: NetShare's destination-port JSD is far
+	// below the bit-encoding baseline's.
+	ctganJSD := cellF(t, tbl, ctganRow, "DP JSD vs real")
+	nsJSD := cellF(t, tbl, nsRow, "DP JSD vs real")
+	if nsJSD >= ctganJSD {
+		t.Fatalf("netshare DP JSD %v should beat ctgan %v", nsJSD, ctganJSD)
+	}
+	// NetShare must hit at least some of the top-5 service port mass.
+	var nsMass float64
+	for _, col := range []string{"port 53", "port 80", "port 445", "port 443", "port 21"} {
+		nsMass += cellF(t, tbl, nsRow, col)
+	}
+	if nsMass <= 0 {
+		t.Fatal("netshare generated none of the top-5 service ports")
+	}
+}
+
+func TestTable6Format(t *testing.T) {
+	tbl, err := Table6(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 { // real + 4 models
+		t.Fatalf("got %d rows", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		for _, col := range tbl.Header[1:] {
+			v := cellF(t, tbl, i, col)
+			if v < 0 || v > 100 {
+				t.Fatalf("pass rate %v out of range", v)
+			}
+		}
+	}
+	// Real data passes nearly everything.
+	realRow := findRow(tbl, "real")
+	if cellF(t, tbl, realRow, tbl.Header[1]) < 99 {
+		t.Fatal("real data should pass test 1")
+	}
+}
+
+func TestFig12Format(t *testing.T) {
+	tbl, err := Fig12(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 { // real + 4 models
+		t.Fatalf("got %d rows", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		for _, col := range []string{"DT", "LR", "RF", "GB", "MLP"} {
+			v := cellF(t, tbl, i, col)
+			if v < 0 || v > 1 {
+				t.Fatalf("accuracy %v out of range", v)
+			}
+		}
+	}
+}
+
+func TestRunByID(t *testing.T) {
+	if _, err := RunByID("nope", tinyScale()); err == nil {
+		t.Fatal("unknown id must fail")
+	}
+	tbl, err := RunByID("tab7", tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "tab7" || len(tbl.Rows) != 6 { // real + 5 models
+		t.Fatalf("tab7 rows = %d", len(tbl.Rows))
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "netshare") || !strings.Contains(out, "test4") {
+		t.Fatalf("rendering broken:\n%s", out)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1a", "fig1b", "fig2", "fig3", "fig4", "fig5", "fig10",
+		"fig12", "tab3", "fig13", "fig14", "tab4", "fig15", "tab6", "tab7",
+		"memorization", "iat"}
+	if len(Registry) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(Registry), len(want))
+	}
+	for i, id := range want {
+		if Registry[i].ID != id {
+			t.Fatalf("registry[%d] = %s, want %s", i, Registry[i].ID, id)
+		}
+		if Registry[i].Run == nil || Registry[i].Desc == "" {
+			t.Fatalf("registry entry %s incomplete", id)
+		}
+	}
+}
+
+func TestMemorizationExperiment(t *testing.T) {
+	tbl, err := Memorization(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 9 { // 4 flow models + 5 packet models
+		t.Fatalf("got %d rows", len(tbl.Rows))
+	}
+	nsRow := findRow(tbl, "ugr16", "netshare")
+	if nsRow < 0 {
+		t.Fatal("missing netshare row")
+	}
+	// The §8 claim: NetShare does not memorize exact records.
+	if v := cellF(t, tbl, nsRow, "5-tuple overlap"); v > 0.5 {
+		t.Fatalf("netshare 5-tuple overlap %v suggests memorization", v)
+	}
+}
+
+func TestTemporalIATExperiment(t *testing.T) {
+	tbl, err := TemporalIAT(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("got %d rows", len(tbl.Rows))
+	}
+	nsRow := findRow(tbl, "netshare")
+	if nsRow < 0 {
+		t.Fatal("missing netshare row")
+	}
+	if cell(tbl, nsRow, "comparable") != "yes" {
+		t.Fatal("netshare must produce comparable multi-packet flows")
+	}
+	// PAC-GAN and Flow-WGAN generate no multi-packet flows.
+	for _, name := range []string{"pac-gan", "flow-wgan"} {
+		row := findRow(tbl, name)
+		if cell(tbl, row, "comparable") != "no" {
+			t.Fatalf("%s should not be comparable", name)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "long-column"},
+		Notes:  []string{"context"},
+	}
+	tbl.AddRow("1", "2")
+	out := tbl.String()
+	if !strings.Contains(out, "== x: demo ==") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "note: context") {
+		t.Fatalf("note missing:\n%s", out)
+	}
+	// Columns align: the header and row should place "long-column" and "2"
+	// at the same offset.
+	lines := strings.Split(out, "\n")
+	if strings.Index(lines[1], "long-column") != strings.Index(lines[2], "2") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestFig13Format(t *testing.T) {
+	tbl, err := Fig13(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 datasets × 5 models.
+	if len(tbl.Rows) != 15 {
+		t.Fatalf("got %d rows", len(tbl.Rows))
+	}
+	nsRows := 0
+	for _, row := range tbl.Rows {
+		if row[1] == "netshare" {
+			nsRows++
+			// NetShare must be valid (not n/a) on every dataset.
+			for _, c := range row[2:] {
+				if c == "n/a" {
+					t.Fatalf("netshare should find heavy hitters: %v", row)
+				}
+			}
+		}
+	}
+	if nsRows != 3 {
+		t.Fatalf("netshare rows = %d", nsRows)
+	}
+}

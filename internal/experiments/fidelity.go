@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Fig1a reproduces Figure 1a: the distribution of NetFlow records sharing
+// a five-tuple on UGR16. Tabular baselines generate (nearly) unique tuples
+// per record; NetShare's flow-series formulation recovers the multi-record
+// tail.
+func Fig1a(s Scale) (Table, error) {
+	zoo, err := trainFlowZoo("ugr16", s, true, false)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "fig1a",
+		Title:  "CDF of # records with the same five-tuple (UGR16)",
+		Header: []string{"model", "p50", "p90", "p99", "max", "frac>1", "EMD vs real"},
+	}
+	realCounts := trace.RecordsPerTuple(zoo.real)
+	addRow := func(name string, counts []float64) {
+		over1 := 0
+		for _, c := range counts {
+			if c > 1 {
+				over1++
+			}
+		}
+		t.AddRow(name,
+			f3(metrics.Quantile(counts, 0.5)),
+			f3(metrics.Quantile(counts, 0.9)),
+			f3(metrics.Quantile(counts, 0.99)),
+			f3(metrics.Quantile(counts, 1)),
+			f3(float64(over1)/float64(len(counts))),
+			f3(metrics.EMD(realCounts, counts)),
+		)
+	}
+	addRow("real", realCounts)
+	for _, name := range zoo.order {
+		addRow(name, trace.RecordsPerTuple(zoo.syn[name]))
+	}
+	return t, nil
+}
+
+// Fig1b reproduces Figure 1b: the flow-size CDF on CAIDA. Per-packet
+// tabular baselines generate almost no flows with more than one packet.
+func Fig1b(s Scale) (Table, error) {
+	zoo, err := trainPacketZoo("caida", s, true, false)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "fig1b",
+		Title:  "CDF of flow size, packets per flow (CAIDA)",
+		Header: []string{"model", "p50", "p90", "p99", "max", "frac>1pkt", "EMD vs real"},
+	}
+	realSizes := trace.FlowSizeDistribution(trace.SplitFlows(zoo.real))
+	addRow := func(name string, tr *trace.PacketTrace) {
+		sizes := trace.FlowSizeDistribution(trace.SplitFlows(tr))
+		over1 := 0
+		for _, c := range sizes {
+			if c > 1 {
+				over1++
+			}
+		}
+		t.AddRow(name,
+			f3(metrics.Quantile(sizes, 0.5)),
+			f3(metrics.Quantile(sizes, 0.9)),
+			f3(metrics.Quantile(sizes, 0.99)),
+			f3(metrics.Quantile(sizes, 1)),
+			f3(float64(over1)/float64(len(sizes))),
+			f3(metrics.EMD(realSizes, sizes)),
+		)
+	}
+	addRow("real", zoo.real)
+	for _, name := range zoo.order {
+		addRow(name, zoo.syn[name])
+	}
+	return t, nil
+}
+
+// Fig2 reproduces Figure 2: distributions of the unbounded NetFlow fields
+// (packets and bytes per flow) on UGR16. The log(1+x) transform lets
+// NetShare track the full support; raw min–max baselines truncate it.
+func Fig2(s Scale) (Table, error) {
+	zoo, err := trainFlowZoo("ugr16", s, true, false)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "fig2",
+		Title:  "Packets and bytes per flow (UGR16)",
+		Header: []string{"model", "field", "p50", "p99", "max", "EMD vs real"},
+	}
+	fields := []struct {
+		name string
+		get  func(r trace.FlowRecord) float64
+	}{
+		{"pkts/flow", func(r trace.FlowRecord) float64 { return float64(r.Packets) }},
+		{"bytes/flow", func(r trace.FlowRecord) float64 { return float64(r.Bytes) }},
+	}
+	values := func(tr *trace.FlowTrace, get func(trace.FlowRecord) float64) []float64 {
+		out := make([]float64, len(tr.Records))
+		for i, r := range tr.Records {
+			out[i] = get(r)
+		}
+		return out
+	}
+	for _, f := range fields {
+		realVals := values(zoo.real, f.get)
+		t.AddRow("real", f.name,
+			f3(metrics.Quantile(realVals, 0.5)),
+			f3(metrics.Quantile(realVals, 0.99)),
+			f3(metrics.Quantile(realVals, 1)), "0.000")
+		for _, name := range zoo.order {
+			vals := values(zoo.syn[name], f.get)
+			t.AddRow(name, f.name,
+				f3(metrics.Quantile(vals, 0.5)),
+				f3(metrics.Quantile(vals, 0.99)),
+				f3(metrics.Quantile(vals, 1)),
+				f3(metrics.EMD(realVals, vals)))
+		}
+	}
+	return t, nil
+}
+
+// Fig3 reproduces Figure 3: relative frequency of the top-5 service
+// destination ports on TON. NetShare's public-data IP2Vec decoding
+// recovers the port modes.
+func Fig3(s Scale) (Table, error) {
+	zoo, err := trainFlowZoo("ton", s, true, false)
+	if err != nil {
+		return Table{}, err
+	}
+	header := []string{"model"}
+	for _, p := range trace.ServicePorts {
+		header = append(header, fmt.Sprintf("port %d", p))
+	}
+	header = append(header, "DP JSD vs real")
+	t := Table{
+		ID:     "fig3",
+		Title:  "Top-5 service destination port relative frequency (TON)",
+		Header: header,
+	}
+	portFreq := func(tr *trace.FlowTrace) []float64 {
+		out := make([]float64, len(trace.ServicePorts))
+		for _, r := range tr.Records {
+			for i, p := range trace.ServicePorts {
+				if r.Tuple.DstPort == p {
+					out[i]++
+				}
+			}
+		}
+		for i := range out {
+			out[i] /= float64(len(tr.Records))
+		}
+		return out
+	}
+	dpCounts := func(tr *trace.FlowTrace) map[uint64]float64 {
+		m := make(map[uint64]float64)
+		for _, r := range tr.Records {
+			m[uint64(r.Tuple.DstPort)]++
+		}
+		return m
+	}
+	realDP := dpCounts(zoo.real)
+	row := func(name string, tr *trace.FlowTrace) {
+		cells := []string{name}
+		for _, f := range portFreq(tr) {
+			cells = append(cells, f3(f))
+		}
+		cells = append(cells, f3(metrics.JSD(realDP, dpCounts(tr))))
+		t.AddRow(cells...)
+	}
+	row("real", zoo.real)
+	for _, name := range zoo.order {
+		row(name, zoo.syn[name])
+	}
+	return t, nil
+}
+
+// Fig10 reproduces Figure 10 (plus appendix Figures 16 and 17): average
+// JSD across categorical fields and average normalized EMD across
+// continuous fields, for every model on all six datasets.
+func Fig10(s Scale) (Table, error) {
+	t := Table{
+		ID:     "fig10",
+		Title:  "Avg JSD (categorical) and avg normalized EMD (continuous) per model",
+		Header: []string{"dataset", "model", "avg JSD", "avg norm EMD"},
+	}
+	for _, ds := range []string{"ugr16", "cidds", "ton"} {
+		zoo, err := trainFlowZoo(ds, s, true, false)
+		if err != nil {
+			return Table{}, err
+		}
+		reports := make(map[string]metrics.FieldReport, len(zoo.order))
+		for _, name := range zoo.order {
+			reports[name] = metrics.CompareFlows(zoo.real, zoo.syn[name])
+		}
+		avgJSD, avgEMD := metrics.NormalizeReports(reports)
+		for _, name := range zoo.order {
+			t.AddRow(ds, name, f3(avgJSD[name]), f3(avgEMD[name]))
+		}
+	}
+	for _, ds := range []string{"caida", "dc", "ca"} {
+		zoo, err := trainPacketZoo(ds, s, true, false)
+		if err != nil {
+			return Table{}, err
+		}
+		reports := make(map[string]metrics.FieldReport, len(zoo.order))
+		for _, name := range zoo.order {
+			reports[name] = metrics.ComparePackets(zoo.real, zoo.syn[name])
+		}
+		avgJSD, avgEMD := metrics.NormalizeReports(reports)
+		for _, name := range zoo.order {
+			t.AddRow(ds, name, f3(avgJSD[name]), f3(avgEMD[name]))
+		}
+	}
+	return t, nil
+}

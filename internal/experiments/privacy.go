@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// DP experiment conditions of Finding 3.
+const (
+	condNaive = "naive-dp"        // DP-SGD from scratch
+	condSame  = "pretrained-same" // pre-trained on a same-domain public trace
+	condDiff  = "pretrained-diff" // pre-trained on a different-domain public trace
+)
+
+// dpNoiseLevels are the noise multipliers swept for the ε axis of Fig. 5
+// (larger σ → smaller ε → more privacy).
+var dpNoiseLevels = []float64{2.0, 0.7, 0.2}
+
+// dpConfig builds the NetShare configuration for one DP condition. DP
+// training uses a single chunk (per-sample gradients dominate cost) and a
+// reduced step budget.
+func dpConfig(s Scale, cond string, noise float64) core.Config {
+	cfg := s.NetShare
+	cfg.Chunks = 1
+	cfg.Seed = s.Seed
+	cfg.SeedSteps = maxI(s.NetShare.SeedSteps/5, 20)
+	cfg.DP = &core.DPConfig{
+		NoiseMultiplier: noise,
+		ClipNorm:        1.0,
+		Delta:           1e-5,
+		Pretrain:        cond != condNaive,
+		// The whole point of Insight 4 is shifting compute to the free
+		// public phase: pre-train to (near) convergence, then spend only
+		// a few noisy steps on the private data.
+		PretrainSteps: maxI(s.NetShare.SeedSteps, 400),
+	}
+	return cfg
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// dpPublic selects the public trace for a condition: the Chicago
+// backbone collector for SAME domain, the data-center trace for DIFF.
+func dpPublic(s Scale, cond string) *trace.PacketTrace {
+	if cond == condDiff {
+		return datasets.DC(publicCorpusSize(s), s.Seed+900)
+	}
+	return datasets.CAIDAChicago(publicCorpusSize(s), s.Seed+500)
+}
+
+// Fig5 reproduces Figure 5 and Table 5: the privacy–fidelity tradeoff on
+// UGR16 (NetFlow) and CAIDA (PCAP). For each condition and noise level it
+// reports the spent ε and the average JSD / normalized EMD of the
+// generated trace. Expected shape: at matched ε, pretrained-SAME beats
+// pretrained-DIFF beats naive DP.
+func Fig5(s Scale) (Table, error) {
+	t := Table{
+		ID:     "fig5",
+		Title:  "Privacy–fidelity tradeoff (DP-SGD with and without public pre-training)",
+		Header: []string{"dataset", "condition", "sigma", "epsilon", "avg JSD", "avg norm EMD"},
+	}
+
+	// NetFlow (UGR16).
+	realFlow := datasets.UGR16(s.FlowRecords, s.Seed)
+	flowReports := make(map[string]metrics.FieldReport)
+	type key struct {
+		cond  string
+		noise float64
+		eps   float64
+	}
+	var flowKeys []key
+	for _, cond := range []string{condNaive, condSame, condDiff} {
+		for _, noise := range dpNoiseLevels {
+			cfg := dpConfig(s, cond, noise)
+			syn, err := core.TrainFlowSynthesizer(realFlow, dpPublic(s, cond), cfg)
+			if err != nil {
+				return Table{}, fmt.Errorf("fig5 %s sigma=%v: %w", cond, noise, err)
+			}
+			gen := syn.Generate(s.GenSize)
+			k := fmt.Sprintf("%s/%.2f", cond, noise)
+			flowReports[k] = metrics.CompareFlows(realFlow, gen)
+			flowKeys = append(flowKeys, key{cond, noise, syn.Stats().Epsilon})
+		}
+	}
+	avgJSD, avgEMD := metrics.NormalizeReports(flowReports)
+	for _, k := range flowKeys {
+		id := fmt.Sprintf("%s/%.2f", k.cond, k.noise)
+		t.AddRow("ugr16", k.cond, fmt.Sprintf("%.2f", k.noise),
+			fmt.Sprintf("%.2f", k.eps), f3(avgJSD[id]), f3(avgEMD[id]))
+	}
+
+	// PCAP (CAIDA).
+	realPkt := datasets.CAIDA(s.Packets, s.Seed)
+	pktReports := make(map[string]metrics.FieldReport)
+	var pktKeys []key
+	for _, cond := range []string{condNaive, condSame, condDiff} {
+		for _, noise := range dpNoiseLevels {
+			cfg := dpConfig(s, cond, noise)
+			syn, err := core.TrainPacketSynthesizer(realPkt, dpPublic(s, cond), cfg)
+			if err != nil {
+				return Table{}, fmt.Errorf("fig5 pcap %s sigma=%v: %w", cond, noise, err)
+			}
+			gen := syn.Generate(s.GenSize)
+			k := fmt.Sprintf("%s/%.2f", cond, noise)
+			pktReports[k] = metrics.ComparePackets(realPkt, gen)
+			pktKeys = append(pktKeys, key{cond, noise, syn.Stats().Epsilon})
+		}
+	}
+	avgJSD, avgEMD = metrics.NormalizeReports(pktReports)
+	for _, k := range pktKeys {
+		id := fmt.Sprintf("%s/%.2f", k.cond, k.noise)
+		t.AddRow("caida", k.cond, fmt.Sprintf("%.2f", k.noise),
+			fmt.Sprintf("%.2f", k.eps), f3(avgJSD[id]), f3(avgEMD[id]))
+	}
+	t.Notes = append(t.Notes,
+		"paper: pre-training on a same-domain public trace improves fidelity at every epsilon; different-domain pre-training helps less")
+	return t, nil
+}
+
+// Fig15 reproduces Figure 15: source-port and packet-length CDFs of CAIDA
+// generations without noise (ε=∞), with naive DP, and with same-domain
+// pre-training at the same (ε, δ).
+func Fig15(s Scale) (Table, error) {
+	real := datasets.CAIDA(s.Packets, s.Seed)
+	public := datasets.CAIDAChicago(publicCorpusSize(s), s.Seed+500)
+
+	variants := make(map[string]*trace.PacketTrace)
+	var order []string
+
+	// ε = ∞ (no DP).
+	cfg := s.NetShare
+	cfg.Chunks = 1
+	cfg.Seed = s.Seed
+	noDP, err := core.TrainPacketSynthesizer(real, public, cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	variants["netshare eps=inf"] = noDP.Generate(s.GenSize)
+	order = append(order, "netshare eps=inf")
+
+	const midNoise = 0.7
+	for _, cond := range []string{condNaive, condSame} {
+		c := dpConfig(s, cond, midNoise)
+		syn, err := core.TrainPacketSynthesizer(real, dpPublic(s, cond), c)
+		if err != nil {
+			return Table{}, err
+		}
+		name := fmt.Sprintf("netshare %s eps=%.1f", cond, syn.Stats().Epsilon)
+		variants[name] = syn.Generate(s.GenSize)
+		order = append(order, name)
+	}
+
+	t := Table{
+		ID:     "fig15",
+		Title:  "Source port and packet length CDFs under DP (CAIDA)",
+		Header: []string{"variant", "field", "p50", "p90", "EMD vs real"},
+	}
+	fields := []struct {
+		name string
+		get  func(p trace.Packet) float64
+	}{
+		{"src port", func(p trace.Packet) float64 { return float64(p.Tuple.SrcPort) }},
+		{"pkt length", func(p trace.Packet) float64 { return float64(p.Size) }},
+	}
+	values := func(tr *trace.PacketTrace, get func(trace.Packet) float64) []float64 {
+		out := make([]float64, len(tr.Packets))
+		for i, p := range tr.Packets {
+			out[i] = get(p)
+		}
+		return out
+	}
+	for _, f := range fields {
+		realVals := values(real, f.get)
+		t.AddRow("real", f.name,
+			f3(metrics.Quantile(realVals, 0.5)), f3(metrics.Quantile(realVals, 0.9)), "0.000")
+		for _, name := range order {
+			vals := values(variants[name], f.get)
+			t.AddRow(name, f.name,
+				f3(metrics.Quantile(vals, 0.5)), f3(metrics.Quantile(vals, 0.9)),
+				f3(metrics.EMD(realVals, vals)))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/trace"
+)
+
+// publicCorpusSize sizes the public trace used for the IP2Vec embedding
+// and DP pre-training. A larger corpus costs almost nothing (word2vec
+// training is cheap) but ensures the service-port vocabulary is complete,
+// so it never drops below a floor regardless of the experiment scale.
+func publicCorpusSize(s Scale) int {
+	const floor = 3000
+	if s.Packets > floor {
+		return s.Packets
+	}
+	return floor
+}
+
+// flowZoo bundles a real NetFlow trace with every model's synthetic
+// counterpart and training cost.
+type flowZoo struct {
+	dataset string
+	real    *trace.FlowTrace
+	syn     map[string]*trace.FlowTrace
+	times   map[string]time.Duration
+	order   []string
+}
+
+// trainFlowZoo trains all NetFlow models on the named dataset. netshare
+// selects whether the (more expensive) NetShare model is included; withV0
+// additionally trains the unchunked NetShare-V0 variant of Fig. 4.
+func trainFlowZoo(dataset string, s Scale, netshare, withV0 bool) (*flowZoo, error) {
+	real := datasets.FlowByName(dataset, s.FlowRecords, s.Seed)
+	if real == nil {
+		return nil, fmt.Errorf("experiments: unknown flow dataset %q", dataset)
+	}
+	z := &flowZoo{
+		dataset: dataset,
+		real:    real,
+		syn:     make(map[string]*trace.FlowTrace),
+		times:   make(map[string]time.Duration),
+	}
+
+	ctgan, err := baselines.TrainCTGANFlows(real, s.BaselineSteps, s.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("ctgan on %s: %w", dataset, err)
+	}
+	z.add("ctgan", ctgan.Generate(s.GenSize), ctgan.TrainTime())
+
+	stan, err := baselines.TrainSTAN(real, s.STANEpochs, s.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("stan on %s: %w", dataset, err)
+	}
+	z.add("stan", stan.Generate(s.GenSize), stan.TrainTime())
+
+	ewgan, err := baselines.TrainEWGANGP(real, s.BaselineSteps, s.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("e-wgan-gp on %s: %w", dataset, err)
+	}
+	z.add("e-wgan-gp", ewgan.Generate(s.GenSize), ewgan.TrainTime())
+
+	public := datasets.CAIDAChicago(publicCorpusSize(s), s.Seed+500)
+	if withV0 {
+		cfg := s.NetShare
+		cfg.Chunks = 1
+		cfg.Seed = s.Seed
+		// NetShare-V0 (Fig. 4) trains the whole merged trace monolithically.
+		// Covering M chunks' worth of data to the same per-chunk depth
+		// requires ~M× the optimization budget, which is exactly the CPU
+		// blow-up chunked fine-tuning avoids.
+		cfg.SeedSteps = s.NetShare.SeedSteps * s.NetShare.Chunks
+		v0, err := core.TrainFlowSynthesizer(real, public, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("netshare-v0 on %s: %w", dataset, err)
+		}
+		z.add("netshare-v0", v0.Generate(s.GenSize), v0.Stats().CPUTime)
+	}
+	if netshare {
+		cfg := s.NetShare
+		cfg.Seed = s.Seed
+		// Sequential fine-tuning: on a shared CPU, concurrent goroutines
+		// inflate each chunk's measured duration with contention, which
+		// would overstate the Fig. 4 CPU-time axis.
+		cfg.Parallel = false
+		ns, err := core.TrainFlowSynthesizer(real, public, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("netshare on %s: %w", dataset, err)
+		}
+		z.add("netshare", ns.Generate(s.GenSize), ns.Stats().CPUTime)
+	}
+	return z, nil
+}
+
+func (z *flowZoo) add(name string, t *trace.FlowTrace, d time.Duration) {
+	z.syn[name] = t
+	z.times[name] = d
+	z.order = append(z.order, name)
+}
+
+// packetZoo mirrors flowZoo for PCAP datasets.
+type packetZoo struct {
+	dataset string
+	real    *trace.PacketTrace
+	syn     map[string]*trace.PacketTrace
+	times   map[string]time.Duration
+	order   []string
+}
+
+// trainPacketZoo trains all PCAP models on the named dataset.
+func trainPacketZoo(dataset string, s Scale, netshare, withV0 bool) (*packetZoo, error) {
+	real := datasets.PacketByName(dataset, s.Packets, s.Seed)
+	if real == nil {
+		return nil, fmt.Errorf("experiments: unknown packet dataset %q", dataset)
+	}
+	z := &packetZoo{
+		dataset: dataset,
+		real:    real,
+		syn:     make(map[string]*trace.PacketTrace),
+		times:   make(map[string]time.Duration),
+	}
+	gen := s.GenSize
+
+	ctgan, err := baselines.TrainCTGANPackets(real, s.BaselineSteps, s.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("ctgan on %s: %w", dataset, err)
+	}
+	z.add("ctgan", ctgan.AsPacketSynthesizer().Generate(gen), ctgan.TrainTime())
+
+	pac, err := baselines.TrainPACGAN(real, s.BaselineSteps, s.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("pac-gan on %s: %w", dataset, err)
+	}
+	z.add("pac-gan", pac.Generate(gen), pac.TrainTime())
+
+	pcgan, err := baselines.TrainPacketCGAN(real, s.BaselineSteps, s.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("packetcgan on %s: %w", dataset, err)
+	}
+	z.add("packetcgan", pcgan.Generate(gen), pcgan.TrainTime())
+
+	fwgan, err := baselines.TrainFlowWGAN(real, s.BaselineSteps, s.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("flow-wgan on %s: %w", dataset, err)
+	}
+	z.add("flow-wgan", fwgan.Generate(gen), fwgan.TrainTime())
+
+	public := datasets.CAIDAChicago(publicCorpusSize(s), s.Seed+500)
+	if withV0 {
+		cfg := s.NetShare
+		cfg.Chunks = 1
+		cfg.Seed = s.Seed
+		cfg.SeedSteps = s.NetShare.SeedSteps * s.NetShare.Chunks
+		v0, err := core.TrainPacketSynthesizer(real, public, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("netshare-v0 on %s: %w", dataset, err)
+		}
+		z.add("netshare-v0", v0.Generate(gen), v0.Stats().CPUTime)
+	}
+	if netshare {
+		cfg := s.NetShare
+		cfg.Seed = s.Seed
+		cfg.Parallel = false
+		ns, err := core.TrainPacketSynthesizer(real, public, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("netshare on %s: %w", dataset, err)
+		}
+		z.add("netshare", ns.Generate(gen), ns.Stats().CPUTime)
+	}
+	return z, nil
+}
+
+func (z *packetZoo) add(name string, t *trace.PacketTrace, d time.Duration) {
+	z.syn[name] = t
+	z.times[name] = d
+	z.order = append(z.order, name)
+}

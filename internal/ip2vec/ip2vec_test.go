@@ -1,0 +1,211 @@
+package ip2vec
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/trace"
+)
+
+// corpus builds sentences where port 80 and 443 co-occur with TCP, and 53
+// with UDP, so the embedding should place 80 nearer 443 than 53.
+func corpus() [][]Word {
+	var out [][]Word
+	for i := 0; i < 300; i++ {
+		switch i % 3 {
+		case 0:
+			out = append(out, []Word{IPWord(1), PortWord(80), ProtoWord(trace.TCP)})
+		case 1:
+			out = append(out, []Word{IPWord(2), PortWord(443), ProtoWord(trace.TCP)})
+		default:
+			out = append(out, []Word{IPWord(3), PortWord(53), ProtoWord(trace.UDP)})
+		}
+	}
+	return out
+}
+
+func TestTrainBasics(t *testing.T) {
+	m, err := Train(corpus(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 IP words + 3 port words + 2 proto words.
+	if m.VocabSize() != 8 {
+		t.Fatalf("vocab size = %d, want 8", m.VocabSize())
+	}
+	if _, ok := m.Vector(PortWord(80)); !ok {
+		t.Fatal("port 80 must be in vocabulary")
+	}
+	if _, ok := m.Vector(PortWord(9999)); ok {
+		t.Fatal("unseen port must not be in vocabulary")
+	}
+}
+
+func TestTrainRejectsBadConfig(t *testing.T) {
+	if _, err := Train(corpus(), Config{}); err == nil {
+		t.Fatal("zero config must be rejected")
+	}
+	if _, err := Train(nil, DefaultConfig()); err == nil {
+		t.Fatal("empty corpus must be rejected")
+	}
+}
+
+func TestSemanticStructure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 20
+	m, err := Train(corpus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TCP service ports should be mutually closer than to the UDP port.
+	simTCP := m.Similarity(PortWord(80), PortWord(443))
+	simCross := m.Similarity(PortWord(80), PortWord(53))
+	if simTCP <= simCross {
+		t.Fatalf("co-occurring TCP ports should embed closer: %v vs %v", simTCP, simCross)
+	}
+}
+
+func TestNearestRecoversWord(t *testing.T) {
+	m, err := Train(corpus(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.Vector(PortWord(443))
+	w, ok := m.Nearest(KindPort, v)
+	if !ok || w != PortWord(443) {
+		t.Fatalf("Nearest = %v, want port 443", w)
+	}
+	// Kind restriction: the nearest IP word is an IP even for a port vector.
+	w, ok = m.Nearest(KindIP, v)
+	if !ok || w.Kind != KindIP {
+		t.Fatalf("Nearest(KindIP) = %v", w)
+	}
+}
+
+func TestNearestNoisy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epochs = 15
+	m, err := Train(corpus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.Vector(PortWord(80))
+	noisy := make([]float64, len(v))
+	for i, x := range v {
+		noisy[i] = x + 0.01
+	}
+	w, _ := m.Nearest(KindPort, noisy)
+	if w != PortWord(80) {
+		t.Fatalf("small perturbation should still decode to 80, got %v", w)
+	}
+}
+
+func TestWordsByKind(t *testing.T) {
+	m, err := Train(corpus(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := m.Words(KindPort)
+	if len(ports) != 3 {
+		t.Fatalf("got %d port words", len(ports))
+	}
+	for i := 1; i < len(ports); i++ {
+		if ports[i].Value < ports[i-1].Value {
+			t.Fatal("Words must be sorted by value")
+		}
+	}
+}
+
+func TestPublicCorpusCoversServicePorts(t *testing.T) {
+	// The Insight 2 claim: a public backbone trace covers the service ports
+	// the private data uses, so the embedding trained on public data can
+	// decode private generations.
+	public := datasets.CAIDAChicago(4000, 1)
+	sentences := PacketSentences(public)
+	if len(sentences) == 0 {
+		t.Fatal("no sentences")
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 2
+	m, err := Train(sentences, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range trace.ServicePorts {
+		if !m.Has(PortWord(p)) {
+			t.Fatalf("public embedding missing service port %d", p)
+		}
+	}
+	for _, proto := range []trace.Protocol{trace.TCP, trace.UDP} {
+		if !m.Has(ProtoWord(proto)) {
+			t.Fatalf("public embedding missing protocol %v", proto)
+		}
+	}
+}
+
+func TestFlowSentencesDedup(t *testing.T) {
+	tpl := trace.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: trace.TCP}
+	tr := &trace.FlowTrace{Records: []trace.FlowRecord{
+		{Tuple: tpl}, {Tuple: tpl}, {Tuple: tpl.Reverse()},
+	}}
+	s := FlowSentences(tr)
+	if len(s) != 2 {
+		t.Fatalf("got %d sentences, want 2 (dedup by tuple)", len(s))
+	}
+	if len(s[0]) != 5 {
+		t.Fatalf("sentence length %d, want 5", len(s[0]))
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m, err := Train(corpus(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.VocabSize() != m.VocabSize() || back.Dim != m.Dim {
+		t.Fatal("vocabulary lost in round trip")
+	}
+	for _, w := range m.Words(KindPort) {
+		v1, _ := m.Vector(w)
+		v2, ok := back.Vector(w)
+		if !ok {
+			t.Fatalf("word %v lost", w)
+		}
+		for i := range v1 {
+			if v1[i] != v2[i] {
+				t.Fatal("vectors differ after round trip")
+			}
+		}
+	}
+	// Nearest-neighbour decode still works.
+	v, _ := back.Vector(PortWord(80))
+	if w, ok := back.Nearest(KindPort, v); !ok || w != PortWord(80) {
+		t.Fatalf("Nearest after decode = %v", w)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("nope")); err == nil {
+		t.Fatal("garbage must fail")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	m1, _ := Train(corpus(), DefaultConfig())
+	m2, _ := Train(corpus(), DefaultConfig())
+	v1, _ := m1.Vector(PortWord(80))
+	v2, _ := m2.Vector(PortWord(80))
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("same seed must give identical embeddings")
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package ip2vec
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// modelWire is the gob wire form of a trained Model.
+type modelWire struct {
+	Dim   int
+	Words []Word
+	Vecs  [][]float64
+}
+
+// Encode serializes the trained dictionary (vocabulary and embedding
+// vectors; training state is not persisted).
+func (m *Model) Encode() ([]byte, error) {
+	w := modelWire{Dim: m.Dim, Words: m.words, Vecs: m.vecs}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("ip2vec: encode model: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a model produced by Encode.
+func Decode(b []byte) (*Model, error) {
+	var w modelWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("ip2vec: decode model: %w", err)
+	}
+	if w.Dim <= 0 || len(w.Words) != len(w.Vecs) {
+		return nil, fmt.Errorf("ip2vec: malformed model (dim %d, %d words, %d vectors)",
+			w.Dim, len(w.Words), len(w.Vecs))
+	}
+	m := &Model{Dim: w.Dim, words: w.Words, vecs: w.Vecs, index: make(map[Word]int, len(w.Words))}
+	for i, word := range w.Words {
+		if len(w.Vecs[i]) != w.Dim {
+			return nil, fmt.Errorf("ip2vec: vector %d has width %d, want %d", i, len(w.Vecs[i]), w.Dim)
+		}
+		m.index[word] = i
+	}
+	return m, nil
+}

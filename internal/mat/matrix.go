@@ -1,0 +1,316 @@
+// Package mat provides the dense float64 matrix and vector arithmetic that
+// underpins the neural-network stack. It is deliberately small: row-major
+// matrices, the handful of BLAS-like kernels the GAN training loops need,
+// and nothing else. All operations are deterministic given a seeded
+// rand.Rand, so experiments are reproducible.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+//
+// The zero value is an empty matrix; use New or NewFrom to create a usable
+// one. Methods that return a Matrix allocate a fresh result unless their
+// documentation says otherwise.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// New returns a zero-initialized rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewFrom returns a rows×cols matrix backed by a copy of data.
+func NewFrom(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: data length %d != %d*%d", len(data), rows, cols))
+	}
+	m := New(rows, cols)
+	copy(m.Data, data)
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a slice aliasing row i. Mutating it mutates the matrix.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	return NewFrom(m.Rows, m.Cols, m.Data)
+}
+
+// CopyFrom copies src's contents into m. Shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("mat: CopyFrom shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every element of m to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// RandNorm fills m with N(0, std²) samples from r.
+func (m *Matrix) RandNorm(r *rand.Rand, std float64) {
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat64() * std
+	}
+}
+
+// Xavier fills m with the Glorot-uniform initialization for a layer with
+// fanIn inputs and fanOut outputs.
+func (m *Matrix) Xavier(r *rand.Rand, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range m.Data {
+		m.Data[i] = (r.Float64()*2 - 1) * limit
+	}
+}
+
+// MulInto computes dst = a·b. dst must be a.Rows×b.Cols and must not alias
+// a or b. It panics on shape mismatch.
+func MulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul inner dims %d != %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: Mul dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	dst.Zero()
+	// ikj loop order: streams through b and dst rows sequentially.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range brow {
+				drow[j] += aik * brow[j]
+			}
+		}
+	}
+}
+
+// Mul returns a·b.
+func Mul(a, b *Matrix) *Matrix {
+	dst := New(a.Rows, b.Cols)
+	MulInto(dst, a, b)
+	return dst
+}
+
+// MulTransAInto computes dst = aᵀ·b without materializing aᵀ.
+func MulTransAInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: MulTransA inner dims %d != %d", a.Rows, b.Rows))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulTransA dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	dst.Zero()
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, aki := range arow {
+			if aki == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j := range brow {
+				drow[j] += aki * brow[j]
+			}
+		}
+	}
+}
+
+// MulTransA returns aᵀ·b.
+func MulTransA(a, b *Matrix) *Matrix {
+	dst := New(a.Cols, b.Cols)
+	MulTransAInto(dst, a, b)
+	return dst
+}
+
+// MulTransBInto computes dst = a·bᵀ without materializing bᵀ.
+func MulTransBInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulTransB inner dims %d != %d", a.Cols, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MulTransB dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			drow[j] = s
+		}
+	}
+}
+
+// MulTransB returns a·bᵀ.
+func MulTransB(a, b *Matrix) *Matrix {
+	dst := New(a.Rows, b.Rows)
+	MulTransBInto(dst, a, b)
+	return dst
+}
+
+// Add computes m += other, element-wise.
+func (m *Matrix) Add(other *Matrix) {
+	m.assertSameShape(other, "Add")
+	for i, v := range other.Data {
+		m.Data[i] += v
+	}
+}
+
+// Sub computes m -= other, element-wise.
+func (m *Matrix) Sub(other *Matrix) {
+	m.assertSameShape(other, "Sub")
+	for i, v := range other.Data {
+		m.Data[i] -= v
+	}
+}
+
+// Scale multiplies every element of m by s.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddScaled computes m += s*other.
+func (m *Matrix) AddScaled(other *Matrix, s float64) {
+	m.assertSameShape(other, "AddScaled")
+	for i, v := range other.Data {
+		m.Data[i] += s * v
+	}
+}
+
+// Hadamard computes m *= other, element-wise.
+func (m *Matrix) Hadamard(other *Matrix) {
+	m.assertSameShape(other, "Hadamard")
+	for i, v := range other.Data {
+		m.Data[i] *= v
+	}
+}
+
+// AddRowVec adds the 1×Cols vector v to every row of m (bias broadcast).
+func (m *Matrix) AddRowVec(v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("mat: AddRowVec len %d != cols %d", len(v), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+}
+
+// ColSums returns the per-column sums of m as a length-Cols slice.
+func (m *Matrix) ColSums() []float64 {
+	sums := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			sums[j] += v
+		}
+	}
+	return sums
+}
+
+// Apply replaces every element x of m with f(x).
+func (m *Matrix) Apply(f func(float64) float64) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// Norm returns the Frobenius norm of m.
+func (m *Matrix) Norm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute element value of m.
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+func (m *Matrix) assertSameShape(other *Matrix, op string) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+}
+
+// Dot returns the inner product of equal-length vectors a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// VecNorm returns the L2 norm of v.
+func VecNorm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Lerp returns a + t*(b-a) element-wise as a new slice.
+func Lerp(a, b []float64, t float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: Lerp length mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + t*(b[i]-a[i])
+	}
+	return out
+}

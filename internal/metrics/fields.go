@@ -1,0 +1,204 @@
+package metrics
+
+import (
+	"repro/internal/trace"
+)
+
+// Per-field fidelity reporting for Figure 10 (and appendix Figures 16/17):
+// JSD over the categorical fields SA, DA, SP, DP, PR and EMD over the
+// continuous fields TS, TD, PKT, BYT (NetFlow) / PS, PAT, FS (PCAP).
+
+// FlowJSDFields are the categorical NetFlow fields, in paper order.
+var FlowJSDFields = []string{"SA", "DA", "SP", "DP", "PR"}
+
+// FlowEMDFields are the continuous NetFlow fields, in paper order.
+var FlowEMDFields = []string{"TS", "TD", "PKT", "BYT"}
+
+// PacketJSDFields are the categorical PCAP fields, in paper order.
+var PacketJSDFields = []string{"SA", "DA", "SP", "DP", "PR"}
+
+// PacketEMDFields are the continuous PCAP fields, in paper order.
+var PacketEMDFields = []string{"PS", "PAT", "FS"}
+
+// FieldReport holds per-field divergences between one real trace and one
+// synthetic trace.
+type FieldReport struct {
+	JSD map[string]float64 // categorical fields
+	EMD map[string]float64 // continuous fields (raw, unnormalized)
+}
+
+// AvgJSD returns the mean JSD across categorical fields.
+func (r FieldReport) AvgJSD() float64 {
+	var s float64
+	for _, v := range r.JSD {
+		s += v
+	}
+	if len(r.JSD) == 0 {
+		return 0
+	}
+	return s / float64(len(r.JSD))
+}
+
+// AvgEMD returns the mean raw EMD across continuous fields. Cross-model
+// comparison should normalize per field first (see NormalizeReports).
+func (r FieldReport) AvgEMD() float64 {
+	var s float64
+	for _, v := range r.EMD {
+		s += v
+	}
+	if len(r.EMD) == 0 {
+		return 0
+	}
+	return s / float64(len(r.EMD))
+}
+
+// flowCategorical extracts the count distribution of a categorical field.
+func flowCategorical(t *trace.FlowTrace, field string) map[uint64]float64 {
+	out := make(map[uint64]float64)
+	for _, r := range t.Records {
+		out[flowKey(r, field)]++
+	}
+	return out
+}
+
+func flowKey(r trace.FlowRecord, field string) uint64 {
+	switch field {
+	case "SA":
+		return uint64(r.Tuple.SrcIP)
+	case "DA":
+		return uint64(r.Tuple.DstIP)
+	case "SP":
+		return uint64(r.Tuple.SrcPort)
+	case "DP":
+		return uint64(r.Tuple.DstPort)
+	case "PR":
+		return uint64(r.Tuple.Proto)
+	}
+	panic("metrics: unknown flow categorical field " + field)
+}
+
+// flowContinuous extracts the sample list of a continuous field.
+func flowContinuous(t *trace.FlowTrace, field string) []float64 {
+	out := make([]float64, 0, len(t.Records))
+	for _, r := range t.Records {
+		switch field {
+		case "TS":
+			out = append(out, float64(r.Start)/1000) // ms, per paper
+		case "TD":
+			out = append(out, float64(r.Duration)/1000)
+		case "PKT":
+			out = append(out, float64(r.Packets))
+		case "BYT":
+			out = append(out, float64(r.Bytes))
+		default:
+			panic("metrics: unknown flow continuous field " + field)
+		}
+	}
+	return out
+}
+
+// CompareFlows computes the Figure 10 field report between a real and a
+// synthetic NetFlow trace.
+func CompareFlows(real, syn *trace.FlowTrace) FieldReport {
+	rep := FieldReport{JSD: map[string]float64{}, EMD: map[string]float64{}}
+	for _, f := range FlowJSDFields {
+		rep.JSD[f] = JSD(flowCategorical(real, f), flowCategorical(syn, f))
+	}
+	for _, f := range FlowEMDFields {
+		rep.EMD[f] = EMD(flowContinuous(real, f), flowContinuous(syn, f))
+	}
+	return rep
+}
+
+func packetCategorical(t *trace.PacketTrace, field string) map[uint64]float64 {
+	out := make(map[uint64]float64)
+	for _, p := range t.Packets {
+		switch field {
+		case "SA":
+			out[uint64(p.Tuple.SrcIP)]++
+		case "DA":
+			out[uint64(p.Tuple.DstIP)]++
+		case "SP":
+			out[uint64(p.Tuple.SrcPort)]++
+		case "DP":
+			out[uint64(p.Tuple.DstPort)]++
+		case "PR":
+			out[uint64(p.Tuple.Proto)]++
+		default:
+			panic("metrics: unknown packet categorical field " + field)
+		}
+	}
+	return out
+}
+
+func packetContinuous(t *trace.PacketTrace, field string) []float64 {
+	switch field {
+	case "PS":
+		out := make([]float64, len(t.Packets))
+		for i, p := range t.Packets {
+			out[i] = float64(p.Size)
+		}
+		return out
+	case "PAT":
+		out := make([]float64, len(t.Packets))
+		for i, p := range t.Packets {
+			out[i] = float64(p.Time) / 1000 // ms
+		}
+		return out
+	case "FS":
+		return trace.FlowSizeDistribution(trace.SplitFlows(t))
+	}
+	panic("metrics: unknown packet continuous field " + field)
+}
+
+// ComparePackets computes the Figure 10 field report between a real and a
+// synthetic PCAP trace.
+func ComparePackets(real, syn *trace.PacketTrace) FieldReport {
+	rep := FieldReport{JSD: map[string]float64{}, EMD: map[string]float64{}}
+	for _, f := range PacketJSDFields {
+		rep.JSD[f] = JSD(packetCategorical(real, f), packetCategorical(syn, f))
+	}
+	for _, f := range PacketEMDFields {
+		rep.EMD[f] = EMD(packetContinuous(real, f), packetContinuous(syn, f))
+	}
+	return rep
+}
+
+// NormalizeReports rewrites the EMD entries of multiple models' reports to
+// the paper's per-field [0.1, 0.9] normalization so AvgEMD values are
+// comparable across models, and returns the per-model averages (avgJSD,
+// avgNormEMD) keyed like the input.
+func NormalizeReports(reports map[string]FieldReport) (avgJSD, avgNormEMD map[string]float64) {
+	avgJSD = make(map[string]float64, len(reports))
+	avgNormEMD = make(map[string]float64, len(reports))
+	if len(reports) == 0 {
+		return avgJSD, avgNormEMD
+	}
+	// Collect model order and field set.
+	var names []string
+	for name := range reports {
+		names = append(names, name)
+	}
+	var fields []string
+	for f := range reports[names[0]].EMD {
+		fields = append(fields, f)
+	}
+	normSums := make(map[string]float64, len(names))
+	for _, f := range fields {
+		vals := make([]float64, len(names))
+		for i, n := range names {
+			vals[i] = reports[n].EMD[f]
+		}
+		norm := NormalizeEMD(vals)
+		for i, n := range names {
+			normSums[n] += norm[i]
+		}
+	}
+	for _, n := range names {
+		avgJSD[n] = reports[n].AvgJSD()
+		if len(fields) > 0 {
+			avgNormEMD[n] = normSums[n] / float64(len(fields))
+		}
+	}
+	return avgJSD, avgNormEMD
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import "repro/internal/trace"
+
+// Overfitting measurement (paper §8, "Measuring overfitting"): the paper's
+// preliminary analysis measures the ratio of overlap between synthetic and
+// real values of source/destination IPs and five-tuples. A high *tuple*
+// overlap signals memorization (the model replays training records); high
+// *address* overlap alone is expected, since bit-encoded generators learn
+// the trace's subnets.
+
+// OverlapReport holds the fraction of distinct synthetic values that also
+// appear in the real trace, per identifier granularity.
+type OverlapReport struct {
+	SrcIP     float64
+	DstIP     float64
+	FiveTuple float64
+}
+
+// FlowOverlap computes the overlap report between a real and a synthetic
+// flow trace.
+func FlowOverlap(real, syn *trace.FlowTrace) OverlapReport {
+	realSrc := make(map[trace.IPv4]bool)
+	realDst := make(map[trace.IPv4]bool)
+	realTuple := make(map[trace.FiveTuple]bool)
+	for _, r := range real.Records {
+		realSrc[r.Tuple.SrcIP] = true
+		realDst[r.Tuple.DstIP] = true
+		realTuple[r.Tuple] = true
+	}
+	synSrc := make(map[trace.IPv4]bool)
+	synDst := make(map[trace.IPv4]bool)
+	synTuple := make(map[trace.FiveTuple]bool)
+	for _, r := range syn.Records {
+		synSrc[r.Tuple.SrcIP] = true
+		synDst[r.Tuple.DstIP] = true
+		synTuple[r.Tuple] = true
+	}
+	return OverlapReport{
+		SrcIP:     overlapIP(synSrc, realSrc),
+		DstIP:     overlapIP(synDst, realDst),
+		FiveTuple: overlapTuple(synTuple, realTuple),
+	}
+}
+
+// PacketOverlap computes the overlap report between packet traces.
+func PacketOverlap(real, syn *trace.PacketTrace) OverlapReport {
+	toFlow := func(t *trace.PacketTrace) *trace.FlowTrace {
+		out := &trace.FlowTrace{}
+		for _, p := range t.Packets {
+			out.Records = append(out.Records, trace.FlowRecord{Tuple: p.Tuple})
+		}
+		return out
+	}
+	return FlowOverlap(toFlow(real), toFlow(syn))
+}
+
+func overlapIP(syn, real map[trace.IPv4]bool) float64 {
+	if len(syn) == 0 {
+		return 0
+	}
+	n := 0
+	for ip := range syn {
+		if real[ip] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(syn))
+}
+
+func overlapTuple(syn, real map[trace.FiveTuple]bool) float64 {
+	if len(syn) == 0 {
+		return 0
+	}
+	n := 0
+	for ft := range syn {
+		if real[ft] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(syn))
+}
+
+// IATSamples returns the within-flow packet inter-arrival times of a
+// packet trace in microseconds — the fine-grained temporal property §8
+// lists as future work; exposed here so the extension benchmark can track
+// it.
+func IATSamples(t *trace.PacketTrace) []float64 {
+	var out []float64
+	for _, f := range trace.SplitFlows(t) {
+		for i := 1; i < len(f.Packets); i++ {
+			out = append(out, float64(f.Packets[i].Time-f.Packets[i-1].Time))
+		}
+	}
+	return out
+}
+
+// CompareIAT returns the EMD between the within-flow inter-arrival
+// distributions of two packet traces, and whether both traces had any
+// multi-packet flows to compare.
+func CompareIAT(real, syn *trace.PacketTrace) (float64, bool) {
+	a, b := IATSamples(real), IATSamples(syn)
+	if len(a) == 0 || len(b) == 0 {
+		return 0, false
+	}
+	return EMD(a, b), true
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/trace"
+)
+
+func tuple(src byte) trace.FiveTuple {
+	return trace.FiveTuple{
+		SrcIP: trace.IPv4FromBytes(10, 0, 0, src), DstIP: trace.IPv4FromBytes(10, 0, 1, src),
+		SrcPort: 1000 + uint16(src), DstPort: 80, Proto: trace.TCP,
+	}
+}
+
+func TestFlowOverlapMemorizedCopy(t *testing.T) {
+	real := &trace.FlowTrace{Records: []trace.FlowRecord{
+		{Tuple: tuple(1)}, {Tuple: tuple(2)},
+	}}
+	rep := FlowOverlap(real, real)
+	if rep.SrcIP != 1 || rep.DstIP != 1 || rep.FiveTuple != 1 {
+		t.Fatalf("self overlap must be 1: %+v", rep)
+	}
+}
+
+func TestFlowOverlapDisjoint(t *testing.T) {
+	real := &trace.FlowTrace{Records: []trace.FlowRecord{{Tuple: tuple(1)}}}
+	syn := &trace.FlowTrace{Records: []trace.FlowRecord{{Tuple: tuple(9)}}}
+	rep := FlowOverlap(real, syn)
+	if rep.SrcIP != 0 || rep.FiveTuple != 0 {
+		t.Fatalf("disjoint overlap must be 0: %+v", rep)
+	}
+}
+
+func TestFlowOverlapSharedIPsNewTuples(t *testing.T) {
+	// The expected healthy pattern: addresses reused, tuples novel.
+	real := &trace.FlowTrace{Records: []trace.FlowRecord{{Tuple: tuple(1)}}}
+	ft := tuple(1)
+	ft.SrcPort = 2222 // same hosts, different ephemeral port
+	syn := &trace.FlowTrace{Records: []trace.FlowRecord{{Tuple: ft}}}
+	rep := FlowOverlap(real, syn)
+	if rep.SrcIP != 1 || rep.DstIP != 1 {
+		t.Fatalf("addresses should overlap: %+v", rep)
+	}
+	if rep.FiveTuple != 0 {
+		t.Fatalf("novel tuple should not overlap: %+v", rep)
+	}
+}
+
+func TestFlowOverlapEmptySyn(t *testing.T) {
+	real := &trace.FlowTrace{Records: []trace.FlowRecord{{Tuple: tuple(1)}}}
+	rep := FlowOverlap(real, &trace.FlowTrace{})
+	if rep.SrcIP != 0 || rep.FiveTuple != 0 {
+		t.Fatalf("empty synthetic trace: %+v", rep)
+	}
+}
+
+func TestPacketOverlap(t *testing.T) {
+	real := datasets.CAIDA(500, 1)
+	rep := PacketOverlap(real, real)
+	if rep.FiveTuple != 1 {
+		t.Fatalf("self packet overlap must be 1: %+v", rep)
+	}
+	other := datasets.DC(500, 2)
+	rep = PacketOverlap(real, other)
+	if rep.FiveTuple != 0 {
+		t.Fatalf("different deployments should share no tuples: %+v", rep)
+	}
+}
+
+func TestIATSamples(t *testing.T) {
+	tpl := tuple(1)
+	tr := &trace.PacketTrace{Packets: []trace.Packet{
+		{Time: 0, Tuple: tpl}, {Time: 100, Tuple: tpl}, {Time: 250, Tuple: tpl},
+		{Time: 5, Tuple: tuple(2)}, // single-packet flow contributes nothing
+	}}
+	iats := IATSamples(tr)
+	if len(iats) != 2 || iats[0] != 100 || iats[1] != 150 {
+		t.Fatalf("IATSamples = %v", iats)
+	}
+}
+
+func TestCompareIAT(t *testing.T) {
+	a := datasets.CAIDA(1500, 3)
+	if d, ok := CompareIAT(a, a); !ok || d != 0 {
+		t.Fatalf("self IAT distance = %v ok=%v", d, ok)
+	}
+	b := datasets.DC(1500, 4)
+	d, ok := CompareIAT(a, b)
+	if !ok || d <= 0 {
+		t.Fatalf("cross IAT distance = %v ok=%v", d, ok)
+	}
+	// A single-packet-only trace is not comparable.
+	lonely := &trace.PacketTrace{Packets: []trace.Packet{{Time: 0, Tuple: tuple(1)}}}
+	if _, ok := CompareIAT(a, lonely); ok {
+		t.Fatal("single-packet trace must not be comparable")
+	}
+}

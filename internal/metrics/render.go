@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// RenderCDF draws a terminal comparison of two empirical CDFs (real vs
+// synthetic) as fixed-width rows — the textual analogue of the paper's CDF
+// figures. Each row is one quantile of the merged support with both CDF
+// values and a bar for the synthetic one.
+func RenderCDF(title string, real, syn []float64, rows int) string {
+	if rows < 2 {
+		rows = 2
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(real) == 0 || len(syn) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	rs := append([]float64(nil), real...)
+	ss := append([]float64(nil), syn...)
+	sort.Float64s(rs)
+	sort.Float64s(ss)
+
+	lo := math.Min(rs[0], ss[0])
+	hi := math.Max(rs[len(rs)-1], ss[len(ss)-1])
+	if hi == lo {
+		hi = lo + 1
+	}
+	fmt.Fprintf(&b, "  %12s  %8s  %8s  %s\n", "x", "F_real", "F_syn", "synthetic")
+	const barWidth = 30
+	for i := 0; i <= rows; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(rows)
+		fr := empiricalCDF(rs, x)
+		fs := empiricalCDF(ss, x)
+		bar := strings.Repeat("#", int(fs*barWidth+0.5))
+		fmt.Fprintf(&b, "  %12.4g  %8.3f  %8.3f  |%s\n", x, fr, fs, bar)
+	}
+	fmt.Fprintf(&b, "  EMD = %.4g\n", EMD(real, syn))
+	return b.String()
+}
+
+// empiricalCDF returns F(x) of sorted samples.
+func empiricalCDF(sorted []float64, x float64) float64 {
+	idx := sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(sorted))
+}

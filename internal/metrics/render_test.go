@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderCDFBasics(t *testing.T) {
+	real := []float64{1, 2, 3, 4, 5}
+	syn := []float64{1, 2, 3, 4, 5}
+	out := RenderCDF("flow size", real, syn, 5)
+	if !strings.Contains(out, "flow size") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "EMD = 0") {
+		t.Fatalf("identical distributions should show EMD 0:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + 6 quantile rows + EMD line
+	if len(lines) != 9 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderCDFEmpty(t *testing.T) {
+	out := RenderCDF("x", nil, []float64{1}, 4)
+	if !strings.Contains(out, "no data") {
+		t.Fatal("empty input must be reported")
+	}
+}
+
+func TestRenderCDFMonotoneBars(t *testing.T) {
+	real := []float64{0, 10}
+	syn := []float64{0, 1, 2, 10}
+	out := RenderCDF("t", real, syn, 8)
+	prev := -1
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.IndexByte(line, '|'); i >= 0 {
+			n := strings.Count(line[i:], "#")
+			if n < prev {
+				t.Fatalf("CDF bars must be monotone:\n%s", out)
+			}
+			prev = n
+		}
+	}
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	s := []float64{1, 2, 2, 3}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {2, 0.75}, {3, 1}, {99, 1},
+	}
+	for _, c := range cases {
+		if got := empiricalCDF(s, c.x); got != c.want {
+			t.Fatalf("F(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package mlmodels
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// regTree is a small regression tree (variance-reduction splits) used as
+// the weak learner of gradient boosting.
+type regTree struct {
+	maxDepth int
+	minLeaf  int
+	root     *regNode
+}
+
+type regNode struct {
+	feature   int
+	threshold float64
+	left      *regNode
+	right     *regNode
+	value     float64
+	leaf      bool
+}
+
+func (t *regTree) fit(X [][]float64, target []float64) {
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(X, target, idx, 0)
+}
+
+func meanAt(target []float64, idx []int) float64 {
+	var s float64
+	for _, i := range idx {
+		s += target[i]
+	}
+	return s / float64(len(idx))
+}
+
+func (t *regTree) build(X [][]float64, target []float64, idx []int, depth int) *regNode {
+	node := &regNode{leaf: true, value: meanAt(target, idx)}
+	if depth >= t.maxDepth || len(idx) < 2*t.minLeaf {
+		return node
+	}
+
+	var bestSSE = math.Inf(1)
+	bestFeature, bestThresh := -1, 0.0
+	order := make([]int, len(idx))
+	for f := 0; f < len(X[0]); f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		// Prefix sums for O(n) split evaluation.
+		var sumL, sumSqL float64
+		var sumR, sumSqR float64
+		for _, i := range order {
+			sumR += target[i]
+			sumSqR += target[i] * target[i]
+		}
+		for pos := 0; pos < len(order)-1; pos++ {
+			v := target[order[pos]]
+			sumL += v
+			sumSqL += v * v
+			sumR -= v
+			sumSqR -= v * v
+			if X[order[pos]][f] == X[order[pos+1]][f] {
+				continue
+			}
+			nl, nr := float64(pos+1), float64(len(order)-pos-1)
+			if int(nl) < t.minLeaf || int(nr) < t.minLeaf {
+				continue
+			}
+			sse := (sumSqL - sumL*sumL/nl) + (sumSqR - sumR*sumR/nr)
+			if sse < bestSSE {
+				bestSSE = sse
+				bestFeature = f
+				bestThresh = (X[order[pos]][f] + X[order[pos+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][bestFeature] <= bestThresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return node
+	}
+	node.leaf = false
+	node.feature = bestFeature
+	node.threshold = bestThresh
+	node.left = t.build(X, target, left, depth+1)
+	node.right = t.build(X, target, right, depth+1)
+	return node
+}
+
+func (t *regTree) predict(x []float64) float64 {
+	n := t.root
+	if n == nil {
+		return 0
+	}
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// GradientBoosting is multiclass gradient-boosted trees: per boosting
+// round, one regression tree per class fits the softmax residual
+// (one-hot − probability), as in standard GBM classification.
+type GradientBoosting struct {
+	Rounds    int
+	MaxDepth  int
+	Shrinkage float64
+
+	trees   [][]*regTree // [round][class]
+	classes int
+	rnd     *rand.Rand
+}
+
+// NewGradientBoosting returns a configured model.
+func NewGradientBoosting(rounds, maxDepth int, shrinkage float64, seed int64) *GradientBoosting {
+	return &GradientBoosting{
+		Rounds: rounds, MaxDepth: maxDepth, Shrinkage: shrinkage,
+		rnd: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Name implements Classifier.
+func (g *GradientBoosting) Name() string { return "GB" }
+
+// Fit implements Classifier.
+func (g *GradientBoosting) Fit(X [][]float64, y []int, classes int) error {
+	if err := checkFit(X, y, classes); err != nil {
+		return err
+	}
+	g.classes = classes
+	g.trees = g.trees[:0]
+
+	n := len(X)
+	scores := make([][]float64, n) // raw additive scores per class
+	for i := range scores {
+		scores[i] = make([]float64, classes)
+	}
+	probs := make([]float64, classes)
+	residual := make([]float64, n)
+
+	for round := 0; round < g.Rounds; round++ {
+		roundTrees := make([]*regTree, classes)
+		for c := 0; c < classes; c++ {
+			for i := 0; i < n; i++ {
+				copy(probs, scores[i])
+				softmaxInPlace(probs)
+				target := 0.0
+				if y[i] == c {
+					target = 1
+				}
+				residual[i] = target - probs[c]
+			}
+			tree := &regTree{maxDepth: g.MaxDepth, minLeaf: 4}
+			tree.fit(X, residual)
+			roundTrees[c] = tree
+			for i := 0; i < n; i++ {
+				scores[i][c] += g.Shrinkage * tree.predict(X[i])
+			}
+		}
+		g.trees = append(g.trees, roundTrees)
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (g *GradientBoosting) Predict(x []float64) int {
+	scores := make([]float64, g.classes)
+	for _, round := range g.trees {
+		for c, tree := range round {
+			scores[c] += g.Shrinkage * tree.predict(x)
+		}
+	}
+	best, bestV := 0, math.Inf(-1)
+	for c, v := range scores {
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,133 @@
+// Package mlmodels implements the five supervised classifiers of the
+// paper's flow-based traffic-type prediction task (Fig. 12 / Table 3):
+// Decision Tree, Logistic Regression, Random Forest, Gradient Boosting,
+// and a Multi-layer Perceptron — together with the feature extraction and
+// time-ordered train/test protocol of §6.2.
+package mlmodels
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Classifier is a multiclass supervised model.
+type Classifier interface {
+	// Name returns the model's paper abbreviation (DT, LR, RF, GB, MLP).
+	Name() string
+	// Fit trains on features X and labels y (class ids in [0, classes)).
+	Fit(X [][]float64, y []int, classes int) error
+	// Predict returns the class id for one feature vector.
+	Predict(x []float64) int
+}
+
+// Accuracy returns the fraction of correct predictions of c on (X, y).
+func Accuracy(c Classifier, X [][]float64, y []int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range X {
+		if c.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}
+
+// Features extracts the paper's prediction features from a flow record:
+// destination port, protocol, bytes per flow, packets per flow, and flow
+// duration (§6.2: "port number, protocol, bytes/flow, packets/flow, and
+// flow duration"). Counts are log-scaled so tree splits and linear models
+// behave on heavy-tailed supports.
+func Features(r trace.FlowRecord) []float64 {
+	return []float64{
+		float64(r.Tuple.DstPort),
+		float64(r.Tuple.Proto),
+		math.Log1p(float64(r.Bytes)),
+		math.Log1p(float64(r.Packets)),
+		math.Log1p(float64(r.Duration)),
+	}
+}
+
+// Dataset converts a flow trace into (X, y) with labels as class ids.
+func Dataset(t *trace.FlowTrace) ([][]float64, []int) {
+	X := make([][]float64, len(t.Records))
+	y := make([]int, len(t.Records))
+	for i, r := range t.Records {
+		X[i] = Features(r)
+		y[i] = int(r.Label)
+	}
+	return X, y
+}
+
+// TimeOrderedSplit sorts the trace by start time and splits it into
+// earlier trainFrac / later remainder, the protocol of Fig. 11.
+func TimeOrderedSplit(t *trace.FlowTrace, trainFrac float64) (train, test *trace.FlowTrace) {
+	recs := append([]trace.FlowRecord(nil), t.Records...)
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
+	cut := int(trainFrac * float64(len(recs)))
+	if cut < 1 {
+		cut = 1
+	}
+	if cut > len(recs) {
+		cut = len(recs)
+	}
+	return &trace.FlowTrace{Records: recs[:cut]}, &trace.FlowTrace{Records: recs[cut:]}
+}
+
+// NumClasses returns the class count needed to cover the labels of both
+// traces (at least 2).
+func NumClasses(traces ...*trace.FlowTrace) int {
+	maxLbl := 1
+	for _, t := range traces {
+		for _, r := range t.Records {
+			if int(r.Label) > maxLbl {
+				maxLbl = int(r.Label)
+			}
+		}
+	}
+	return maxLbl + 1
+}
+
+func checkFit(X [][]float64, y []int, classes int) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("mlmodels: need matching non-empty X/y, got %d/%d", len(X), len(y))
+	}
+	if classes < 2 {
+		return fmt.Errorf("mlmodels: need at least 2 classes, got %d", classes)
+	}
+	width := len(X[0])
+	for i, x := range X {
+		if len(x) != width {
+			return fmt.Errorf("mlmodels: row %d width %d, want %d", i, len(x), width)
+		}
+		if y[i] < 0 || y[i] >= classes {
+			return fmt.Errorf("mlmodels: label %d out of range [0,%d)", y[i], classes)
+		}
+	}
+	return nil
+}
+
+// ModelOrder lists the classifiers in the paper's figure order.
+var ModelOrder = []string{"DT", "LR", "RF", "GB", "MLP"}
+
+// NewByName constructs a default-configured classifier by its paper
+// abbreviation.
+func NewByName(name string, seed int64) (Classifier, error) {
+	switch name {
+	case "DT":
+		return NewDecisionTree(8, 4), nil
+	case "LR":
+		return NewLogisticRegression(0.1, 200, seed), nil
+	case "RF":
+		return NewRandomForest(10, 8, 4, seed), nil
+	case "GB":
+		return NewGradientBoosting(20, 3, 0.3, seed), nil
+	case "MLP":
+		return NewMLPClassifier(32, 150, 0.01, seed), nil
+	}
+	return nil, fmt.Errorf("mlmodels: unknown model %q", name)
+}

@@ -1,0 +1,191 @@
+package mlmodels
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/trace"
+)
+
+// blobs builds a linearly separable 3-class dataset.
+func blobs(n int, seed int64) ([][]float64, []int) {
+	r := rand.New(rand.NewSource(seed))
+	centers := [][]float64{{0, 0}, {5, 5}, {0, 6}}
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := i % 3
+		X[i] = []float64{
+			centers[c][0] + r.NormFloat64()*0.7,
+			centers[c][1] + r.NormFloat64()*0.7,
+		}
+		y[i] = c
+	}
+	return X, y
+}
+
+// xorData builds a non-linearly-separable 2-class dataset.
+func xorData(n int, seed int64) ([][]float64, []int) {
+	r := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		a, b := r.Float64(), r.Float64()
+		X[i] = []float64{a, b}
+		if (a > 0.5) != (b > 0.5) {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+func TestAllModelsLearnBlobs(t *testing.T) {
+	Xtr, ytr := blobs(300, 1)
+	Xte, yte := blobs(150, 2)
+	for _, name := range ModelOrder {
+		m, err := NewByName(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Name() != name {
+			t.Fatalf("Name() = %q, want %q", m.Name(), name)
+		}
+		if err := m.Fit(Xtr, ytr, 3); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if acc := Accuracy(m, Xte, yte); acc < 0.9 {
+			t.Fatalf("%s accuracy on blobs = %v, want > 0.9", name, acc)
+		}
+	}
+}
+
+func TestNonlinearModelsLearnXOR(t *testing.T) {
+	Xtr, ytr := xorData(400, 3)
+	Xte, yte := xorData(200, 4)
+	for _, name := range []string{"DT", "RF", "GB", "MLP"} {
+		m, _ := NewByName(name, 2)
+		if err := m.Fit(Xtr, ytr, 2); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if acc := Accuracy(m, Xte, yte); acc < 0.85 {
+			t.Fatalf("%s accuracy on XOR = %v, want > 0.85", name, acc)
+		}
+	}
+	// Linear LR must NOT solve XOR (sanity check that the task is
+	// genuinely nonlinear).
+	lr, _ := NewByName("LR", 2)
+	if err := lr.Fit(Xtr, ytr, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(lr, Xte, yte); acc > 0.75 {
+		t.Fatalf("LR should not solve XOR, got %v", acc)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	for _, name := range ModelOrder {
+		m, _ := NewByName(name, 1)
+		if err := m.Fit(nil, nil, 2); err == nil {
+			t.Fatalf("%s: empty data must fail", name)
+		}
+		if err := m.Fit([][]float64{{1}}, []int{0}, 1); err == nil {
+			t.Fatalf("%s: single class must fail", name)
+		}
+		if err := m.Fit([][]float64{{1}, {2}}, []int{0, 5}, 2); err == nil {
+			t.Fatalf("%s: out-of-range label must fail", name)
+		}
+		if err := m.Fit([][]float64{{1}, {2, 3}}, []int{0, 1}, 2); err == nil {
+			t.Fatalf("%s: ragged rows must fail", name)
+		}
+	}
+	if _, err := NewByName("SVM", 1); err == nil {
+		t.Fatal("unknown name must fail")
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	r := trace.FlowRecord{
+		Tuple:   trace.FiveTuple{DstPort: 443, Proto: trace.TCP},
+		Packets: 10, Bytes: 1000, Duration: 5000,
+	}
+	f := Features(r)
+	if len(f) != 5 {
+		t.Fatalf("feature width %d, want 5", len(f))
+	}
+	if f[0] != 443 || f[1] != float64(trace.TCP) {
+		t.Fatalf("port/proto features wrong: %v", f[:2])
+	}
+}
+
+func TestDatasetAndSplit(t *testing.T) {
+	tr := datasets.CIDDS(500, 1)
+	X, y := Dataset(tr)
+	if len(X) != 500 || len(y) != 500 {
+		t.Fatal("dataset size wrong")
+	}
+	train, test := TimeOrderedSplit(tr, 0.8)
+	if len(train.Records)+len(test.Records) != 500 {
+		t.Fatal("split lost records")
+	}
+	if len(train.Records) != 400 {
+		t.Fatalf("train size %d, want 400", len(train.Records))
+	}
+	// Every training record must start no later than every test record.
+	maxTrain := train.Records[len(train.Records)-1].Start
+	for _, r := range test.Records {
+		if r.Start < maxTrain {
+			t.Fatal("time ordering violated")
+		}
+	}
+}
+
+func TestNumClasses(t *testing.T) {
+	tr := datasets.TON(800, 2)
+	k := NumClasses(tr)
+	if k < 3 {
+		t.Fatalf("TON should have many classes, got %d", k)
+	}
+	empty := &trace.FlowTrace{}
+	if NumClasses(empty) != 2 {
+		t.Fatal("empty trace should default to 2 classes")
+	}
+}
+
+func TestClassifiersOnTrafficPrediction(t *testing.T) {
+	// The paper's actual task: predict traffic type from flow features on
+	// a labeled trace. All models should beat the majority-class baseline
+	// on CIDDS (82% benign) for at least the tree models.
+	tr := datasets.CIDDS(1200, 3)
+	train, test := TimeOrderedSplit(tr, 0.8)
+	Xtr, ytr := Dataset(train)
+	Xte, yte := Dataset(test)
+	k := NumClasses(tr)
+
+	majority := 0
+	counts := map[int]int{}
+	for _, l := range yte {
+		counts[l]++
+		if counts[l] > counts[majority] {
+			majority = l
+		}
+	}
+	majAcc := float64(counts[majority]) / float64(len(yte))
+
+	for _, name := range []string{"DT", "RF"} {
+		m, _ := NewByName(name, 3)
+		if err := m.Fit(Xtr, ytr, k); err != nil {
+			t.Fatal(err)
+		}
+		if acc := Accuracy(m, Xte, yte); acc <= majAcc {
+			t.Fatalf("%s accuracy %v should beat majority baseline %v", name, acc, majAcc)
+		}
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	m, _ := NewByName("DT", 1)
+	if Accuracy(m, nil, nil) != 0 {
+		t.Fatal("accuracy of empty set should be 0")
+	}
+}

@@ -1,0 +1,228 @@
+package mlmodels
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+)
+
+// standardizer z-scores features using training statistics.
+type standardizer struct {
+	mean, std []float64
+}
+
+func fitStandardizer(X [][]float64) *standardizer {
+	w := len(X[0])
+	s := &standardizer{mean: make([]float64, w), std: make([]float64, w)}
+	for _, x := range X {
+		for j, v := range x {
+			s.mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.mean {
+		s.mean[j] /= n
+	}
+	for _, x := range X {
+		for j, v := range x {
+			d := v - s.mean[j]
+			s.std[j] += d * d
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / n)
+		if s.std[j] == 0 {
+			s.std[j] = 1
+		}
+	}
+	return s
+}
+
+func (s *standardizer) apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return out
+}
+
+// LogisticRegression is multinomial (softmax) logistic regression trained
+// with minibatch SGD on standardized features.
+type LogisticRegression struct {
+	LR     float64
+	Epochs int
+
+	w       [][]float64 // classes × (features+1), last column is bias
+	classes int
+	scale   *standardizer
+	rnd     *rand.Rand
+}
+
+// NewLogisticRegression returns a configured model.
+func NewLogisticRegression(lr float64, epochs int, seed int64) *LogisticRegression {
+	return &LogisticRegression{LR: lr, Epochs: epochs, rnd: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Classifier.
+func (m *LogisticRegression) Name() string { return "LR" }
+
+// Fit implements Classifier.
+func (m *LogisticRegression) Fit(X [][]float64, y []int, classes int) error {
+	if err := checkFit(X, y, classes); err != nil {
+		return err
+	}
+	m.classes = classes
+	m.scale = fitStandardizer(X)
+	w := len(X[0])
+	m.w = make([][]float64, classes)
+	for c := range m.w {
+		m.w[c] = make([]float64, w+1)
+	}
+	scaled := make([][]float64, len(X))
+	for i, x := range X {
+		scaled[i] = m.scale.apply(x)
+	}
+	probs := make([]float64, classes)
+	for ep := 0; ep < m.Epochs; ep++ {
+		perm := m.rnd.Perm(len(scaled))
+		lr := m.LR / (1 + 0.01*float64(ep))
+		for _, i := range perm {
+			m.logits(scaled[i], probs)
+			softmaxInPlace(probs)
+			for c := 0; c < classes; c++ {
+				g := probs[c]
+				if c == y[i] {
+					g -= 1
+				}
+				wc := m.w[c]
+				for j, v := range scaled[i] {
+					wc[j] -= lr * g * v
+				}
+				wc[w] -= lr * g
+			}
+		}
+	}
+	return nil
+}
+
+func (m *LogisticRegression) logits(x []float64, out []float64) {
+	w := len(x)
+	for c := range m.w {
+		s := m.w[c][w]
+		for j, v := range x {
+			s += m.w[c][j] * v
+		}
+		out[c] = s
+	}
+}
+
+func softmaxInPlace(v []float64) {
+	mx := math.Inf(-1)
+	for _, x := range v {
+		if x > mx {
+			mx = x
+		}
+	}
+	var sum float64
+	for i, x := range v {
+		v[i] = math.Exp(x - mx)
+		sum += v[i]
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// Predict implements Classifier.
+func (m *LogisticRegression) Predict(x []float64) int {
+	probs := make([]float64, m.classes)
+	m.logits(m.scale.apply(x), probs)
+	best, bestV := 0, math.Inf(-1)
+	for c, v := range probs {
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}
+
+// MLPClassifier is a one-hidden-layer perceptron with softmax cross-entropy
+// training, built on internal/nn.
+type MLPClassifier struct {
+	Hidden int
+	Epochs int
+	LR     float64
+
+	net     *nn.MLP
+	head    *nn.OutputHead
+	scale   *standardizer
+	classes int
+	rnd     *rand.Rand
+	seed    int64
+}
+
+// NewMLPClassifier returns a configured model.
+func NewMLPClassifier(hidden, epochs int, lr float64, seed int64) *MLPClassifier {
+	return &MLPClassifier{Hidden: hidden, Epochs: epochs, LR: lr, seed: seed,
+		rnd: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Classifier.
+func (m *MLPClassifier) Name() string { return "MLP" }
+
+// Fit implements Classifier.
+func (m *MLPClassifier) Fit(X [][]float64, y []int, classes int) error {
+	if err := checkFit(X, y, classes); err != nil {
+		return err
+	}
+	m.classes = classes
+	m.scale = fitStandardizer(X)
+	w := len(X[0])
+	m.net = nn.NewMLP("mlp", []int{w, m.Hidden, classes}, nn.ReLU, nn.Identity, m.rnd)
+	m.head = nn.NewOutputHead([]nn.FieldSpec{{Name: "class", Kind: nn.FieldCategorical, Size: classes}})
+	opt := nn.NewAdam(m.LR)
+	opt.Beta1 = 0.9
+
+	scaled := make([][]float64, len(X))
+	for i, x := range X {
+		scaled[i] = m.scale.apply(x)
+	}
+	const batch = 32
+	for ep := 0; ep < m.Epochs; ep++ {
+		perm := m.rnd.Perm(len(scaled))
+		for off := 0; off+1 <= len(perm); off += batch {
+			end := off + batch
+			if end > len(perm) {
+				end = len(perm)
+			}
+			b := end - off
+			xb := mat.New(b, w)
+			yb := mat.New(b, classes)
+			for i := 0; i < b; i++ {
+				copy(xb.Row(i), scaled[perm[off+i]])
+				yb.Set(i, y[perm[off+i]], 1)
+			}
+			probs := m.head.Forward(m.net.Forward(xb))
+			_, grad := nn.CrossEntropyLoss(probs, yb)
+			m.net.Backward(m.head.Backward(grad))
+			opt.Step(m.net)
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (m *MLPClassifier) Predict(x []float64) int {
+	xb := mat.NewFrom(1, len(x), m.scale.apply(x))
+	probs := m.head.Forward(m.net.Forward(xb))
+	row := probs.Row(0)
+	best, bestV := 0, math.Inf(-1)
+	for c, v := range row {
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,244 @@
+package mlmodels
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// DecisionTree is a CART-style classification tree with Gini impurity
+// splits, depth and leaf-size limits.
+type DecisionTree struct {
+	MaxDepth    int
+	MinLeafSize int
+
+	root    *treeNode
+	classes int
+
+	// featureSubset, when positive, samples that many candidate features
+	// per split (used by RandomForest).
+	featureSubset int
+	rnd           *rand.Rand
+}
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	class     int // leaf prediction
+	leaf      bool
+}
+
+// NewDecisionTree returns a tree with the given depth and leaf limits.
+func NewDecisionTree(maxDepth, minLeaf int) *DecisionTree {
+	return &DecisionTree{MaxDepth: maxDepth, MinLeafSize: minLeaf}
+}
+
+// Name implements Classifier.
+func (t *DecisionTree) Name() string { return "DT" }
+
+// Fit implements Classifier.
+func (t *DecisionTree) Fit(X [][]float64, y []int, classes int) error {
+	if err := checkFit(X, y, classes); err != nil {
+		return err
+	}
+	t.classes = classes
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(X, y, idx, 0)
+	return nil
+}
+
+func majority(y []int, idx []int, classes int) int {
+	counts := make([]int, classes)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	best, bestC := 0, -1
+	for c, n := range counts {
+		if n > bestC {
+			best, bestC = c, n
+		}
+	}
+	return best
+}
+
+func gini(counts []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(total)
+		g -= p * p
+	}
+	return g
+}
+
+func (t *DecisionTree) build(X [][]float64, y []int, idx []int, depth int) *treeNode {
+	node := &treeNode{leaf: true, class: majority(y, idx, t.classes)}
+	if depth >= t.MaxDepth || len(idx) < 2*t.MinLeafSize {
+		return node
+	}
+	// Pure node?
+	pure := true
+	for _, i := range idx[1:] {
+		if y[i] != y[idx[0]] {
+			pure = false
+			break
+		}
+	}
+	if pure {
+		return node
+	}
+
+	nFeatures := len(X[0])
+	features := make([]int, nFeatures)
+	for f := range features {
+		features[f] = f
+	}
+	if t.featureSubset > 0 && t.featureSubset < nFeatures && t.rnd != nil {
+		t.rnd.Shuffle(nFeatures, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:t.featureSubset]
+	}
+
+	bestGain := -1.0
+	bestFeature, bestThresh := -1, 0.0
+	parentCounts := make([]int, t.classes)
+	for _, i := range idx {
+		parentCounts[y[i]]++
+	}
+	parentGini := gini(parentCounts, len(idx))
+
+	order := make([]int, len(idx))
+	for _, f := range features {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		leftCounts := make([]int, t.classes)
+		rightCounts := append([]int(nil), parentCounts...)
+		for pos := 0; pos < len(order)-1; pos++ {
+			i := order[pos]
+			leftCounts[y[i]]++
+			rightCounts[y[i]]--
+			if X[order[pos]][f] == X[order[pos+1]][f] {
+				continue
+			}
+			nl, nr := pos+1, len(order)-pos-1
+			if nl < t.MinLeafSize || nr < t.MinLeafSize {
+				continue
+			}
+			w := float64(nl)*gini(leftCounts, nl) + float64(nr)*gini(rightCounts, nr)
+			gain := parentGini - w/float64(len(order))
+			if gain > bestGain {
+				bestGain = gain
+				bestFeature = f
+				bestThresh = (X[order[pos]][f] + X[order[pos+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeature < 0 || bestGain <= 1e-12 {
+		return node
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		if X[i][bestFeature] <= bestThresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return node
+	}
+	node.leaf = false
+	node.feature = bestFeature
+	node.threshold = bestThresh
+	node.left = t.build(X, y, left, depth+1)
+	node.right = t.build(X, y, right, depth+1)
+	return node
+}
+
+// Predict implements Classifier.
+func (t *DecisionTree) Predict(x []float64) int {
+	n := t.root
+	if n == nil {
+		return 0
+	}
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.class
+}
+
+// RandomForest bags NumTrees feature-subsampled decision trees and
+// predicts by majority vote.
+type RandomForest struct {
+	NumTrees    int
+	MaxDepth    int
+	MinLeafSize int
+
+	trees   []*DecisionTree
+	classes int
+	rnd     *rand.Rand
+}
+
+// NewRandomForest returns a forest configuration.
+func NewRandomForest(numTrees, maxDepth, minLeaf int, seed int64) *RandomForest {
+	return &RandomForest{
+		NumTrees: numTrees, MaxDepth: maxDepth, MinLeafSize: minLeaf,
+		rnd: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Name implements Classifier.
+func (f *RandomForest) Name() string { return "RF" }
+
+// Fit implements Classifier.
+func (f *RandomForest) Fit(X [][]float64, y []int, classes int) error {
+	if err := checkFit(X, y, classes); err != nil {
+		return err
+	}
+	f.classes = classes
+	subset := int(math.Ceil(math.Sqrt(float64(len(X[0])))))
+	f.trees = f.trees[:0]
+	for k := 0; k < f.NumTrees; k++ {
+		// Bootstrap sample.
+		bx := make([][]float64, len(X))
+		by := make([]int, len(y))
+		for i := range bx {
+			j := f.rnd.Intn(len(X))
+			bx[i], by[i] = X[j], y[j]
+		}
+		tree := NewDecisionTree(f.MaxDepth, f.MinLeafSize)
+		tree.featureSubset = subset
+		tree.rnd = rand.New(rand.NewSource(f.rnd.Int63()))
+		if err := tree.Fit(bx, by, classes); err != nil {
+			return err
+		}
+		f.trees = append(f.trees, tree)
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (f *RandomForest) Predict(x []float64) int {
+	votes := make([]int, f.classes)
+	for _, t := range f.trees {
+		votes[t.Predict(x)]++
+	}
+	best, bestV := 0, -1
+	for c, v := range votes {
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,153 @@
+// Package netml reimplements the parts of the NetML library (Yang et al.
+// 2020) the paper's App #3 uses: the six flow-header representations
+// ("modes") — IAT, SIZE, IAT_SIZE, STATS, SAMP-NUM, SAMP-SIZE — and
+// one-class SVM anomaly detection over them. Per the original, only flows
+// with more than one packet are processed.
+package netml
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// Mode selects a flow representation.
+type Mode string
+
+// The six modes of the paper's Figure 14 / Table 4.
+const (
+	ModeIAT      Mode = "IAT"
+	ModeSize     Mode = "SIZE"
+	ModeIATSize  Mode = "IAT_SIZE"
+	ModeStats    Mode = "STATS"
+	ModeSampNum  Mode = "SAMP-NUM"
+	ModeSampSize Mode = "SAMP-SIZE"
+)
+
+// Modes lists all modes in paper order.
+var Modes = []Mode{ModeIAT, ModeSize, ModeIATSize, ModeStats, ModeSampNum, ModeSampSize}
+
+// Representation parameters: fixed feature lengths keep vectors comparable
+// across flows (NetML pads/truncates the same way).
+const (
+	vecLen     = 10 // IAT / SIZE vector length
+	sampWindow = 10 // SAMP-* window count
+)
+
+// Featurize converts one multi-packet flow into the mode's feature vector.
+// It returns false for flows NetML skips (fewer than two packets).
+func Featurize(f *trace.PacketFlow, mode Mode) ([]float64, bool) {
+	if len(f.Packets) < 2 {
+		return nil, false
+	}
+	switch mode {
+	case ModeIAT:
+		return iatVec(f), true
+	case ModeSize:
+		return sizeVec(f), true
+	case ModeIATSize:
+		return append(iatVec(f), sizeVec(f)...), true
+	case ModeStats:
+		return statsVec(f), true
+	case ModeSampNum:
+		return sampNumVec(f), true
+	case ModeSampSize:
+		return sampSizeVec(f), true
+	}
+	panic(fmt.Sprintf("netml: unknown mode %q", mode))
+}
+
+// iatVec is the first vecLen inter-arrival times (microseconds, log-scaled),
+// zero padded.
+func iatVec(f *trace.PacketFlow) []float64 {
+	out := make([]float64, vecLen)
+	for i := 1; i < len(f.Packets) && i <= vecLen; i++ {
+		out[i-1] = math.Log1p(float64(f.Packets[i].Time - f.Packets[i-1].Time))
+	}
+	return out
+}
+
+// sizeVec is the first vecLen packet sizes, zero padded.
+func sizeVec(f *trace.PacketFlow) []float64 {
+	out := make([]float64, vecLen)
+	for i := 0; i < len(f.Packets) && i < vecLen; i++ {
+		out[i] = float64(f.Packets[i].Size)
+	}
+	return out
+}
+
+// statsVec is NetML's summary statistics: duration, packet count, packets
+// per second, bytes per second, and size mean/std/min/max/median-ish.
+func statsVec(f *trace.PacketFlow) []float64 {
+	durUS := float64(f.End() - f.Start())
+	durS := durUS / 1e6
+	n := float64(len(f.Packets))
+	var sum, sumSq float64
+	minS, maxS := math.Inf(1), math.Inf(-1)
+	for _, p := range f.Packets {
+		s := float64(p.Size)
+		sum += s
+		sumSq += s * s
+		if s < minS {
+			minS = s
+		}
+		if s > maxS {
+			maxS = s
+		}
+	}
+	mean := sum / n
+	std := math.Sqrt(math.Max(sumSq/n-mean*mean, 0))
+	pps, bps := 0.0, 0.0
+	if durS > 0 {
+		pps = n / durS
+		bps = sum / durS
+	}
+	return []float64{
+		math.Log1p(durUS), n, math.Log1p(pps), math.Log1p(bps),
+		mean, std, minS, maxS,
+	}
+}
+
+// sampNumVec counts packets in sampWindow equal time windows over the
+// flow's duration.
+func sampNumVec(f *trace.PacketFlow) []float64 {
+	out := make([]float64, sampWindow)
+	start := f.Start()
+	span := f.End() - start + 1
+	for _, p := range f.Packets {
+		w := int((p.Time - start) * int64(sampWindow) / span)
+		if w >= sampWindow {
+			w = sampWindow - 1
+		}
+		out[w]++
+	}
+	return out
+}
+
+// sampSizeVec sums packet bytes in sampWindow equal time windows.
+func sampSizeVec(f *trace.PacketFlow) []float64 {
+	out := make([]float64, sampWindow)
+	start := f.Start()
+	span := f.End() - start + 1
+	for _, p := range f.Packets {
+		w := int((p.Time - start) * int64(sampWindow) / span)
+		if w >= sampWindow {
+			w = sampWindow - 1
+		}
+		out[w] += float64(p.Size)
+	}
+	return out
+}
+
+// FeaturizeTrace extracts the mode's features for every processable flow
+// of a packet trace.
+func FeaturizeTrace(t *trace.PacketTrace, mode Mode) [][]float64 {
+	var out [][]float64
+	for _, f := range trace.SplitFlows(t) {
+		if v, ok := Featurize(f, mode); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package netml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/trace"
+)
+
+func flowOf(times []int64, sizes []int) *trace.PacketFlow {
+	tpl := trace.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: trace.TCP}
+	f := &trace.PacketFlow{Tuple: tpl}
+	for i := range times {
+		f.Packets = append(f.Packets, trace.Packet{Time: times[i], Tuple: tpl, Size: sizes[i]})
+	}
+	return f
+}
+
+func TestFeaturizeSkipsSinglePacketFlows(t *testing.T) {
+	f := flowOf([]int64{0}, []int{100})
+	for _, mode := range Modes {
+		if _, ok := Featurize(f, mode); ok {
+			t.Fatalf("mode %s must skip single-packet flows", mode)
+		}
+	}
+}
+
+func TestIATVec(t *testing.T) {
+	f := flowOf([]int64{0, 100, 300}, []int{40, 40, 40})
+	v, ok := Featurize(f, ModeIAT)
+	if !ok || len(v) != vecLen {
+		t.Fatalf("IAT featurize failed: %v", v)
+	}
+	if math.Abs(v[0]-math.Log1p(100)) > 1e-9 || math.Abs(v[1]-math.Log1p(200)) > 1e-9 {
+		t.Fatalf("IAT values wrong: %v", v[:2])
+	}
+	if v[2] != 0 {
+		t.Fatal("padding must be zero")
+	}
+}
+
+func TestSizeVecAndConcat(t *testing.T) {
+	f := flowOf([]int64{0, 10}, []int{40, 1500})
+	v, _ := Featurize(f, ModeSize)
+	if v[0] != 40 || v[1] != 1500 {
+		t.Fatalf("SIZE values wrong: %v", v[:2])
+	}
+	both, _ := Featurize(f, ModeIATSize)
+	if len(both) != 2*vecLen {
+		t.Fatalf("IAT_SIZE width %d", len(both))
+	}
+}
+
+func TestStatsVec(t *testing.T) {
+	f := flowOf([]int64{0, 1_000_000}, []int{100, 300})
+	v, _ := Featurize(f, ModeStats)
+	if len(v) != 8 {
+		t.Fatalf("STATS width %d", len(v))
+	}
+	if v[1] != 2 {
+		t.Fatalf("packet count feature = %v", v[1])
+	}
+	if v[4] != 200 {
+		t.Fatalf("mean size = %v, want 200", v[4])
+	}
+	if v[6] != 100 || v[7] != 300 {
+		t.Fatalf("min/max = %v/%v", v[6], v[7])
+	}
+}
+
+func TestSampVectorsPartitionFlow(t *testing.T) {
+	f := flowOf([]int64{0, 10, 20, 99}, []int{50, 60, 70, 80})
+	num, _ := Featurize(f, ModeSampNum)
+	var total float64
+	for _, v := range num {
+		total += v
+	}
+	if total != 4 {
+		t.Fatalf("SAMP-NUM must count all packets, got %v", total)
+	}
+	size, _ := Featurize(f, ModeSampSize)
+	total = 0
+	for _, v := range size {
+		total += v
+	}
+	if total != 260 {
+		t.Fatalf("SAMP-SIZE must sum all bytes, got %v", total)
+	}
+}
+
+func TestFeaturizeTrace(t *testing.T) {
+	tr := datasets.CAIDA(2000, 1)
+	X := FeaturizeTrace(tr, ModeStats)
+	if len(X) == 0 {
+		t.Fatal("CAIDA trace must yield multi-packet flows")
+	}
+	flows := trace.SplitFlows(tr)
+	multi := 0
+	for _, f := range flows {
+		if len(f.Packets) > 1 {
+			multi++
+		}
+	}
+	if len(X) != multi {
+		t.Fatalf("featurized %d flows, want %d", len(X), multi)
+	}
+}
+
+func TestOCSVMFlagsOutliers(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	// Dense cluster plus clear outliers.
+	var X [][]float64
+	for i := 0; i < 300; i++ {
+		X = append(X, []float64{r.NormFloat64() * 0.3, r.NormFloat64() * 0.3})
+	}
+	m := NewOCSVM(0.1, 1)
+	if err := m.Fit(X); err != nil {
+		t.Fatal(err)
+	}
+	ratio := m.AnomalyRatio(X)
+	if ratio > 0.35 {
+		t.Fatalf("training-set anomaly ratio %v too high for nu=0.1", ratio)
+	}
+	// A far-away point must be flagged.
+	if !m.IsAnomaly([]float64{50, -50}) {
+		t.Fatal("distant outlier not flagged")
+	}
+}
+
+func TestOCSVMNuControlsRatio(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var X [][]float64
+	for i := 0; i < 400; i++ {
+		X = append(X, []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()})
+	}
+	lo := NewOCSVM(0.05, 1)
+	hi := NewOCSVM(0.4, 1)
+	if err := lo.Fit(X); err != nil {
+		t.Fatal(err)
+	}
+	if err := hi.Fit(X); err != nil {
+		t.Fatal(err)
+	}
+	if lo.AnomalyRatio(X) >= hi.AnomalyRatio(X) {
+		t.Fatalf("higher nu should flag more anomalies: %v vs %v",
+			lo.AnomalyRatio(X), hi.AnomalyRatio(X))
+	}
+}
+
+func TestOCSVMValidation(t *testing.T) {
+	m := NewOCSVM(0.1, 1)
+	if err := m.Fit(nil); err == nil {
+		t.Fatal("empty fit must fail")
+	}
+	bad := NewOCSVM(0, 1)
+	if err := bad.Fit([][]float64{{1}}); err == nil {
+		t.Fatal("nu=0 must fail")
+	}
+	if err := m.Fit([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged rows must fail")
+	}
+}
+
+func TestTraceAnomalyRatio(t *testing.T) {
+	tr := datasets.CAIDA(2000, 4)
+	for _, mode := range Modes {
+		ratio, err := TraceAnomalyRatio(tr, mode, 0.1, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if ratio < 0 || ratio > 1 {
+			t.Fatalf("%s: ratio %v out of range", mode, ratio)
+		}
+	}
+	// A trace with only single-packet flows must error.
+	tpl := trace.FiveTuple{SrcIP: 1, DstIP: 2, Proto: trace.TCP}
+	lonely := &trace.PacketTrace{Packets: []trace.Packet{{Time: 0, Tuple: tpl, Size: 40}}}
+	if _, err := TraceAnomalyRatio(lonely, ModeIAT, 0.1, 1); err == nil {
+		t.Fatal("single-packet trace must error")
+	}
+}
+
+func TestAnomalyRatioDeterministic(t *testing.T) {
+	tr := datasets.CAIDA(1500, 5)
+	a, err := TraceAnomalyRatio(tr, ModeStats, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TraceAnomalyRatio(tr, ModeStats, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed must reproduce: %v vs %v", a, b)
+	}
+}

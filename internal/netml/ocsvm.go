@@ -1,0 +1,157 @@
+package netml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// OCSVM is a linear one-class SVM (Schölkopf et al.) trained with SGD on
+// the standard objective
+//
+//	min_w,ρ  ½‖w‖² − ρ + (1/νn) Σ max(0, ρ − w·x_i)
+//
+// A point is an anomaly when w·x < ρ. NetML's default detector is an
+// OCSVM; a linear machine on the standardized representations suffices for
+// the anomaly-ratio measurements of Figure 14.
+type OCSVM struct {
+	Nu     float64
+	Epochs int
+	LR     float64
+
+	w    []float64
+	rho  float64
+	mean []float64
+	std  []float64
+	rnd  *rand.Rand
+}
+
+// NewOCSVM returns a one-class SVM with the given ν (target anomaly
+// fraction bound).
+func NewOCSVM(nu float64, seed int64) *OCSVM {
+	return &OCSVM{Nu: nu, Epochs: 60, LR: 0.05, rnd: rand.New(rand.NewSource(seed))}
+}
+
+// Fit trains on feature rows X.
+func (m *OCSVM) Fit(X [][]float64) error {
+	if len(X) == 0 {
+		return fmt.Errorf("netml: no training vectors")
+	}
+	if m.Nu <= 0 || m.Nu > 1 {
+		return fmt.Errorf("netml: nu must be in (0,1], got %v", m.Nu)
+	}
+	d := len(X[0])
+	m.mean = make([]float64, d)
+	m.std = make([]float64, d)
+	for _, x := range X {
+		if len(x) != d {
+			return fmt.Errorf("netml: ragged feature rows")
+		}
+		for j, v := range x {
+			m.mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range m.mean {
+		m.mean[j] /= n
+	}
+	for _, x := range X {
+		for j, v := range x {
+			dlt := v - m.mean[j]
+			m.std[j] += dlt * dlt
+		}
+	}
+	for j := range m.std {
+		m.std[j] = math.Sqrt(m.std[j] / n)
+		if m.std[j] == 0 {
+			m.std[j] = 1
+		}
+	}
+
+	scaled := make([][]float64, len(X))
+	for i, x := range X {
+		scaled[i] = m.scale(x)
+	}
+
+	m.w = make([]float64, d)
+	for j := range m.w {
+		m.w[j] = m.rnd.NormFloat64() * 0.01
+	}
+	m.rho = 0
+	invNuN := 1 / (m.Nu * n)
+	for ep := 0; ep < m.Epochs; ep++ {
+		lr := m.LR / (1 + 0.1*float64(ep))
+		perm := m.rnd.Perm(len(scaled))
+		for _, i := range perm {
+			x := scaled[i]
+			score := dot(m.w, x)
+			// Subgradients of the per-sample objective.
+			for j := range m.w {
+				g := m.w[j] / n // ridge term spread over samples
+				if score < m.rho {
+					g -= invNuN * x[j]
+				}
+				m.w[j] -= lr * g
+			}
+			gRho := -1.0 / n
+			if score < m.rho {
+				gRho += invNuN
+			}
+			m.rho -= lr * gRho
+		}
+	}
+	return nil
+}
+
+func (m *OCSVM) scale(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - m.mean[j]) / m.std[j]
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// IsAnomaly reports whether x falls outside the learned region.
+func (m *OCSVM) IsAnomaly(x []float64) bool {
+	return dot(m.w, m.scale(x)) < m.rho
+}
+
+// AnomalyRatio returns the fraction of rows flagged anomalous.
+func (m *OCSVM) AnomalyRatio(X [][]float64) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range X {
+		if m.IsAnomaly(x) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(X))
+}
+
+// TraceAnomalyRatio runs the full App #3 measurement: featurize the trace
+// under the mode, fit an OCSVM on those features, and report the anomaly
+// ratio. It returns an error when the trace has no processable
+// (multi-packet) flows.
+func TraceAnomalyRatio(t *trace.PacketTrace, mode Mode, nu float64, seed int64) (float64, error) {
+	X := FeaturizeTrace(t, mode)
+	if len(X) == 0 {
+		return 0, fmt.Errorf("netml: trace has no flows with more than one packet")
+	}
+	m := NewOCSVM(nu, seed)
+	if err := m.Fit(X); err != nil {
+		return 0, err
+	}
+	return m.AnomalyRatio(X), nil
+}

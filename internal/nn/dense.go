@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Dense is a fully connected layer computing Y = X·W + b for a batch X
+// whose rows are samples.
+type Dense struct {
+	In, Out int
+	Weight  *Param // In×Out
+	Bias    *Param // 1×Out
+
+	lastX *mat.Matrix // cached input for backward
+}
+
+// NewDense returns a Dense layer with zero weights; call InitXavier on the
+// owning model to initialize.
+func NewDense(name string, in, out int) *Dense {
+	return &Dense{
+		In:     in,
+		Out:    out,
+		Weight: NewParam(name+".w", in, out),
+		Bias:   NewParam(name+".b", 1, out),
+	}
+}
+
+// Params implements Module.
+func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }
+
+// Forward computes the layer output for batch x (rows are samples) and
+// caches x for Backward.
+func (d *Dense) Forward(x *mat.Matrix) *mat.Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: Dense %q input width %d, want %d", d.Weight.Name, x.Cols, d.In))
+	}
+	d.lastX = x
+	y := mat.Mul(x, d.Weight.W)
+	y.AddRowVec(d.Bias.W.Data)
+	return y
+}
+
+// Backward accumulates parameter gradients from dout (∂L/∂Y) and returns
+// ∂L/∂X. Forward must have been called first with the corresponding batch.
+func (d *Dense) Backward(dout *mat.Matrix) *mat.Matrix {
+	if d.lastX == nil {
+		panic("nn: Dense.Backward before Forward")
+	}
+	// dW += Xᵀ·dout
+	dw := mat.MulTransA(d.lastX, dout)
+	d.Weight.G.Add(dw)
+	// db += column sums of dout
+	sums := dout.ColSums()
+	for j, s := range sums {
+		d.Bias.G.Data[j] += s
+	}
+	// dX = dout·Wᵀ
+	return mat.MulTransB(dout, d.Weight.W)
+}

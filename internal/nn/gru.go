@@ -1,0 +1,192 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// GRU is a single-layer gated recurrent unit processing whole sequences.
+// Input at each timestep is a batch×In matrix; the hidden state is
+// batch×Hidden. Forward caches everything Backward (truncated BPTT over the
+// full sequence) needs.
+//
+//	z_t = σ(x_t·Wz + h_{t-1}·Uz + bz)
+//	r_t = σ(x_t·Wr + h_{t-1}·Ur + br)
+//	ĥ_t = tanh(x_t·Wh + (r_t ⊙ h_{t-1})·Uh + bh)
+//	h_t = (1−z_t) ⊙ h_{t-1} + z_t ⊙ ĥ_t
+type GRU struct {
+	In, Hidden int
+
+	Wz, Uz, Bz *Param
+	Wr, Ur, Br *Param
+	Wh, Uh, Bh *Param
+
+	// caches, one entry per timestep
+	xs, hPrev, zs, rs, hhats []*mat.Matrix
+}
+
+// NewGRU returns a GRU with zero weights; call InitXavier on the owning
+// model to initialize.
+func NewGRU(name string, in, hidden int) *GRU {
+	return &GRU{
+		In: in, Hidden: hidden,
+		Wz: NewParam(name+".wz", in, hidden),
+		Uz: NewParam(name+".uz", hidden, hidden),
+		Bz: NewParam(name+".bz", 1, hidden),
+		Wr: NewParam(name+".wr", in, hidden),
+		Ur: NewParam(name+".ur", hidden, hidden),
+		Br: NewParam(name+".br", 1, hidden),
+		Wh: NewParam(name+".wh", in, hidden),
+		Uh: NewParam(name+".uh", hidden, hidden),
+		Bh: NewParam(name+".bh", 1, hidden),
+	}
+}
+
+// Params implements Module.
+func (g *GRU) Params() []*Param {
+	return []*Param{g.Wz, g.Uz, g.Bz, g.Wr, g.Ur, g.Br, g.Wh, g.Uh, g.Bh}
+}
+
+// Reset clears the step caches. Call before reusing the GRU for a new
+// sequence if Forward is invoked step by step.
+func (g *GRU) Reset() {
+	g.xs, g.hPrev, g.zs, g.rs, g.hhats = nil, nil, nil, nil, nil
+}
+
+// Step advances the GRU one timestep from hidden state h with input x and
+// returns the next hidden state, caching intermediates for Backward.
+func (g *GRU) Step(x, h *mat.Matrix) *mat.Matrix {
+	batch := x.Rows
+	gate := func(w, u, b *Param, act func(float64) float64, hIn *mat.Matrix) *mat.Matrix {
+		a := mat.Mul(x, w.W)
+		hu := mat.Mul(hIn, u.W)
+		a.Add(hu)
+		a.AddRowVec(b.W.Data)
+		a.Apply(act)
+		return a
+	}
+	z := gate(g.Wz, g.Uz, g.Bz, sigmoid, h)
+	r := gate(g.Wr, g.Ur, g.Br, sigmoid, h)
+	rh := h.Clone()
+	rh.Hadamard(r)
+	hhat := gate(g.Wh, g.Uh, g.Bh, math.Tanh, rh)
+	// Note: gate() multiplies its hIn argument by U; for the candidate we
+	// pass r⊙h so ĥ = tanh(xWh + (r⊙h)Uh + bh).
+
+	hNext := mat.New(batch, g.Hidden)
+	for i := range hNext.Data {
+		hNext.Data[i] = (1-z.Data[i])*h.Data[i] + z.Data[i]*hhat.Data[i]
+	}
+
+	g.xs = append(g.xs, x)
+	g.hPrev = append(g.hPrev, h)
+	g.zs = append(g.zs, z)
+	g.rs = append(g.rs, r)
+	g.hhats = append(g.hhats, hhat)
+	return hNext
+}
+
+// Forward runs the GRU over the sequence xs starting from h0 (zero state if
+// nil) and returns the hidden state at every timestep.
+func (g *GRU) Forward(xs []*mat.Matrix, h0 *mat.Matrix) []*mat.Matrix {
+	g.Reset()
+	if len(xs) == 0 {
+		return nil
+	}
+	h := h0
+	if h == nil {
+		h = mat.New(xs[0].Rows, g.Hidden)
+	}
+	hs := make([]*mat.Matrix, len(xs))
+	for t, x := range xs {
+		h = g.Step(x, h)
+		hs[t] = h
+	}
+	return hs
+}
+
+// Backward runs BPTT given dhs, the gradient of the loss with respect to
+// each timestep's hidden state (entries may be nil for steps without direct
+// loss). It accumulates parameter gradients and returns the gradient with
+// respect to each timestep's input.
+func (g *GRU) Backward(dhs []*mat.Matrix) []*mat.Matrix {
+	T := len(g.xs)
+	if len(dhs) != T {
+		panic("nn: GRU.Backward gradient count mismatch")
+	}
+	if T == 0 {
+		return nil
+	}
+	batch := g.xs[0].Rows
+	dxs := make([]*mat.Matrix, T)
+	dhNext := mat.New(batch, g.Hidden) // gradient flowing from step t+1 into h_t
+
+	for t := T - 1; t >= 0; t-- {
+		dh := dhNext.Clone()
+		if dhs[t] != nil {
+			dh.Add(dhs[t])
+		}
+		x, hPrev, z, r, hhat := g.xs[t], g.hPrev[t], g.zs[t], g.rs[t], g.hhats[t]
+
+		dz := mat.New(batch, g.Hidden)
+		dhhat := mat.New(batch, g.Hidden)
+		dhPrev := mat.New(batch, g.Hidden)
+		for i := range dh.Data {
+			dz.Data[i] = dh.Data[i] * (hhat.Data[i] - hPrev.Data[i])
+			dhhat.Data[i] = dh.Data[i] * z.Data[i]
+			dhPrev.Data[i] = dh.Data[i] * (1 - z.Data[i])
+		}
+
+		// Candidate gate: ĥ = tanh(aH), aH = xWh + (r⊙hPrev)Uh + bh
+		daH := dhhat
+		for i, v := range hhat.Data {
+			daH.Data[i] *= 1 - v*v
+		}
+		rh := hPrev.Clone()
+		rh.Hadamard(r)
+		g.Wh.G.Add(mat.MulTransA(x, daH))
+		g.Uh.G.Add(mat.MulTransA(rh, daH))
+		addColSums(g.Bh.G, daH)
+		dx := mat.MulTransB(daH, g.Wh.W)
+		drh := mat.MulTransB(daH, g.Uh.W)
+		dr := drh.Clone()
+		dr.Hadamard(hPrev)
+		for i := range dhPrev.Data {
+			dhPrev.Data[i] += drh.Data[i] * r.Data[i]
+		}
+
+		// Update gate: z = σ(aZ)
+		daZ := dz
+		for i, v := range z.Data {
+			daZ.Data[i] *= v * (1 - v)
+		}
+		g.Wz.G.Add(mat.MulTransA(x, daZ))
+		g.Uz.G.Add(mat.MulTransA(hPrev, daZ))
+		addColSums(g.Bz.G, daZ)
+		dx.Add(mat.MulTransB(daZ, g.Wz.W))
+		dhPrev.Add(mat.MulTransB(daZ, g.Uz.W))
+
+		// Reset gate: r = σ(aR)
+		daR := dr
+		for i, v := range r.Data {
+			daR.Data[i] *= v * (1 - v)
+		}
+		g.Wr.G.Add(mat.MulTransA(x, daR))
+		g.Ur.G.Add(mat.MulTransA(hPrev, daR))
+		addColSums(g.Br.G, daR)
+		dx.Add(mat.MulTransB(daR, g.Wr.W))
+		dhPrev.Add(mat.MulTransB(daR, g.Ur.W))
+
+		dxs[t] = dx
+		dhNext = dhPrev
+	}
+	return dxs
+}
+
+func addColSums(dst *mat.Matrix, src *mat.Matrix) {
+	sums := src.ColSums()
+	for j, s := range sums {
+		dst.Data[j] += s
+	}
+}

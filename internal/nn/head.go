@@ -1,0 +1,161 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// FieldKind classifies one encoded field group in a generator's output.
+type FieldKind int
+
+// Field kinds. Continuous fields get a sigmoid (DoppelGANger's [0,1]
+// normalization, per paper Appendix C); categorical groups get a softmax
+// over their one-hot slice.
+const (
+	FieldContinuous FieldKind = iota
+	FieldCategorical
+)
+
+// FieldSpec describes one group of adjacent output columns.
+type FieldSpec struct {
+	Name string
+	Kind FieldKind
+	Size int // number of columns; 1 for continuous scalars
+}
+
+// Width returns the total number of columns a schema occupies.
+func Width(schema []FieldSpec) int {
+	var w int
+	for _, f := range schema {
+		w += f.Size
+	}
+	return w
+}
+
+// OutputHead applies per-field activations to a generator's raw output:
+// sigmoid to continuous columns, softmax within each categorical group.
+// It is parameter-free but caches its output for the backward pass.
+type OutputHead struct {
+	Schema []FieldSpec
+	lastY  *mat.Matrix
+}
+
+// NewOutputHead returns a head for schema.
+func NewOutputHead(schema []FieldSpec) *OutputHead {
+	for _, f := range schema {
+		if f.Size <= 0 {
+			panic(fmt.Sprintf("nn: field %q has size %d", f.Name, f.Size))
+		}
+		if f.Kind == FieldCategorical && f.Size < 2 {
+			panic(fmt.Sprintf("nn: categorical field %q needs size >= 2", f.Name))
+		}
+	}
+	return &OutputHead{Schema: schema}
+}
+
+// Params implements Module.
+func (h *OutputHead) Params() []*Param { return nil }
+
+// Forward applies the per-field activations to x.
+func (h *OutputHead) Forward(x *mat.Matrix) *mat.Matrix {
+	if x.Cols != Width(h.Schema) {
+		panic(fmt.Sprintf("nn: head input width %d, want %d", x.Cols, Width(h.Schema)))
+	}
+	y := x.Clone()
+	col := 0
+	for _, f := range h.Schema {
+		switch f.Kind {
+		case FieldContinuous:
+			for i := 0; i < y.Rows; i++ {
+				row := y.Row(i)
+				for j := col; j < col+f.Size; j++ {
+					row[j] = sigmoid(row[j])
+				}
+			}
+		case FieldCategorical:
+			SoftmaxRows(y, col, col+f.Size)
+		}
+		col += f.Size
+	}
+	h.lastY = y
+	return y
+}
+
+// Backward returns ∂L/∂X given dout = ∂L/∂Y. For softmax groups it applies
+// the full softmax Jacobian; for sigmoid columns the elementwise derivative.
+func (h *OutputHead) Backward(dout *mat.Matrix) *mat.Matrix {
+	if h.lastY == nil {
+		panic("nn: OutputHead.Backward before Forward")
+	}
+	y := h.lastY
+	dx := dout.Clone()
+	col := 0
+	for _, f := range h.Schema {
+		switch f.Kind {
+		case FieldContinuous:
+			for i := 0; i < y.Rows; i++ {
+				yr, dr := y.Row(i), dx.Row(i)
+				for j := col; j < col+f.Size; j++ {
+					dr[j] *= yr[j] * (1 - yr[j])
+				}
+			}
+		case FieldCategorical:
+			for i := 0; i < y.Rows; i++ {
+				yr := y.Row(i)[col : col+f.Size]
+				dr := dx.Row(i)[col : col+f.Size]
+				// dx_j = y_j * (dout_j - Σ_k dout_k y_k)
+				var dot float64
+				for k, v := range dr {
+					dot += v * yr[k]
+				}
+				for j := range dr {
+					dr[j] = yr[j] * (dr[j] - dot)
+				}
+			}
+		}
+		col += f.Size
+	}
+	return dx
+}
+
+// Sample converts one activated output row into a concrete sample:
+// continuous columns pass through; each categorical group becomes a one-hot
+// vector, either of the argmax (greedy=true) or of a draw from the softmax
+// distribution using u (one uniform variate per categorical group,
+// consumed in schema order).
+func SampleRow(schema []FieldSpec, row []float64, greedy bool, u func() float64) []float64 {
+	out := make([]float64, len(row))
+	col := 0
+	for _, f := range schema {
+		switch f.Kind {
+		case FieldContinuous:
+			copy(out[col:col+f.Size], row[col:col+f.Size])
+		case FieldCategorical:
+			probs := row[col : col+f.Size]
+			pick := 0
+			if greedy {
+				best := probs[0]
+				for j, p := range probs {
+					if p > best {
+						best, pick = p, j
+					}
+				}
+			} else {
+				target := u()
+				var acc float64
+				pick = len(probs) - 1
+				for j, p := range probs {
+					acc += p
+					if target <= acc {
+						pick = j
+						break
+					}
+				}
+			}
+			out[col+pick] = 1
+		}
+		col += f.Size
+	}
+	return out
+}

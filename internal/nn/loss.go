@@ -1,0 +1,180 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// MSELoss returns the mean squared error between pred and target along with
+// the gradient ∂L/∂pred (already divided by the element count).
+func MSELoss(pred, target *mat.Matrix) (float64, *mat.Matrix) {
+	n := float64(len(pred.Data))
+	grad := mat.New(pred.Rows, pred.Cols)
+	var loss float64
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return loss / n, grad
+}
+
+// BCELoss returns the mean binary cross-entropy between probabilities pred
+// (in (0,1)) and targets in {0,1}, with gradient ∂L/∂pred.
+func BCELoss(pred, target *mat.Matrix) (float64, *mat.Matrix) {
+	const eps = 1e-7
+	n := float64(len(pred.Data))
+	grad := mat.New(pred.Rows, pred.Cols)
+	var loss float64
+	for i := range pred.Data {
+		p := math.Min(math.Max(pred.Data[i], eps), 1-eps)
+		t := target.Data[i]
+		loss += -(t*math.Log(p) + (1-t)*math.Log(1-p))
+		grad.Data[i] = (p - t) / (p * (1 - p)) / n
+	}
+	return loss / n, grad
+}
+
+// CrossEntropyLoss computes the mean categorical cross-entropy between
+// softmax probabilities pred (rows sum to 1) and one-hot targets, with
+// gradient ∂L/∂pred.
+func CrossEntropyLoss(pred, target *mat.Matrix) (float64, *mat.Matrix) {
+	const eps = 1e-9
+	n := float64(pred.Rows)
+	grad := mat.New(pred.Rows, pred.Cols)
+	var loss float64
+	for i := range pred.Data {
+		if target.Data[i] > 0 {
+			p := math.Max(pred.Data[i], eps)
+			loss += -target.Data[i] * math.Log(p)
+			grad.Data[i] = -target.Data[i] / p / n
+		}
+	}
+	return loss / n, grad
+}
+
+// WassersteinCriticLoss returns the WGAN critic loss
+// mean(D(fake)) − mean(D(real)) and the gradients with respect to the
+// critic scores of real and fake batches.
+func WassersteinCriticLoss(dReal, dFake *mat.Matrix) (float64, *mat.Matrix, *mat.Matrix) {
+	nr := float64(dReal.Rows)
+	nf := float64(dFake.Rows)
+	var mr, mf float64
+	for _, v := range dReal.Data {
+		mr += v
+	}
+	for _, v := range dFake.Data {
+		mf += v
+	}
+	loss := mf/nf - mr/nr
+	gr := mat.New(dReal.Rows, dReal.Cols)
+	gr.Fill(-1 / nr)
+	gf := mat.New(dFake.Rows, dFake.Cols)
+	gf.Fill(1 / nf)
+	return loss, gr, gf
+}
+
+// WassersteinGenLoss returns the WGAN generator loss −mean(D(fake)) and the
+// gradient with respect to the critic scores.
+func WassersteinGenLoss(dFake *mat.Matrix) (float64, *mat.Matrix) {
+	n := float64(dFake.Rows)
+	var m float64
+	for _, v := range dFake.Data {
+		m += v
+	}
+	g := mat.New(dFake.Rows, dFake.Cols)
+	g.Fill(-1 / n)
+	return -m / n, g
+}
+
+// CriticNet is the interface gradient-penalty computation needs from a
+// critic: a forward pass and a backward pass returning input gradients.
+type CriticNet interface {
+	Module
+	Forward(x *mat.Matrix) *mat.Matrix
+	Backward(dout *mat.Matrix) *mat.Matrix
+}
+
+// GradientPenalty computes the WGAN-GP penalty λ·E[(‖∇x̂ D(x̂)‖−1)²] on
+// interpolates x̂ between real and fake rows, accumulating the penalty's
+// parameter gradients into the critic. u must yield one uniform variate per
+// row (the interpolation coefficient).
+//
+// The parameter gradient of the penalty is approximated by a finite
+// difference of the input-gradient norm along the gradient direction, which
+// avoids second-order backprop: for each interpolate we nudge the critic
+// loss with a scaled second forward/backward pass. In practice (and in our
+// tests) this keeps critic input gradients near unit norm exactly as the
+// analytic penalty does.
+func GradientPenalty(critic CriticNet, real, fake *mat.Matrix, lambda float64, u func() float64) float64 {
+	if real.Rows != fake.Rows || real.Cols != fake.Cols {
+		panic("nn: GradientPenalty shape mismatch")
+	}
+	n := real.Rows
+	interp := mat.New(n, real.Cols)
+	for i := 0; i < n; i++ {
+		t := u()
+		rr, fr, ir := real.Row(i), fake.Row(i), interp.Row(i)
+		for j := range ir {
+			ir[j] = rr[j] + t*(fr[j]-rr[j])
+		}
+	}
+
+	// First pass: input gradients g = ∇x̂ D(x̂).
+	out := critic.Forward(interp)
+	ones := mat.New(out.Rows, out.Cols)
+	ones.Fill(1)
+	// Discard the parameter gradients of this probe pass: save and restore.
+	saved := saveGrads(critic)
+	gIn := critic.Backward(ones)
+	restoreGrads(critic, saved)
+
+	// Penalty value and per-row scale for the surrogate pass.
+	var penalty float64
+	scale := mat.New(out.Rows, out.Cols)
+	const eps = 1e-12
+	for i := 0; i < n; i++ {
+		norm := mat.VecNorm(gIn.Row(i))
+		d := norm - 1
+		penalty += d * d
+		// d/dθ (‖g‖−1)² = 2(‖g‖−1)/‖g‖ · gᵀ·(∂g/∂θ). We approximate the
+		// directional derivative with a perturbed forward pass: evaluate D
+		// at x̂ + h·g and treat (D(x̂+h·g) − D(x̂))/h as gᵀ∇D, whose θ-gradient
+		// we then take. This first-order surrogate pushes ‖g‖ toward 1.
+		scale.Set(i, 0, 2*(norm-1)/math.Max(norm, eps))
+	}
+	penalty = lambda * penalty / float64(n)
+
+	// Surrogate pass: x̂ + h·g, backward with per-row scale.
+	const h = 1e-2
+	pert := interp.Clone()
+	pert.AddScaled(gIn, h)
+	critic.Forward(pert)
+	dout := scale.Clone()
+	dout.Scale(lambda / (float64(n) * h))
+	critic.Backward(dout)
+	// Baseline pass at x̂ with the opposite sign completes the finite
+	// difference (D(x̂+h·g) − D(x̂))/h.
+	critic.Forward(interp)
+	dout2 := scale.Clone()
+	dout2.Scale(-lambda / (float64(n) * h))
+	critic.Backward(dout2)
+
+	return penalty
+}
+
+func saveGrads(m Module) []*mat.Matrix {
+	ps := m.Params()
+	out := make([]*mat.Matrix, len(ps))
+	for i, p := range ps {
+		out[i] = p.G.Clone()
+	}
+	return out
+}
+
+func restoreGrads(m Module, saved []*mat.Matrix) {
+	for i, p := range m.Params() {
+		p.G.CopyFrom(saved[i])
+	}
+}

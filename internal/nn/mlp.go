@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// MLP is a multi-layer perceptron: Dense layers interleaved with a hidden
+// activation, with a configurable output activation (often Identity for
+// WGAN critics).
+type MLP struct {
+	layers []*Dense
+	acts   []*Activation
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g. sizes =
+// [in, h1, h2, out]. hidden is the activation after every layer except the
+// last; out is the activation after the last layer.
+func NewMLP(name string, sizes []int, hidden, out ActKind, r *rand.Rand) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least [in, out] sizes")
+	}
+	m := &MLP{}
+	for i := 0; i < len(sizes)-1; i++ {
+		d := NewDense(name+"."+itoa(i), sizes[i], sizes[i+1])
+		m.layers = append(m.layers, d)
+		kind := hidden
+		if i == len(sizes)-2 {
+			kind = out
+		}
+		m.acts = append(m.acts, NewActivation(kind))
+	}
+	InitXavier(m, r)
+	return m
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+// Params implements Module.
+func (m *MLP) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Forward runs the batch x through all layers.
+func (m *MLP) Forward(x *mat.Matrix) *mat.Matrix {
+	h := x
+	for i, l := range m.layers {
+		h = m.acts[i].Forward(l.Forward(h))
+	}
+	return h
+}
+
+// Backward propagates dout (∂L/∂output) through the network, accumulating
+// parameter gradients, and returns ∂L/∂input.
+func (m *MLP) Backward(dout *mat.Matrix) *mat.Matrix {
+	d := dout
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		d = m.acts[i].Backward(d)
+		d = m.layers[i].Backward(d)
+	}
+	return d
+}
+
+// In returns the input width.
+func (m *MLP) In() int { return m.layers[0].In }
+
+// Out returns the output width.
+func (m *MLP) Out() int { return m.layers[len(m.layers)-1].Out }

@@ -1,0 +1,278 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	m := NewMLP("m", []int{2, 4, 1}, ReLU, Identity, r)
+	snap := TakeSnapshot(m)
+
+	enc, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeSnapshot(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := NewMLP("m", []int{2, 4, 1}, ReLU, Identity, rand.New(rand.NewSource(99)))
+	if err := dec.Restore(m2); err != nil {
+		t.Fatal(err)
+	}
+	x := mat.New(3, 2)
+	x.RandNorm(r, 1)
+	y1, y2 := m.Forward(x), m2.Forward(x)
+	for i := range y1.Data {
+		if y1.Data[i] != y2.Data[i] {
+			t.Fatal("restored model must produce identical output")
+		}
+	}
+}
+
+func TestSnapshotRestoreRejectsMismatch(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	m := NewMLP("m", []int{2, 4, 1}, ReLU, Identity, r)
+	other := NewMLP("m", []int{2, 5, 1}, ReLU, Identity, r)
+	if err := TakeSnapshot(m).Restore(other); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+	renamed := NewMLP("x", []int{2, 4, 1}, ReLU, Identity, r)
+	if err := TakeSnapshot(m).Restore(renamed); err == nil {
+		t.Fatal("expected name mismatch error")
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	d := NewDense("d", 2, 2)
+	d.Weight.G.Fill(3)
+	d.Bias.G.Fill(4)
+	pre := GradNorm(d)
+	got := ClipGradNorm(d, 1)
+	if math.Abs(got-pre) > 1e-12 {
+		t.Fatalf("ClipGradNorm returned %v, want pre-clip %v", got, pre)
+	}
+	if post := GradNorm(d); math.Abs(post-1) > 1e-9 {
+		t.Fatalf("post-clip norm = %v, want 1", post)
+	}
+	// Below the threshold: unchanged.
+	d.Weight.G.Zero()
+	d.Bias.G.Zero()
+	d.Weight.G.Data[0] = 0.5
+	ClipGradNorm(d, 1)
+	if d.Weight.G.Data[0] != 0.5 {
+		t.Fatal("small gradients must not be rescaled")
+	}
+}
+
+func TestSGDStepReducesLoss(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	m := NewMLP("m", []int{2, 8, 1}, Tanh, Identity, r)
+	x := mat.NewFrom(4, 2, []float64{0, 0, 0, 1, 1, 0, 1, 1})
+	y := mat.NewFrom(4, 1, []float64{0, 1, 1, 0}) // XOR
+	opt := NewSGD(0.5, 0.9)
+
+	loss0, _ := MSELoss(m.Forward(x), y)
+	for i := 0; i < 500; i++ {
+		_, grad := MSELoss(m.Forward(x), y)
+		m.Backward(grad)
+		opt.Step(m)
+	}
+	loss1, _ := MSELoss(m.Forward(x), y)
+	if loss1 >= loss0/2 {
+		t.Fatalf("SGD failed to learn XOR: %v -> %v", loss0, loss1)
+	}
+}
+
+func TestAdamLearnsRegression(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	m := NewMLP("m", []int{1, 16, 1}, Tanh, Identity, r)
+	const n = 32
+	x := mat.New(n, 1)
+	y := mat.New(n, 1)
+	for i := 0; i < n; i++ {
+		v := float64(i)/n*4 - 2
+		x.Set(i, 0, v)
+		y.Set(i, 0, math.Sin(v))
+	}
+	opt := NewAdam(0.01)
+	opt.Beta1 = 0.9
+	loss0, _ := MSELoss(m.Forward(x), y)
+	for i := 0; i < 800; i++ {
+		_, grad := MSELoss(m.Forward(x), y)
+		m.Backward(grad)
+		opt.Step(m)
+	}
+	loss1, _ := MSELoss(m.Forward(x), y)
+	if loss1 > loss0/10 {
+		t.Fatalf("Adam failed to fit sin: %v -> %v", loss0, loss1)
+	}
+}
+
+func TestAdamStepZeroesGrads(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	m := NewMLP("m", []int{2, 2}, Identity, Identity, r)
+	x := mat.New(1, 2)
+	x.RandNorm(r, 1)
+	target := mat.New(1, 2)
+	_, grad := MSELoss(m.Forward(x), target)
+	m.Backward(grad)
+	NewAdam(0.001).Step(m)
+	for _, p := range m.Params() {
+		for _, g := range p.G.Data {
+			if g != 0 {
+				t.Fatal("Step must zero gradients")
+			}
+		}
+	}
+}
+
+func TestBCELoss(t *testing.T) {
+	pred := mat.NewFrom(1, 2, []float64{0.9, 0.1})
+	target := mat.NewFrom(1, 2, []float64{1, 0})
+	loss, grad := BCELoss(pred, target)
+	want := -math.Log(0.9)
+	if math.Abs(loss-want) > 1e-9 {
+		t.Fatalf("BCE loss = %v, want %v", loss, want)
+	}
+	if grad.Data[0] >= 0 {
+		t.Fatal("gradient should push prediction up toward target 1")
+	}
+}
+
+func TestCrossEntropyLoss(t *testing.T) {
+	pred := mat.NewFrom(1, 3, []float64{0.7, 0.2, 0.1})
+	target := mat.NewFrom(1, 3, []float64{1, 0, 0})
+	loss, grad := CrossEntropyLoss(pred, target)
+	if math.Abs(loss+math.Log(0.7)) > 1e-9 {
+		t.Fatalf("CE loss = %v", loss)
+	}
+	if grad.Data[0] >= 0 || grad.Data[1] != 0 {
+		t.Fatalf("CE grad = %v", grad.Data)
+	}
+}
+
+func TestWassersteinLosses(t *testing.T) {
+	dReal := mat.NewFrom(2, 1, []float64{1, 3})
+	dFake := mat.NewFrom(2, 1, []float64{0, 2})
+	loss, gr, gf := WassersteinCriticLoss(dReal, dFake)
+	if math.Abs(loss-(1-2)) > 1e-12 {
+		t.Fatalf("critic loss = %v, want -1", loss)
+	}
+	if gr.Data[0] != -0.5 || gf.Data[0] != 0.5 {
+		t.Fatalf("critic grads = %v %v", gr.Data, gf.Data)
+	}
+	gloss, gg := WassersteinGenLoss(dFake)
+	if math.Abs(gloss+1) > 1e-12 {
+		t.Fatalf("gen loss = %v, want -1", gloss)
+	}
+	if gg.Data[0] != -0.5 {
+		t.Fatalf("gen grad = %v", gg.Data)
+	}
+}
+
+func TestGradientPenaltyDrivesUnitNorm(t *testing.T) {
+	// Train a tiny critic only on the gradient penalty; its input-gradient
+	// norm on interpolates should approach 1.
+	r := rand.New(rand.NewSource(7))
+	critic := NewMLP("c", []int{2, 8, 1}, LeakyReLU, Identity, r)
+	// Scale the weights up so the initial gradient norm differs from 1.
+	for _, p := range critic.Params() {
+		p.W.Scale(3)
+	}
+	real := mat.New(8, 2)
+	fake := mat.New(8, 2)
+	real.RandNorm(r, 1)
+	fake.RandNorm(r, 1)
+	opt := NewAdam(0.005)
+
+	gradNormAt := func() float64 {
+		out := critic.Forward(real)
+		ones := mat.New(out.Rows, out.Cols)
+		ones.Fill(1)
+		saved := saveGrads(critic)
+		gIn := critic.Backward(ones)
+		restoreGrads(critic, saved)
+		var total float64
+		for i := 0; i < gIn.Rows; i++ {
+			total += mat.VecNorm(gIn.Row(i))
+		}
+		return total / float64(gIn.Rows)
+	}
+
+	before := math.Abs(gradNormAt() - 1)
+	for i := 0; i < 300; i++ {
+		ZeroGrads(critic)
+		GradientPenalty(critic, real, fake, 10, r.Float64)
+		opt.Step(critic)
+	}
+	after := math.Abs(gradNormAt() - 1)
+	if after >= before {
+		t.Fatalf("gradient penalty did not drive norm toward 1: |Δ| %v -> %v", before, after)
+	}
+	if after > 0.5 {
+		t.Fatalf("gradient norm still far from 1: off by %v", after)
+	}
+}
+
+func TestSampleRow(t *testing.T) {
+	schema := []FieldSpec{
+		{Name: "c", Kind: FieldContinuous, Size: 1},
+		{Name: "k", Kind: FieldCategorical, Size: 3},
+	}
+	row := []float64{0.42, 0.1, 0.7, 0.2}
+	got := SampleRow(schema, row, true, nil)
+	if got[0] != 0.42 {
+		t.Fatal("continuous value must pass through")
+	}
+	if got[1] != 0 || got[2] != 1 || got[3] != 0 {
+		t.Fatalf("greedy pick = %v, want one-hot argmax", got[1:])
+	}
+	// Stochastic: u=0.05 lands in the first bucket.
+	got = SampleRow(schema, row, false, func() float64 { return 0.05 })
+	if got[1] != 1 {
+		t.Fatalf("stochastic pick = %v, want bucket 0", got[1:])
+	}
+	// u=0.99 lands in the last bucket.
+	got = SampleRow(schema, row, false, func() float64 { return 0.99 })
+	if got[3] != 1 {
+		t.Fatalf("stochastic pick = %v, want bucket 2", got[1:])
+	}
+}
+
+func TestWidth(t *testing.T) {
+	schema := []FieldSpec{{Size: 2}, {Size: 3}, {Size: 1}}
+	if Width(schema) != 6 {
+		t.Fatalf("Width = %d", Width(schema))
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	m := NewMLP("m", []int{3, 4, 2}, ReLU, Identity, r)
+	// 3*4 + 4 + 4*2 + 2 = 26
+	if got := NumParams(m); got != 26 {
+		t.Fatalf("NumParams = %d, want 26", got)
+	}
+}
+
+func TestGRUResetBetweenSequences(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	g := NewGRU("g", 2, 3)
+	InitXavier(g, r)
+	x := mat.New(1, 2)
+	x.RandNorm(r, 1)
+	h1 := g.Forward([]*mat.Matrix{x}, nil)
+	h2 := g.Forward([]*mat.Matrix{x}, nil)
+	for i := range h1[0].Data {
+		if h1[0].Data[i] != h2[0].Data[i] {
+			t.Fatal("Forward must reset state between sequences")
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package nn
+
+import "repro/internal/mat"
+
+// TimeDense applies one shared Dense transformation to every timestep of a
+// sequence, accumulating weight gradients across steps on Backward — the
+// standard "time distributed" output projection of a recurrent generator.
+type TimeDense struct {
+	In, Out int
+	Weight  *Param
+	Bias    *Param
+
+	xs []*mat.Matrix // cached per-step inputs
+}
+
+// NewTimeDense returns a TimeDense layer with zero weights.
+func NewTimeDense(name string, in, out int) *TimeDense {
+	return &TimeDense{
+		In: in, Out: out,
+		Weight: NewParam(name+".w", in, out),
+		Bias:   NewParam(name+".b", 1, out),
+	}
+}
+
+// Params implements Module.
+func (d *TimeDense) Params() []*Param { return []*Param{d.Weight, d.Bias} }
+
+// Forward applies the projection to each timestep.
+func (d *TimeDense) Forward(xs []*mat.Matrix) []*mat.Matrix {
+	d.xs = xs
+	out := make([]*mat.Matrix, len(xs))
+	for t, x := range xs {
+		y := mat.Mul(x, d.Weight.W)
+		y.AddRowVec(d.Bias.W.Data)
+		out[t] = y
+	}
+	return out
+}
+
+// Backward accumulates gradients from every timestep and returns per-step
+// input gradients. Entries of douts may be nil (no gradient at that step).
+func (d *TimeDense) Backward(douts []*mat.Matrix) []*mat.Matrix {
+	if len(douts) != len(d.xs) {
+		panic("nn: TimeDense.Backward step count mismatch")
+	}
+	dxs := make([]*mat.Matrix, len(douts))
+	for t, dout := range douts {
+		if dout == nil {
+			continue
+		}
+		d.Weight.G.Add(mat.MulTransA(d.xs[t], dout))
+		sums := dout.ColSums()
+		for j, s := range sums {
+			d.Bias.G.Data[j] += s
+		}
+		dxs[t] = mat.MulTransB(dout, d.Weight.W)
+	}
+	return dxs
+}

@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestTimeDenseSharesWeightsAcrossSteps(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	td := NewTimeDense("td", 3, 2)
+	InitXavier(td, r)
+	x := mat.New(2, 3)
+	x.RandNorm(r, 1)
+	// The same input at two different timesteps must produce identical
+	// outputs (one shared weight matrix).
+	out := td.Forward([]*mat.Matrix{x, x})
+	for i := range out[0].Data {
+		if out[0].Data[i] != out[1].Data[i] {
+			t.Fatal("steps must share weights")
+		}
+	}
+}
+
+func TestTimeDenseGradCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	td := NewTimeDense("td", 3, 2)
+	InitXavier(td, r)
+	const T, batch = 3, 2
+	xs := make([]*mat.Matrix, T)
+	targets := make([]*mat.Matrix, T)
+	for i := range xs {
+		xs[i] = mat.New(batch, 3)
+		xs[i].RandNorm(r, 1)
+		targets[i] = mat.New(batch, 2)
+		targets[i].RandNorm(r, 1)
+	}
+	forward := func() float64 {
+		outs := td.Forward(xs)
+		var total float64
+		for i, o := range outs {
+			l, _ := MSELoss(o, targets[i])
+			total += l
+		}
+		return total
+	}
+	analytic := func() {
+		outs := td.Forward(xs)
+		douts := make([]*mat.Matrix, T)
+		for i, o := range outs {
+			_, g := MSELoss(o, targets[i])
+			douts[i] = g
+		}
+		td.Backward(douts)
+	}
+	checkGrads(t, td, analytic, forward, 1e-5)
+}
+
+func TestTimeDenseNilGradientSteps(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	td := NewTimeDense("td", 2, 2)
+	InitXavier(td, r)
+	x := mat.New(1, 2)
+	x.RandNorm(r, 1)
+	outs := td.Forward([]*mat.Matrix{x, x})
+	g := mat.New(1, 2)
+	g.Fill(1)
+	dxs := td.Backward([]*mat.Matrix{nil, g})
+	if dxs[0] != nil {
+		t.Fatal("nil gradient step must yield nil input gradient")
+	}
+	if dxs[1] == nil {
+		t.Fatal("non-nil gradient step must yield an input gradient")
+	}
+	_ = outs
+}
+
+func TestTimeDenseInputGradient(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	td := NewTimeDense("td", 2, 1)
+	InitXavier(td, r)
+	x := mat.New(1, 2)
+	x.RandNorm(r, 1)
+	target := mat.New(1, 1)
+
+	lossAt := func() float64 {
+		outs := td.Forward([]*mat.Matrix{x})
+		l, _ := MSELoss(outs[0], target)
+		return l
+	}
+	outs := td.Forward([]*mat.Matrix{x})
+	_, g := MSELoss(outs[0], target)
+	dxs := td.Backward([]*mat.Matrix{g})
+
+	const h = 1e-6
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + h
+		lp := lossAt()
+		x.Data[i] = orig - h
+		lm := lossAt()
+		x.Data[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(dxs[0].Data[i]-num) > 1e-5*math.Max(1, math.Abs(num)) {
+			t.Fatalf("dX[%d]: analytic %v vs numeric %v", i, dxs[0].Data[i], num)
+		}
+	}
+}
+
+func TestTimeDenseBackwardMismatchPanics(t *testing.T) {
+	td := NewTimeDense("td", 2, 2)
+	td.Forward([]*mat.Matrix{mat.New(1, 2)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	td.Backward([]*mat.Matrix{nil, nil})
+}

@@ -1,0 +1,151 @@
+// Package rng provides the seeded random samplers the trace synthesizers
+// and GAN training loops share: Gaussian noise, Zipf-ranked categorical
+// draws, heavy-tailed size distributions (log-normal, Pareto), and
+// weighted categorical sampling. Everything takes an explicit *rand.Rand so
+// experiments are reproducible end to end.
+package rng
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// New returns a rand.Rand seeded with seed.
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Gaussian returns a sample from N(mean, std²).
+func Gaussian(r *rand.Rand, mean, std float64) float64 {
+	return mean + std*r.NormFloat64()
+}
+
+// GaussianVec fills out with independent N(0,1) samples.
+func GaussianVec(r *rand.Rand, out []float64) {
+	for i := range out {
+		out[i] = r.NormFloat64()
+	}
+}
+
+// LogNormal returns a sample from a log-normal distribution with the given
+// parameters of the underlying normal (mu, sigma).
+func LogNormal(r *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Pareto returns a sample from a Pareto distribution with the given scale
+// (minimum value) and shape alpha. Smaller alpha means heavier tail.
+func Pareto(r *rand.Rand, scale, alpha float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return scale / math.Pow(u, 1/alpha)
+}
+
+// Exponential returns a sample from Exp(rate).
+func Exponential(r *rand.Rand, rate float64) float64 {
+	return r.ExpFloat64() / rate
+}
+
+// Zipf draws ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s. It precomputes the CDF once; use NewZipf for repeated
+// draws.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s (> 0).
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: Zipf needs n > 0")
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// Draw returns a rank in [0, n).
+func (z *Zipf) Draw(r *rand.Rand) int {
+	u := r.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Categorical draws indices with the given (unnormalized) weights.
+type Categorical struct {
+	cdf []float64
+}
+
+// NewCategorical builds a sampler over len(weights) outcomes. Weights must
+// be non-negative with a positive sum.
+func NewCategorical(weights []float64) *Categorical {
+	if len(weights) == 0 {
+		panic("rng: Categorical needs weights")
+	}
+	cdf := make([]float64, len(weights))
+	var total float64
+	for i, w := range weights {
+		if w < 0 {
+			panic("rng: negative categorical weight")
+		}
+		total += w
+		cdf[i] = total
+	}
+	if total <= 0 {
+		panic("rng: categorical weights sum to zero")
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Categorical{cdf: cdf}
+}
+
+// Draw returns an outcome index.
+func (c *Categorical) Draw(r *rand.Rand) int {
+	u := r.Float64()
+	return sort.SearchFloat64s(c.cdf, u)
+}
+
+// N returns the number of outcomes.
+func (c *Categorical) N() int { return len(c.cdf) }
+
+// Shuffle permutes xs in place using Fisher–Yates.
+func Shuffle[T any](r *rand.Rand, xs []T) {
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// SampleIndices returns k distinct indices drawn uniformly from [0, n).
+// If k >= n it returns all indices in random order.
+func SampleIndices(r *rand.Rand, n, k int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	Shuffle(r, idx)
+	if k > n {
+		k = n
+	}
+	return idx[:k]
+}
+
+// ClampInt returns v limited to [lo, hi].
+func ClampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

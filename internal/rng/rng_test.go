@@ -1,0 +1,188 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	r := New(1)
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := Gaussian(r, 3, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-3) > 0.1 {
+		t.Fatalf("mean = %v, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.3 {
+		t.Fatalf("variance = %v, want ~4", variance)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 1000; i++ {
+		if LogNormal(r, 0, 1) <= 0 {
+			t.Fatal("log-normal must be positive")
+		}
+	}
+}
+
+func TestParetoRespectsScale(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		v := Pareto(r, 5, 1.5)
+		if v < 5 {
+			t.Fatalf("Pareto sample %v below scale 5", v)
+		}
+	}
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	// A lower alpha must produce a heavier tail (larger high quantiles).
+	r := New(4)
+	count := func(alpha float64) int {
+		rr := New(4)
+		n := 0
+		for i := 0; i < 5000; i++ {
+			if Pareto(rr, 1, alpha) > 100 {
+				n++
+			}
+		}
+		return n
+	}
+	_ = r
+	if count(0.8) <= count(3.0) {
+		t.Fatal("alpha=0.8 should exceed 100 more often than alpha=3")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(5)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += Exponential(r, 4)
+	}
+	if mean := sum / n; math.Abs(mean-0.25) > 0.02 {
+		t.Fatalf("Exp(4) mean = %v, want ~0.25", mean)
+	}
+}
+
+func TestZipfRankZeroMostFrequent(t *testing.T) {
+	r := New(6)
+	z := NewZipf(100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		counts[z.Draw(r)]++
+	}
+	if counts[0] <= counts[10] || counts[0] <= counts[50] {
+		t.Fatalf("rank 0 should dominate: %d vs %d vs %d", counts[0], counts[10], counts[50])
+	}
+}
+
+func TestZipfDrawInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		r := New(seed)
+		z := NewZipf(7, 1.0)
+		for i := 0; i < 100; i++ {
+			d := z.Draw(r)
+			if d < 0 || d >= 7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCategoricalMatchesWeights(t *testing.T) {
+	r := New(7)
+	c := NewCategorical([]float64{1, 3})
+	counts := [2]int{}
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[c.Draw(r)]++
+	}
+	frac := float64(counts[1]) / n
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Fatalf("weight-3 outcome frequency = %v, want ~0.75", frac)
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	for _, weights := range [][]float64{nil, {0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for weights %v", weights)
+				}
+			}()
+			NewCategorical(weights)
+		}()
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := New(8)
+	xs := []int{1, 2, 3, 4, 5}
+	Shuffle(r, xs)
+	seen := map[int]bool{}
+	for _, x := range xs {
+		seen[x] = true
+	}
+	for i := 1; i <= 5; i++ {
+		if !seen[i] {
+			t.Fatalf("element %d lost in shuffle", i)
+		}
+	}
+}
+
+func TestSampleIndicesDistinct(t *testing.T) {
+	r := New(9)
+	idx := SampleIndices(r, 10, 5)
+	if len(idx) != 5 {
+		t.Fatalf("got %d indices", len(idx))
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if seen[i] {
+			t.Fatalf("duplicate index %d", i)
+		}
+		if i < 0 || i >= 10 {
+			t.Fatalf("index %d out of range", i)
+		}
+		seen[i] = true
+	}
+	if got := SampleIndices(r, 3, 10); len(got) != 3 {
+		t.Fatalf("k>n should cap at n, got %d", len(got))
+	}
+}
+
+func TestClampInt(t *testing.T) {
+	cases := []struct{ v, lo, hi, want int }{
+		{5, 0, 10, 5}, {-1, 0, 10, 0}, {11, 0, 10, 10},
+	}
+	for _, c := range cases {
+		if got := ClampInt(c.v, c.lo, c.hi); got != c.want {
+			t.Fatalf("ClampInt(%d,%d,%d) = %d, want %d", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package sketch_test
+
+import (
+	"fmt"
+
+	"repro/internal/sketch"
+)
+
+// ExampleCountMin shows the basic update/estimate cycle.
+func ExampleCountMin() {
+	cm := sketch.NewCountMin(4, 1024, 1)
+	cm.Update(42, 10)
+	cm.Update(42, 5)
+	cm.Update(7, 1)
+	fmt.Println(cm.Estimate(42))
+	// Output: 15
+}
+
+// ExampleHeavyHitters finds the keys above a fractional threshold.
+func ExampleHeavyHitters() {
+	counts := map[uint64]int64{1: 900, 2: 90, 3: 10}
+	hh := sketch.HeavyHitters(counts, 0.05) // ≥ 5% of 1000 packets
+	fmt.Println(hh)
+	// Output: [1 2]
+}

@@ -1,0 +1,116 @@
+package sketch
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Heavy-hitter count estimation, the downstream task of the paper's App #2:
+// keys above a fractional threshold of the total volume are heavy hitters;
+// the task measures how well a sketch estimates their counts.
+
+// KeyFunc extracts the aggregation key from a packet. The paper aggregates
+// by destination IP (CAIDA), source IP (DC), and five-tuple (CA).
+type KeyFunc func(p trace.Packet) uint64
+
+// Standard key functions.
+var (
+	KeyDstIP = func(p trace.Packet) uint64 { return uint64(p.Tuple.DstIP) }
+	KeySrcIP = func(p trace.Packet) uint64 { return uint64(p.Tuple.SrcIP) }
+	KeyFive  = func(p trace.Packet) uint64 { return p.Tuple.FastHash() }
+)
+
+// ExactCounts returns the true per-key packet counts of a trace.
+func ExactCounts(t *trace.PacketTrace, key KeyFunc) map[uint64]int64 {
+	out := make(map[uint64]int64)
+	for _, p := range t.Packets {
+		out[key(p)]++
+	}
+	return out
+}
+
+// HeavyHitters returns the keys whose exact counts meet threshold×total,
+// sorted by decreasing count.
+func HeavyHitters(counts map[uint64]int64, threshold float64) []uint64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	cut := int64(threshold * float64(total))
+	if cut < 1 {
+		cut = 1
+	}
+	var keys []uint64
+	for k, c := range counts {
+		if c >= cut {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// Feed streams every packet of a trace into the sketch under the given key.
+func Feed(s Sketch, t *trace.PacketTrace, key KeyFunc) {
+	for _, p := range t.Packets {
+		s.Update(key(p), 1)
+	}
+}
+
+// EstimationError measures a sketch's mean relative count-estimation error
+// over a trace's heavy hitters: build exact counts, feed the sketch, and
+// average |est − true| / true across heavy hitters. It returns the error
+// and the number of heavy hitters (0 heavy hitters yields error 0).
+func EstimationError(s Sketch, t *trace.PacketTrace, key KeyFunc, threshold float64) (float64, int) {
+	counts := ExactCounts(t, key)
+	hh := HeavyHitters(counts, threshold)
+	if len(hh) == 0 {
+		return 0, 0
+	}
+	Feed(s, t, key)
+	var total float64
+	for _, k := range hh {
+		exact := counts[k]
+		est := s.Estimate(k)
+		diff := est - exact
+		if diff < 0 {
+			diff = -diff
+		}
+		total += float64(diff) / float64(exact)
+	}
+	return total / float64(len(hh)), len(hh)
+}
+
+// Builder constructs a fresh sketch; used to run repeated independent
+// trials (the paper runs each sketch 10 times per dataset).
+type Builder func(seed int64) Sketch
+
+// StandardBuilders returns the four paper sketches at roughly equal memory
+// (rows×width columns), per §6.2: "all four sketches use roughly the same
+// memory".
+func StandardBuilders(width int) map[string]Builder {
+	return map[string]Builder{
+		"count-min": func(seed int64) Sketch {
+			return NewCountMin(4, width, seed)
+		},
+		"count-sketch": func(seed int64) Sketch {
+			return NewCountSketch(4, width, seed)
+		},
+		"univmon": func(seed int64) Sketch {
+			// 4 levels of half-width sketches ≈ same total memory.
+			return NewUnivMon(4, 2, width/2, seed)
+		},
+		"nitrosketch": func(seed int64) Sketch {
+			return NewNitroSketch(4, width, 0.5, seed)
+		},
+	}
+}
+
+// SketchOrder lists the paper's sketch names in figure order.
+var SketchOrder = []string{"count-min", "count-sketch", "univmon", "nitrosketch"}

@@ -1,0 +1,225 @@
+// Package sketch implements the four sketch-based telemetry algorithms of
+// the paper's App #2 (Finding 2): Count-Min Sketch, Count Sketch, UnivMon,
+// and NitroSketch, plus the heavy-hitter count-estimation task used to
+// compare real and synthetic traces. All sketches share one Sketch
+// interface and use seeded 2-universal-style hashing so experiments are
+// reproducible.
+package sketch
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Sketch summarizes a stream of (key, count) increments and answers point
+// queries.
+type Sketch interface {
+	// Name returns the algorithm name.
+	Name() string
+	// Update adds count occurrences of key.
+	Update(key uint64, count int64)
+	// Estimate returns the estimated total count of key.
+	Estimate(key uint64) int64
+}
+
+// hashRow is one salted 64-bit mix (xorshift-multiply family), giving
+// per-row independent bucket and sign hashes.
+type hashRow struct {
+	salt uint64
+}
+
+func newHashRows(n int, seed int64) []hashRow {
+	r := rand.New(rand.NewSource(seed))
+	rows := make([]hashRow, n)
+	for i := range rows {
+		rows[i] = hashRow{salt: r.Uint64() | 1}
+	}
+	return rows
+}
+
+func (h hashRow) mix(key uint64) uint64 {
+	x := key ^ h.salt
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func (h hashRow) bucket(key uint64, width int) int {
+	return int(h.mix(key) % uint64(width))
+}
+
+func (h hashRow) sign(key uint64) int64 {
+	if h.mix(key^0x9e3779b97f4a7c15)&1 == 0 {
+		return -1
+	}
+	return 1
+}
+
+// CountMin is the Count-Min Sketch (Cormode & Muthukrishnan 2005):
+// d rows of w counters, point query = min over rows. Estimates
+// overestimate with bounded error.
+type CountMin struct {
+	rows    []hashRow
+	width   int
+	counter [][]int64
+}
+
+// NewCountMin returns a d×w Count-Min Sketch.
+func NewCountMin(d, w int, seed int64) *CountMin {
+	cm := &CountMin{rows: newHashRows(d, seed), width: w}
+	cm.counter = make([][]int64, d)
+	for i := range cm.counter {
+		cm.counter[i] = make([]int64, w)
+	}
+	return cm
+}
+
+// Name implements Sketch.
+func (cm *CountMin) Name() string { return "count-min" }
+
+// Update implements Sketch.
+func (cm *CountMin) Update(key uint64, count int64) {
+	for i, h := range cm.rows {
+		cm.counter[i][h.bucket(key, cm.width)] += count
+	}
+}
+
+// Estimate implements Sketch.
+func (cm *CountMin) Estimate(key uint64) int64 {
+	var best int64
+	for i, h := range cm.rows {
+		v := cm.counter[i][h.bucket(key, cm.width)]
+		if i == 0 || v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// CountSketch is the Count Sketch (Charikar et al. 2002): d rows of w
+// signed counters, point query = median over rows. Unbiased estimates.
+type CountSketch struct {
+	rows    []hashRow
+	width   int
+	counter [][]int64
+}
+
+// NewCountSketch returns a d×w Count Sketch.
+func NewCountSketch(d, w int, seed int64) *CountSketch {
+	cs := &CountSketch{rows: newHashRows(d, seed), width: w}
+	cs.counter = make([][]int64, d)
+	for i := range cs.counter {
+		cs.counter[i] = make([]int64, w)
+	}
+	return cs
+}
+
+// Name implements Sketch.
+func (cs *CountSketch) Name() string { return "count-sketch" }
+
+// Update implements Sketch.
+func (cs *CountSketch) Update(key uint64, count int64) {
+	for i, h := range cs.rows {
+		cs.counter[i][h.bucket(key, cs.width)] += h.sign(key) * count
+	}
+}
+
+// Estimate implements Sketch.
+func (cs *CountSketch) Estimate(key uint64) int64 {
+	ests := make([]int64, len(cs.rows))
+	for i, h := range cs.rows {
+		ests[i] = h.sign(key) * cs.counter[i][h.bucket(key, cs.width)]
+	}
+	sort.Slice(ests, func(i, j int) bool { return ests[i] < ests[j] })
+	mid := len(ests) / 2
+	if len(ests)%2 == 1 {
+		return ests[mid]
+	}
+	return (ests[mid-1] + ests[mid]) / 2
+}
+
+// UnivMon (Liu et al. 2016) layers L Count Sketches over progressively
+// subsampled substreams: key k reaches level l when the low l bits of a
+// sampling hash are zero. Point queries use the deepest level the key
+// reaches, recovering frequencies across the moment hierarchy.
+type UnivMon struct {
+	levels  []*CountSketch
+	sampler hashRow
+}
+
+// NewUnivMon returns a UnivMon with `levels` layered d×w Count Sketches.
+func NewUnivMon(levels, d, w int, seed int64) *UnivMon {
+	u := &UnivMon{sampler: hashRow{salt: uint64(seed)*2654435761 + 1}}
+	for l := 0; l < levels; l++ {
+		u.levels = append(u.levels, NewCountSketch(d, w, seed+int64(l+1)*7919))
+	}
+	return u
+}
+
+// Name implements Sketch.
+func (u *UnivMon) Name() string { return "univmon" }
+
+// levelOf returns the deepest level key is sampled into.
+func (u *UnivMon) levelOf(key uint64) int {
+	h := u.sampler.mix(key)
+	lvl := 0
+	for lvl+1 < len(u.levels) && h&(1<<uint(lvl)) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// Update implements Sketch.
+func (u *UnivMon) Update(key uint64, count int64) {
+	deepest := u.levelOf(key)
+	for l := 0; l <= deepest; l++ {
+		u.levels[l].Update(key, count)
+	}
+}
+
+// Estimate implements Sketch.
+func (u *UnivMon) Estimate(key uint64) int64 {
+	return u.levels[u.levelOf(key)].Estimate(key)
+}
+
+// NitroSketch (Liu et al. 2019) wraps a Count Sketch with probabilistic
+// row updates: each row is updated independently with probability p and
+// increments are scaled by 1/p, keeping estimates unbiased while cutting
+// per-packet work — the software-switch optimization of the original.
+type NitroSketch struct {
+	inner *CountSketch
+	p     float64
+	rnd   *rand.Rand
+}
+
+// NewNitroSketch returns a NitroSketch over a d×w Count Sketch with row
+// sampling probability p.
+func NewNitroSketch(d, w int, p float64, seed int64) *NitroSketch {
+	if p <= 0 || p > 1 {
+		panic("sketch: NitroSketch sampling probability must be in (0,1]")
+	}
+	return &NitroSketch{
+		inner: NewCountSketch(d, w, seed),
+		p:     p,
+		rnd:   rand.New(rand.NewSource(seed + 13)),
+	}
+}
+
+// Name implements Sketch.
+func (n *NitroSketch) Name() string { return "nitrosketch" }
+
+// Update implements Sketch.
+func (n *NitroSketch) Update(key uint64, count int64) {
+	scaled := int64(float64(count) / n.p)
+	for i, h := range n.inner.rows {
+		if n.rnd.Float64() < n.p {
+			n.inner.counter[i][h.bucket(key, n.inner.width)] += h.sign(key) * scaled
+		}
+	}
+}
+
+// Estimate implements Sketch.
+func (n *NitroSketch) Estimate(key uint64) int64 { return n.inner.Estimate(key) }

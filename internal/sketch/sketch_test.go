@@ -1,0 +1,189 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datasets"
+	"repro/internal/trace"
+)
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	cm := NewCountMin(4, 256, 1)
+	exact := map[uint64]int64{}
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		k := uint64(r.Intn(300))
+		cm.Update(k, 1)
+		exact[k]++
+	}
+	for k, c := range exact {
+		if est := cm.Estimate(k); est < c {
+			t.Fatalf("key %d: estimate %d < exact %d", k, est, c)
+		}
+	}
+}
+
+func TestCountMinExactWhenSparse(t *testing.T) {
+	cm := NewCountMin(4, 1024, 3)
+	cm.Update(42, 7)
+	cm.Update(99, 3)
+	if cm.Estimate(42) != 7 || cm.Estimate(99) != 3 {
+		t.Fatal("sparse estimates should be exact")
+	}
+	if cm.Estimate(12345) != 0 {
+		t.Fatal("unseen key should estimate 0 in a sparse sketch")
+	}
+}
+
+func TestCountSketchUnbiasedOnHeavyKey(t *testing.T) {
+	cs := NewCountSketch(5, 256, 4)
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		cs.Update(uint64(r.Intn(500)), 1)
+	}
+	cs.Update(9999, 1000)
+	est := cs.Estimate(9999)
+	if math.Abs(float64(est-1000)) > 150 {
+		t.Fatalf("heavy key estimate %d, want ~1000", est)
+	}
+}
+
+func TestCountSketchMedianRobust(t *testing.T) {
+	cs := NewCountSketch(5, 64, 6)
+	cs.Update(7, 100)
+	if est := cs.Estimate(7); est != 100 {
+		t.Fatalf("single-key estimate %d, want 100", est)
+	}
+}
+
+func TestUnivMonEstimatesHeavyKeys(t *testing.T) {
+	u := NewUnivMon(4, 4, 256, 7)
+	r := rand.New(rand.NewSource(8))
+	exact := map[uint64]int64{}
+	for i := 0; i < 4000; i++ {
+		k := uint64(r.Intn(200))
+		u.Update(k, 1)
+		exact[k]++
+	}
+	u.Update(555, 2000)
+	exact[555] += 2000
+	if est := u.Estimate(555); math.Abs(float64(est-exact[555])) > float64(exact[555])/4 {
+		t.Fatalf("UnivMon heavy key estimate %d, want ~%d", est, exact[555])
+	}
+}
+
+func TestNitroSketchUnbiased(t *testing.T) {
+	// Average over independent sketches: sampling is unbiased.
+	var sum int64
+	const trials = 30
+	for s := int64(0); s < trials; s++ {
+		ns := NewNitroSketch(4, 512, 0.5, s)
+		ns.Update(42, 1000)
+		sum += ns.Estimate(42)
+	}
+	avg := float64(sum) / trials
+	if math.Abs(avg-1000) > 200 {
+		t.Fatalf("NitroSketch mean estimate %v, want ~1000", avg)
+	}
+}
+
+func TestNitroSketchRejectsBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNitroSketch(4, 64, 0, 1)
+}
+
+func TestHeavyHitters(t *testing.T) {
+	counts := map[uint64]int64{1: 100, 2: 50, 3: 1, 4: 60}
+	hh := HeavyHitters(counts, 0.2) // cut = 0.2*211 = 42
+	if len(hh) != 3 {
+		t.Fatalf("got %d heavy hitters: %v", len(hh), hh)
+	}
+	if hh[0] != 1 || hh[1] != 4 || hh[2] != 2 {
+		t.Fatalf("heavy hitters not sorted by count: %v", hh)
+	}
+}
+
+func TestHeavyHittersEmptyAndTiny(t *testing.T) {
+	if hh := HeavyHitters(map[uint64]int64{}, 0.1); len(hh) != 0 {
+		t.Fatal("empty counts should give no heavy hitters")
+	}
+	// Threshold below one packet clamps to 1.
+	hh := HeavyHitters(map[uint64]int64{5: 1}, 1e-9)
+	if len(hh) != 1 {
+		t.Fatal("single-packet key should qualify with tiny threshold")
+	}
+}
+
+func TestExactCountsAndFeedConsistent(t *testing.T) {
+	tr := datasets.CAIDA(2000, 9)
+	counts := ExactCounts(tr, KeyDstIP)
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != int64(len(tr.Packets)) {
+		t.Fatalf("counts sum %d, want %d", total, len(tr.Packets))
+	}
+	cm := NewCountMin(4, 4096, 10)
+	Feed(cm, tr, KeyDstIP)
+	for k, c := range counts {
+		if cm.Estimate(k) < c {
+			t.Fatal("count-min underestimated after Feed")
+		}
+	}
+}
+
+func TestEstimationErrorOnRealTrace(t *testing.T) {
+	tr := datasets.CAIDA(3000, 11)
+	for name, build := range StandardBuilders(512) {
+		s := build(1)
+		errRate, hh := EstimationError(s, tr, KeyDstIP, 0.001)
+		if hh == 0 {
+			t.Fatalf("%s: no heavy hitters found", name)
+		}
+		if errRate < 0 || errRate > 2 {
+			t.Fatalf("%s: implausible error rate %v", name, errRate)
+		}
+	}
+}
+
+func TestEstimationErrorShrinksWithWidth(t *testing.T) {
+	tr := datasets.CAIDA(3000, 12)
+	narrow, _ := EstimationError(NewCountMin(4, 32, 1), tr, KeyDstIP, 0.001)
+	wide, _ := EstimationError(NewCountMin(4, 4096, 1), tr, KeyDstIP, 0.001)
+	if wide > narrow {
+		t.Fatalf("wider sketch should not be worse: %v vs %v", wide, narrow)
+	}
+}
+
+func TestKeyFuncs(t *testing.T) {
+	p := trace.Packet{Tuple: trace.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: trace.TCP}}
+	if KeyDstIP(p) != 2 || KeySrcIP(p) != 1 {
+		t.Fatal("IP key functions wrong")
+	}
+	if KeyFive(p) != p.Tuple.FastHash() {
+		t.Fatal("five-tuple key must use FastHash")
+	}
+}
+
+// Property: Count-Min estimates are monotone in updates.
+func TestCountMinMonotone(t *testing.T) {
+	f := func(key uint64, a, b uint8) bool {
+		cm := NewCountMin(3, 128, 42)
+		cm.Update(key, int64(a))
+		e1 := cm.Estimate(key)
+		cm.Update(key, int64(b))
+		e2 := cm.Estimate(key)
+		return e2 >= e1 && e1 >= int64(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,255 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func samplePacketTrace() *PacketTrace {
+	tcp := FiveTuple{
+		SrcIP: IPv4FromBytes(10, 1, 2, 3), DstIP: IPv4FromBytes(192, 168, 0, 9),
+		SrcPort: 44321, DstPort: 443, Proto: TCP,
+	}
+	udp := FiveTuple{
+		SrcIP: IPv4FromBytes(172, 16, 0, 1), DstIP: IPv4FromBytes(8, 8, 8, 8),
+		SrcPort: 5353, DstPort: 53, Proto: UDP,
+	}
+	icmp := FiveTuple{
+		SrcIP: IPv4FromBytes(10, 0, 0, 1), DstIP: IPv4FromBytes(10, 0, 0, 2),
+		Proto: ICMP,
+	}
+	return &PacketTrace{Packets: []Packet{
+		{Time: 0, Tuple: tcp, Size: 40, TTL: 64, Flags: 2},
+		{Time: 1_500_000, Tuple: udp, Size: 128, TTL: 128, Flags: 0},
+		{Time: 2_000_123, Tuple: tcp, Size: 1500, TTL: 64, Flags: 2},
+		{Time: 3_999_999, Tuple: icmp, Size: 20, TTL: 255, Flags: 0},
+	}}
+}
+
+func TestPCAPRoundTrip(t *testing.T) {
+	orig := samplePacketTrace()
+	var buf bytes.Buffer
+	if err := WritePCAP(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPCAP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Packets) != len(orig.Packets) {
+		t.Fatalf("got %d packets, want %d", len(back.Packets), len(orig.Packets))
+	}
+	for i := range orig.Packets {
+		o, g := orig.Packets[i], back.Packets[i]
+		if o.Time != g.Time {
+			t.Fatalf("packet %d time %d vs %d", i, g.Time, o.Time)
+		}
+		if o.Tuple != g.Tuple {
+			t.Fatalf("packet %d tuple %v vs %v", i, g.Tuple, o.Tuple)
+		}
+		if o.Size != g.Size || o.TTL != g.TTL || o.Flags != g.Flags {
+			t.Fatalf("packet %d fields differ: %+v vs %+v", i, g, o)
+		}
+	}
+}
+
+func TestPCAPHeaderFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePCAP(&buf, samplePacketTrace()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if binary.LittleEndian.Uint32(b[0:]) != 0xa1b2c3d4 {
+		t.Fatal("wrong magic")
+	}
+	if binary.LittleEndian.Uint16(b[4:]) != 2 || binary.LittleEndian.Uint16(b[6:]) != 4 {
+		t.Fatal("wrong version")
+	}
+	if binary.LittleEndian.Uint32(b[20:]) != 101 {
+		t.Fatal("wrong link type (want LINKTYPE_RAW)")
+	}
+	// First record: timestamp 0.000000, incl 44 (20 IP + 4 ports + pad to
+	// size 40 ⇒ stored = 40), orig 40.
+	if got := binary.LittleEndian.Uint32(b[24+12:]); got != 40 {
+		t.Fatalf("first orig_len = %d, want 40", got)
+	}
+}
+
+func TestPCAPStoredBytesHaveValidChecksum(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePCAP(&buf, samplePacketTrace()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()[24:] // skip file header
+	incl := binary.LittleEndian.Uint32(b[8:])
+	body := b[16 : 16+incl]
+	if !VerifyChecksum(body[:20]) {
+		t.Fatal("stored IPv4 header must carry a valid checksum")
+	}
+}
+
+func TestReadPCAPRejectsGarbage(t *testing.T) {
+	if _, err := ReadPCAP(bytes.NewReader([]byte("not a pcap"))); err == nil {
+		t.Fatal("short input must fail")
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], 0xdeadbeef)
+	if _, err := ReadPCAP(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("wrong magic must fail")
+	}
+	binary.LittleEndian.PutUint32(hdr[0:], 0xa1b2c3d4)
+	binary.LittleEndian.PutUint32(hdr[20:], 1) // ethernet, unsupported
+	if _, err := ReadPCAP(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("wrong link type must fail")
+	}
+}
+
+func TestPCAPRoundTripProperty(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, size uint16, ttl uint8) bool {
+		sz := int(size)
+		if sz < MinTCPPacket {
+			sz = MinTCPPacket
+		}
+		p := Packet{
+			Time: 42,
+			Tuple: FiveTuple{
+				SrcIP: IPv4(src), DstIP: IPv4(dst),
+				SrcPort: sp, DstPort: dp, Proto: TCP,
+			},
+			Size: sz, TTL: ttl, Flags: 2,
+		}
+		var buf bytes.Buffer
+		if err := WritePCAP(&buf, &PacketTrace{Packets: []Packet{p}}); err != nil {
+			return false
+		}
+		back, err := ReadPCAP(&buf)
+		if err != nil || len(back.Packets) != 1 {
+			return false
+		}
+		return back.Packets[0] == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sampleFlowTrace(n int) *FlowTrace {
+	out := &FlowTrace{}
+	for i := 0; i < n; i++ {
+		out.Records = append(out.Records, FlowRecord{
+			Tuple: FiveTuple{
+				SrcIP: IPv4FromBytes(10, 0, byte(i), 1), DstIP: IPv4FromBytes(10, 0, byte(i), 2),
+				SrcPort: uint16(40000 + i), DstPort: 80, Proto: TCP,
+			},
+			Start:    int64(i) * 1_000_000,
+			Duration: 500_000,
+			Packets:  int64(i + 1),
+			Bytes:    int64((i + 1) * 120),
+		})
+	}
+	return out
+}
+
+func TestNetFlowV5RoundTrip(t *testing.T) {
+	orig := sampleFlowTrace(4)
+	var buf bytes.Buffer
+	if err := WriteNetFlowV5(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNetFlowV5(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != 4 {
+		t.Fatalf("got %d records", len(back.Records))
+	}
+	for i := range orig.Records {
+		o, g := orig.Records[i], back.Records[i]
+		if o.Tuple != g.Tuple {
+			t.Fatalf("record %d tuple %v vs %v", i, g.Tuple, o.Tuple)
+		}
+		// v5 stores millisecond resolution.
+		if o.Start != g.Start || o.Duration != g.Duration {
+			t.Fatalf("record %d times %d/%d vs %d/%d", i, g.Start, g.Duration, o.Start, o.Duration)
+		}
+		if o.Packets != g.Packets || o.Bytes != g.Bytes {
+			t.Fatalf("record %d counters differ", i)
+		}
+	}
+}
+
+func TestNetFlowV5Packetization(t *testing.T) {
+	// 65 records → 3 export packets (30 + 30 + 5).
+	orig := sampleFlowTrace(65)
+	var buf bytes.Buffer
+	if err := WriteNetFlowV5(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	wantLen := 3*nfv5HeaderLen + 65*nfv5RecordLen
+	if buf.Len() != wantLen {
+		t.Fatalf("stream length %d, want %d", buf.Len(), wantLen)
+	}
+	// Sequence numbers accumulate flow counts.
+	b := buf.Bytes()
+	secondHdr := b[nfv5HeaderLen+30*nfv5RecordLen:]
+	if seq := binary.BigEndian.Uint32(secondHdr[16:]); seq != 30 {
+		t.Fatalf("second packet sequence = %d, want 30", seq)
+	}
+	back, err := ReadNetFlowV5(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != 65 {
+		t.Fatalf("read back %d records", len(back.Records))
+	}
+}
+
+func TestNetFlowV5ClampsHugeCounters(t *testing.T) {
+	orig := &FlowTrace{Records: []FlowRecord{{
+		Tuple:   FiveTuple{SrcIP: 1, DstIP: 2, Proto: TCP},
+		Packets: 1 << 40, Bytes: 1 << 50,
+	}}}
+	var buf bytes.Buffer
+	if err := WriteNetFlowV5(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNetFlowV5(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Records[0].Packets != 0xffffffff || back.Records[0].Bytes != 0xffffffff {
+		t.Fatal("v5 counters must clamp at 2^32-1")
+	}
+}
+
+func TestReadNetFlowV5RejectsGarbage(t *testing.T) {
+	var hdr [nfv5HeaderLen]byte
+	binary.BigEndian.PutUint16(hdr[0:], 9)
+	if _, err := ReadNetFlowV5(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("wrong version must fail")
+	}
+	binary.BigEndian.PutUint16(hdr[0:], 5)
+	binary.BigEndian.PutUint16(hdr[2:], 99) // > 30 records
+	if _, err := ReadNetFlowV5(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("over-long packet must fail")
+	}
+}
+
+func TestWriteEmptyTraces(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePCAP(&buf, &PacketTrace{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 24 {
+		t.Fatal("empty pcap should be header only")
+	}
+	buf.Reset()
+	if err := WriteNetFlowV5(&buf, &FlowTrace{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("empty netflow stream should be empty")
+	}
+}

@@ -1,0 +1,153 @@
+package trace
+
+// Chunking implements Insight 3: the merged flow set is sliced into M
+// evenly time-spaced chunks (by flow start time, NOT by packet count, which
+// would break differential privacy per §4.1), and each flow carries
+// explicit flow tags — a "starts in this chunk" flag plus a presence bit
+// per chunk — so cross-chunk correlations survive parallel training.
+
+// FlowTags annotates one flow within one chunk.
+type FlowTags struct {
+	StartsHere bool   // the flow's first packet/record falls in this chunk
+	Presence   []bool // Presence[c] is true when the flow appears in chunk c
+}
+
+// TaggedPacketFlow is a packet flow restricted to one chunk plus its tags.
+type TaggedPacketFlow struct {
+	Flow *PacketFlow
+	Tags FlowTags
+}
+
+// TaggedFlowSeries is a flow series restricted to one chunk plus its tags.
+type TaggedFlowSeries struct {
+	Series *FlowSeries
+	Tags   FlowTags
+}
+
+// chunkIndex maps a timestamp to a chunk in [0, m).
+func chunkIndex(t, start, span int64, m int) int {
+	idx := int((t - start) * int64(m) / span)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= m {
+		idx = m - 1
+	}
+	return idx
+}
+
+// ChunkPacketFlows slices flows into m fixed-time chunks by packet
+// timestamp. A flow spanning multiple chunks contributes a (sub)flow to
+// each chunk it has packets in, with identical Presence vectors and
+// StartsHere set only in its first chunk.
+func ChunkPacketFlows(flows []*PacketFlow, m int) [][]*TaggedPacketFlow {
+	if m <= 0 {
+		panic("trace: ChunkPacketFlows needs m > 0")
+	}
+	start, span := packetTimeBounds(flows)
+	chunks := make([][]*TaggedPacketFlow, m)
+	for _, f := range flows {
+		if len(f.Packets) == 0 {
+			continue
+		}
+		parts := make([][]Packet, m)
+		presence := make([]bool, m)
+		for _, p := range f.Packets {
+			c := chunkIndex(p.Time, start, span, m)
+			parts[c] = append(parts[c], p)
+			presence[c] = true
+		}
+		first := chunkIndex(f.Packets[0].Time, start, span, m)
+		for c, pkts := range parts {
+			if len(pkts) == 0 {
+				continue
+			}
+			chunks[c] = append(chunks[c], &TaggedPacketFlow{
+				Flow: &PacketFlow{Tuple: f.Tuple, Packets: pkts},
+				Tags: FlowTags{StartsHere: c == first, Presence: presence},
+			})
+		}
+	}
+	return chunks
+}
+
+// ChunkFlowSeries slices flow series into m fixed-time chunks by record
+// start time, mirroring ChunkPacketFlows.
+func ChunkFlowSeries(series []*FlowSeries, m int) [][]*TaggedFlowSeries {
+	if m <= 0 {
+		panic("trace: ChunkFlowSeries needs m > 0")
+	}
+	start, span := seriesTimeBounds(series)
+	chunks := make([][]*TaggedFlowSeries, m)
+	for _, f := range series {
+		if len(f.Records) == 0 {
+			continue
+		}
+		parts := make([][]FlowRecord, m)
+		presence := make([]bool, m)
+		for _, r := range f.Records {
+			c := chunkIndex(r.Start, start, span, m)
+			parts[c] = append(parts[c], r)
+			presence[c] = true
+		}
+		first := chunkIndex(f.Records[0].Start, start, span, m)
+		for c, recs := range parts {
+			if len(recs) == 0 {
+				continue
+			}
+			chunks[c] = append(chunks[c], &TaggedFlowSeries{
+				Series: &FlowSeries{Tuple: f.Tuple, Records: recs},
+				Tags:   FlowTags{StartsHere: c == first, Presence: presence},
+			})
+		}
+	}
+	return chunks
+}
+
+func packetTimeBounds(flows []*PacketFlow) (start, span int64) {
+	first := true
+	var minT, maxT int64
+	for _, f := range flows {
+		for _, p := range f.Packets {
+			if first {
+				minT, maxT = p.Time, p.Time
+				first = false
+				continue
+			}
+			if p.Time < minT {
+				minT = p.Time
+			}
+			if p.Time > maxT {
+				maxT = p.Time
+			}
+		}
+	}
+	if first {
+		return 0, 1
+	}
+	return minT, maxT - minT + 1
+}
+
+func seriesTimeBounds(series []*FlowSeries) (start, span int64) {
+	first := true
+	var minT, maxT int64
+	for _, f := range series {
+		for _, r := range f.Records {
+			if first {
+				minT, maxT = r.Start, r.Start
+				first = false
+				continue
+			}
+			if r.Start < minT {
+				minT = r.Start
+			}
+			if r.Start > maxT {
+				maxT = r.Start
+			}
+		}
+	}
+	if first {
+		return 0, 1
+	}
+	return minT, maxT - minT + 1
+}

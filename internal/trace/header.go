@@ -1,0 +1,86 @@
+package trace
+
+import "encoding/binary"
+
+// Derived-field generation (paper §4.2 post-processing): NetShare's
+// generator emits native fields (IP, port, timestamp, size) and the
+// post-processor computes derived fields such as the IPv4 header checksum,
+// which would be intractable to learn.
+
+// IPv4Header is a minimal serializable IPv4 header for a generated packet.
+// The option field is deliberately absent (per §5: unused in all three PCAP
+// datasets and excluded by design).
+type IPv4Header struct {
+	TotalLength uint16
+	ID          uint16
+	Flags       uint8 // 3-bit flags
+	TTL         uint8
+	Protocol    Protocol
+	SrcIP       IPv4
+	DstIP       IPv4
+}
+
+// headerLen is the fixed IPv4 header length without options.
+const headerLen = 20
+
+// Marshal serializes the header into 20 bytes with a correct checksum.
+func (h IPv4Header) Marshal() []byte {
+	b := make([]byte, headerLen)
+	b[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(b[2:], h.TotalLength)
+	binary.BigEndian.PutUint16(b[4:], h.ID)
+	binary.BigEndian.PutUint16(b[6:], uint16(h.Flags)<<13)
+	b[8] = h.TTL
+	b[9] = byte(h.Protocol)
+	binary.BigEndian.PutUint32(b[12:], uint32(h.SrcIP))
+	binary.BigEndian.PutUint32(b[16:], uint32(h.DstIP))
+	binary.BigEndian.PutUint16(b[10:], Checksum(b))
+	return b
+}
+
+// Checksum computes the IPv4 header checksum of b with the checksum field
+// (bytes 10–11) treated as zero.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		if i == 10 {
+			continue
+		}
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// VerifyChecksum reports whether a marshaled header's checksum is valid.
+func VerifyChecksum(b []byte) bool {
+	if len(b) < headerLen {
+		return false
+	}
+	return binary.BigEndian.Uint16(b[10:]) == Checksum(b)
+}
+
+// Minimum packet sizes per protocol (Appendix B Test 4): a TCP packet is at
+// least 40 bytes (20 IP + 20 TCP), a UDP packet at least 28 (20 IP + 8 UDP).
+const (
+	MinTCPPacket = 40
+	MinUDPPacket = 28
+	MaxPacket    = 65535
+)
+
+// MinPacketSize returns the minimum valid IP total length for p.
+func MinPacketSize(p Protocol) int {
+	switch p {
+	case TCP:
+		return MinTCPPacket
+	case UDP:
+		return MinUDPPacket
+	default:
+		return headerLen
+	}
+}

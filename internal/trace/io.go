@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV import/export so generated traces can be shared with downstream
+// tools. Column layouts mirror the fields the paper evaluates: the flow
+// format matches the 11 NetFlow fields of §6.1 (minus redundant derived
+// columns), the packet format the PCAP fields (IP header + timestamp +
+// L4 ports).
+
+var packetHeader = []string{"time_us", "src_ip", "dst_ip", "src_port", "dst_port", "proto", "size", "ttl", "flags"}
+
+// WritePacketCSV writes t to w in the packet CSV layout.
+func WritePacketCSV(w io.Writer, t *PacketTrace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(packetHeader); err != nil {
+		return fmt.Errorf("trace: write packet header: %w", err)
+	}
+	for _, p := range t.Packets {
+		rec := []string{
+			strconv.FormatInt(p.Time, 10),
+			p.Tuple.SrcIP.String(),
+			p.Tuple.DstIP.String(),
+			strconv.Itoa(int(p.Tuple.SrcPort)),
+			strconv.Itoa(int(p.Tuple.DstPort)),
+			strconv.Itoa(int(p.Tuple.Proto)),
+			strconv.Itoa(p.Size),
+			strconv.Itoa(int(p.TTL)),
+			strconv.Itoa(int(p.Flags)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write packet row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadPacketCSV parses the packet CSV layout produced by WritePacketCSV.
+func ReadPacketCSV(r io.Reader) (*PacketTrace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read packet csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return &PacketTrace{}, nil
+	}
+	out := &PacketTrace{Packets: make([]Packet, 0, len(rows)-1)}
+	for i, row := range rows[1:] {
+		if len(row) != len(packetHeader) {
+			return nil, fmt.Errorf("trace: packet row %d has %d columns, want %d", i+1, len(row), len(packetHeader))
+		}
+		var p Packet
+		if p.Time, err = strconv.ParseInt(row[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: packet row %d time: %w", i+1, err)
+		}
+		if p.Tuple.SrcIP, err = ParseIPv4(row[1]); err != nil {
+			return nil, err
+		}
+		if p.Tuple.DstIP, err = ParseIPv4(row[2]); err != nil {
+			return nil, err
+		}
+		sp, err := strconv.ParseUint(row[3], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("trace: packet row %d src port: %w", i+1, err)
+		}
+		dp, err := strconv.ParseUint(row[4], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("trace: packet row %d dst port: %w", i+1, err)
+		}
+		proto, err := strconv.ParseUint(row[5], 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("trace: packet row %d proto: %w", i+1, err)
+		}
+		size, err := strconv.Atoi(row[6])
+		if err != nil {
+			return nil, fmt.Errorf("trace: packet row %d size: %w", i+1, err)
+		}
+		ttl, err := strconv.ParseUint(row[7], 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("trace: packet row %d ttl: %w", i+1, err)
+		}
+		flags, err := strconv.ParseUint(row[8], 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("trace: packet row %d flags: %w", i+1, err)
+		}
+		p.Tuple.SrcPort, p.Tuple.DstPort = uint16(sp), uint16(dp)
+		p.Tuple.Proto = Protocol(proto)
+		p.Size, p.TTL, p.Flags = size, uint8(ttl), uint8(flags)
+		out.Packets = append(out.Packets, p)
+	}
+	return out, nil
+}
+
+var flowHeader = []string{"start_us", "duration_us", "src_ip", "dst_ip", "src_port", "dst_port", "proto", "packets", "bytes", "label"}
+
+// WriteFlowCSV writes t to w in the flow CSV layout.
+func WriteFlowCSV(w io.Writer, t *FlowTrace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(flowHeader); err != nil {
+		return fmt.Errorf("trace: write flow header: %w", err)
+	}
+	for _, r := range t.Records {
+		rec := []string{
+			strconv.FormatInt(r.Start, 10),
+			strconv.FormatInt(r.Duration, 10),
+			r.Tuple.SrcIP.String(),
+			r.Tuple.DstIP.String(),
+			strconv.Itoa(int(r.Tuple.SrcPort)),
+			strconv.Itoa(int(r.Tuple.DstPort)),
+			strconv.Itoa(int(r.Tuple.Proto)),
+			strconv.FormatInt(r.Packets, 10),
+			strconv.FormatInt(r.Bytes, 10),
+			r.Label.String(),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write flow row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadFlowCSV parses the flow CSV layout produced by WriteFlowCSV.
+func ReadFlowCSV(r io.Reader) (*FlowTrace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read flow csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return &FlowTrace{}, nil
+	}
+	labelByName := make(map[string]Label, NumLabels)
+	for l := Benign; l < NumLabels; l++ {
+		labelByName[l.String()] = l
+	}
+	out := &FlowTrace{Records: make([]FlowRecord, 0, len(rows)-1)}
+	for i, row := range rows[1:] {
+		if len(row) != len(flowHeader) {
+			return nil, fmt.Errorf("trace: flow row %d has %d columns, want %d", i+1, len(row), len(flowHeader))
+		}
+		var fr FlowRecord
+		if fr.Start, err = strconv.ParseInt(row[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: flow row %d start: %w", i+1, err)
+		}
+		if fr.Duration, err = strconv.ParseInt(row[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: flow row %d duration: %w", i+1, err)
+		}
+		if fr.Tuple.SrcIP, err = ParseIPv4(row[2]); err != nil {
+			return nil, err
+		}
+		if fr.Tuple.DstIP, err = ParseIPv4(row[3]); err != nil {
+			return nil, err
+		}
+		sp, err := strconv.ParseUint(row[4], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("trace: flow row %d src port: %w", i+1, err)
+		}
+		dp, err := strconv.ParseUint(row[5], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("trace: flow row %d dst port: %w", i+1, err)
+		}
+		proto, err := strconv.ParseUint(row[6], 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("trace: flow row %d proto: %w", i+1, err)
+		}
+		if fr.Packets, err = strconv.ParseInt(row[7], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: flow row %d packets: %w", i+1, err)
+		}
+		if fr.Bytes, err = strconv.ParseInt(row[8], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: flow row %d bytes: %w", i+1, err)
+		}
+		lbl, ok := labelByName[row[9]]
+		if !ok {
+			return nil, fmt.Errorf("trace: flow row %d unknown label %q", i+1, row[9])
+		}
+		fr.Tuple.SrcPort, fr.Tuple.DstPort = uint16(sp), uint16(dp)
+		fr.Tuple.Proto = Protocol(proto)
+		fr.Label = lbl
+		out.Records = append(out.Records, fr)
+	}
+	return out, nil
+}

@@ -1,0 +1,150 @@
+// Package trace defines the packet- and flow-header trace model NetShare
+// operates on: IPv4 five-tuples, packet header records (PCAP-like), flow
+// header records (NetFlow-like), measurement epochs, the merge / flow-split
+// / time-chunk transformations of the paper's Insights 1 and 3, and header
+// validity checks.
+//
+// The design follows gopacket's Flow/Endpoint conventions: five-tuples are
+// small comparable values usable as map keys, with a fast symmetric-capable
+// hash for load balancing and grouping.
+package trace
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// IPv4 is an IPv4 address in host byte order.
+type IPv4 uint32
+
+// IPv4FromBytes builds an address from its four octets.
+func IPv4FromBytes(a, b, c, d byte) IPv4 {
+	return IPv4(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// ParseIPv4 parses dotted-quad notation.
+func ParseIPv4(s string) (IPv4, error) {
+	addr, err := netip.ParseAddr(s)
+	if err != nil || !addr.Is4() {
+		return 0, fmt.Errorf("trace: invalid IPv4 address %q", s)
+	}
+	b := addr.As4()
+	return IPv4FromBytes(b[0], b[1], b[2], b[3]), nil
+}
+
+// Octets returns the address's four octets.
+func (ip IPv4) Octets() [4]byte {
+	return [4]byte{byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)}
+}
+
+// String returns dotted-quad notation.
+func (ip IPv4) String() string {
+	o := ip.Octets()
+	return fmt.Sprintf("%d.%d.%d.%d", o[0], o[1], o[2], o[3])
+}
+
+// IsMulticast reports whether ip is in 224.0.0.0/4.
+func (ip IPv4) IsMulticast() bool { return ip>>28 == 0xE }
+
+// IsBroadcastPrefix reports whether the first octet is 255 (the paper's
+// Appendix B Test 1 treats 255.x.x.x source addresses as invalid).
+func (ip IPv4) IsBroadcastPrefix() bool { return ip>>24 == 255 }
+
+// IsZeroPrefix reports whether the first octet is 0 (invalid destination
+// per Appendix B Test 1).
+func (ip IPv4) IsZeroPrefix() bool { return ip>>24 == 0 }
+
+// Protocol is an IP protocol number.
+type Protocol uint8
+
+// The protocols the paper's datasets contain.
+const (
+	ICMP Protocol = 1
+	TCP  Protocol = 6
+	UDP  Protocol = 17
+)
+
+// String returns the conventional protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case ICMP:
+		return "ICMP"
+	case TCP:
+		return "TCP"
+	case UDP:
+		return "UDP"
+	}
+	return fmt.Sprintf("PROTO(%d)", uint8(p))
+}
+
+// FiveTuple identifies a flow: source/destination address and port plus
+// protocol. It is comparable and usable as a map key.
+type FiveTuple struct {
+	SrcIP, DstIP     IPv4
+	SrcPort, DstPort uint16
+	Proto            Protocol
+}
+
+// String renders the tuple as "src:sport > dst:dport/PROTO".
+func (ft FiveTuple) String() string {
+	return fmt.Sprintf("%s:%d > %s:%d/%s", ft.SrcIP, ft.SrcPort, ft.DstIP, ft.DstPort, ft.Proto)
+}
+
+// Reverse returns the tuple with endpoints swapped.
+func (ft FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{
+		SrcIP: ft.DstIP, DstIP: ft.SrcIP,
+		SrcPort: ft.DstPort, DstPort: ft.SrcPort,
+		Proto: ft.Proto,
+	}
+}
+
+// FastHash returns a 64-bit FNV-1a style hash of the tuple, suitable for
+// sketch hashing and shard selection. It is NOT symmetric; combine with
+// Reverse for bidirectional grouping.
+func (ft FiveTuple) FastHash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64, bytes int) {
+		for i := 0; i < bytes; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	mix(uint64(ft.SrcIP), 4)
+	mix(uint64(ft.DstIP), 4)
+	mix(uint64(ft.SrcPort), 2)
+	mix(uint64(ft.DstPort), 2)
+	mix(uint64(ft.Proto), 1)
+	return h
+}
+
+// SymmetricHash returns a direction-independent hash: A→B and B→A collide
+// by construction, as gopacket's Flow.FastHash guarantees.
+func (ft FiveTuple) SymmetricHash() uint64 {
+	a, b := ft.FastHash(), ft.Reverse().FastHash()
+	if a > b {
+		a, b = b, a
+	}
+	return a*1099511628211 ^ b
+}
+
+// ServicePorts are the well-known service ports the paper's Figure 3
+// examines (DNS, HTTP, SMB, HTTPS, FTP).
+var ServicePorts = []uint16{53, 80, 445, 443, 21}
+
+// PortProtocol returns the protocol a well-known port implies, or 0 when
+// the port does not pin the protocol. Used by validity Test 3.
+func PortProtocol(port uint16) Protocol {
+	switch port {
+	case 80, 443, 21, 22, 25, 445: // HTTP, HTTPS, FTP, SSH, SMTP, SMB → TCP
+		return TCP
+	case 123, 161, 67, 68: // NTP, SNMP, DHCP → UDP
+		return UDP
+	}
+	return 0 // 53 (DNS) and others legitimately run on both
+}

@@ -1,0 +1,134 @@
+// Package validate implements the protocol-compliance checks of the
+// paper's Appendix B (Tables 6 and 7): IP address validity, the
+// bytes/packets relationship, the port/protocol relationship, and minimum
+// packet sizes. Each check returns the fraction of records that pass.
+package validate
+
+import "repro/internal/trace"
+
+// Test1Tuple checks IP address validity (Appendix B Test 1): the source
+// address must not be multicast (224.0.0.0–239.255.255.255) or broadcast
+// (255.x.x.x); the destination must not be 0.x.x.x.
+func Test1Tuple(ft trace.FiveTuple) bool {
+	if ft.SrcIP.IsMulticast() || ft.SrcIP.IsBroadcastPrefix() {
+		return false
+	}
+	return !ft.DstIP.IsZeroPrefix()
+}
+
+// Test2Flow checks the bytes/packets relationship (Test 2): for TCP,
+// 40·pkt ≤ byt ≤ 65535·pkt; for UDP, 28·pkt ≤ byt ≤ 65535·pkt. Other
+// protocols pass vacuously.
+func Test2Flow(r trace.FlowRecord) bool {
+	var min int64
+	switch r.Tuple.Proto {
+	case trace.TCP:
+		min = trace.MinTCPPacket
+	case trace.UDP:
+		min = trace.MinUDPPacket
+	default:
+		return true
+	}
+	if r.Packets < 1 {
+		return false
+	}
+	return r.Bytes >= min*r.Packets && r.Bytes <= int64(trace.MaxPacket)*r.Packets
+}
+
+// Test3Tuple checks the port/protocol relationship (Test 3): when a port
+// pins a protocol (80 → TCP, 123 → UDP, ...) the protocol field must
+// comply. Ports without a pinned protocol pass.
+func Test3Tuple(ft trace.FiveTuple) bool {
+	for _, port := range [...]uint16{ft.SrcPort, ft.DstPort} {
+		if want := trace.PortProtocol(port); want != 0 && ft.Proto != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Test4Packet checks minimum packet size (Test 4, PCAP only): TCP packets
+// are at least 40 bytes, UDP at least 28.
+func Test4Packet(p trace.Packet) bool {
+	return p.Size >= trace.MinPacketSize(p.Tuple.Proto) && p.Size <= trace.MaxPacket
+}
+
+// FlowReport holds pass rates for the NetFlow checks (Table 6).
+type FlowReport struct {
+	Test1, Test2, Test3 float64
+}
+
+// CheckFlows computes Table 6's pass rates for a flow trace.
+func CheckFlows(t *trace.FlowTrace) FlowReport {
+	if len(t.Records) == 0 {
+		return FlowReport{}
+	}
+	var r FlowReport
+	for _, rec := range t.Records {
+		if Test1Tuple(rec.Tuple) {
+			r.Test1++
+		}
+		if Test2Flow(rec) {
+			r.Test2++
+		}
+		if Test3Tuple(rec.Tuple) {
+			r.Test3++
+		}
+	}
+	n := float64(len(t.Records))
+	r.Test1 /= n
+	r.Test2 /= n
+	r.Test3 /= n
+	return r
+}
+
+// PacketReport holds pass rates for the PCAP checks (Table 7).
+type PacketReport struct {
+	Test1, Test2, Test3, Test4 float64
+}
+
+// CheckPackets computes Table 7's pass rates for a packet trace. Test 2 is
+// evaluated per flow (packets ↔ bytes of the reconstructed flow) and
+// reported over flows, matching the appendix's flow-level definition.
+func CheckPackets(t *trace.PacketTrace) PacketReport {
+	if len(t.Packets) == 0 {
+		return PacketReport{}
+	}
+	var r PacketReport
+	for _, p := range t.Packets {
+		if Test1Tuple(p.Tuple) {
+			r.Test1++
+		}
+		if Test3Tuple(p.Tuple) {
+			r.Test3++
+		}
+		if Test4Packet(p) {
+			r.Test4++
+		}
+	}
+	n := float64(len(t.Packets))
+	r.Test1 /= n
+	r.Test3 /= n
+	r.Test4 /= n
+
+	flows := trace.SplitFlows(t)
+	if len(flows) > 0 {
+		pass := 0.0
+		for _, f := range flows {
+			var bytes int64
+			for _, p := range f.Packets {
+				bytes += int64(p.Size)
+			}
+			rec := trace.FlowRecord{
+				Tuple:   f.Tuple,
+				Packets: int64(len(f.Packets)),
+				Bytes:   bytes,
+			}
+			if Test2Flow(rec) {
+				pass++
+			}
+		}
+		r.Test2 = pass / float64(len(flows))
+	}
+	return r
+}

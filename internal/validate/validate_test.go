@@ -1,0 +1,124 @@
+package validate
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/trace"
+)
+
+func ip(a, b, c, d byte) trace.IPv4 { return trace.IPv4FromBytes(a, b, c, d) }
+
+func TestTest1(t *testing.T) {
+	ok := trace.FiveTuple{SrcIP: ip(10, 0, 0, 1), DstIP: ip(10, 0, 0, 2)}
+	if !Test1Tuple(ok) {
+		t.Fatal("normal tuple must pass")
+	}
+	if Test1Tuple(trace.FiveTuple{SrcIP: ip(230, 1, 1, 1), DstIP: ip(10, 0, 0, 2)}) {
+		t.Fatal("multicast source must fail")
+	}
+	if Test1Tuple(trace.FiveTuple{SrcIP: ip(255, 1, 1, 1), DstIP: ip(10, 0, 0, 2)}) {
+		t.Fatal("broadcast source must fail")
+	}
+	if Test1Tuple(trace.FiveTuple{SrcIP: ip(10, 0, 0, 1), DstIP: ip(0, 1, 1, 1)}) {
+		t.Fatal("0.x destination must fail")
+	}
+}
+
+func TestTest2(t *testing.T) {
+	tcp := trace.FiveTuple{Proto: trace.TCP}
+	udp := trace.FiveTuple{Proto: trace.UDP}
+	icmp := trace.FiveTuple{Proto: trace.ICMP}
+	cases := []struct {
+		rec  trace.FlowRecord
+		want bool
+	}{
+		{trace.FlowRecord{Tuple: tcp, Packets: 10, Bytes: 400}, true},   // exactly 40/pkt
+		{trace.FlowRecord{Tuple: tcp, Packets: 10, Bytes: 399}, false},  // below TCP floor
+		{trace.FlowRecord{Tuple: udp, Packets: 10, Bytes: 280}, true},   // exactly 28/pkt
+		{trace.FlowRecord{Tuple: udp, Packets: 10, Bytes: 279}, false},  // below UDP floor
+		{trace.FlowRecord{Tuple: tcp, Packets: 1, Bytes: 65535}, true},  // at ceiling
+		{trace.FlowRecord{Tuple: tcp, Packets: 1, Bytes: 65536}, false}, // above ceiling
+		{trace.FlowRecord{Tuple: icmp, Packets: 1, Bytes: 1}, true},     // other protocols pass
+		{trace.FlowRecord{Tuple: tcp, Packets: 0, Bytes: 0}, false},     // zero packets invalid
+	}
+	for i, c := range cases {
+		if got := Test2Flow(c.rec); got != c.want {
+			t.Fatalf("case %d: Test2 = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestTest3(t *testing.T) {
+	if !Test3Tuple(trace.FiveTuple{DstPort: 80, Proto: trace.TCP}) {
+		t.Fatal("HTTP over TCP must pass")
+	}
+	if Test3Tuple(trace.FiveTuple{DstPort: 80, Proto: trace.UDP}) {
+		t.Fatal("HTTP over UDP must fail")
+	}
+	if !Test3Tuple(trace.FiveTuple{DstPort: 53, Proto: trace.UDP}) {
+		t.Fatal("DNS runs on both protocols")
+	}
+	if !Test3Tuple(trace.FiveTuple{DstPort: 53, Proto: trace.TCP}) {
+		t.Fatal("DNS over TCP is valid too")
+	}
+	if Test3Tuple(trace.FiveTuple{SrcPort: 443, Proto: trace.UDP}) {
+		t.Fatal("source service port must also be checked")
+	}
+}
+
+func TestTest4(t *testing.T) {
+	tcp := trace.FiveTuple{Proto: trace.TCP}
+	udp := trace.FiveTuple{Proto: trace.UDP}
+	if Test4Packet(trace.Packet{Tuple: tcp, Size: 39}) {
+		t.Fatal("39-byte TCP packet must fail")
+	}
+	if !Test4Packet(trace.Packet{Tuple: tcp, Size: 40}) {
+		t.Fatal("40-byte TCP packet must pass")
+	}
+	if !Test4Packet(trace.Packet{Tuple: udp, Size: 28}) {
+		t.Fatal("28-byte UDP packet must pass")
+	}
+	if Test4Packet(trace.Packet{Tuple: udp, Size: 70000}) {
+		t.Fatal("oversized packet must fail")
+	}
+}
+
+func TestCheckFlowsOnRealData(t *testing.T) {
+	tr := datasets.UGR16(2000, 1)
+	rep := CheckFlows(tr)
+	// The synthesized "real" data is constructed to be compliant.
+	if rep.Test1 < 0.99 || rep.Test2 < 0.99 || rep.Test3 < 0.99 {
+		t.Fatalf("real data should pass nearly all checks: %+v", rep)
+	}
+}
+
+func TestCheckPacketsOnRealData(t *testing.T) {
+	tr := datasets.CAIDA(2000, 2)
+	rep := CheckPackets(tr)
+	if rep.Test1 < 0.99 || rep.Test3 < 0.99 || rep.Test4 < 0.99 {
+		t.Fatalf("real data should pass nearly all checks: %+v", rep)
+	}
+	if rep.Test2 <= 0 {
+		t.Fatalf("flow-level Test2 must be computed: %+v", rep)
+	}
+}
+
+func TestCheckersDetectViolations(t *testing.T) {
+	bad := &trace.FlowTrace{Records: []trace.FlowRecord{
+		{Tuple: trace.FiveTuple{SrcIP: ip(225, 0, 0, 1), DstIP: ip(10, 0, 0, 1), DstPort: 80, Proto: trace.UDP}, Packets: 1, Bytes: 1},
+	}}
+	rep := CheckFlows(bad)
+	if rep.Test1 != 0 || rep.Test2 != 0 || rep.Test3 != 0 {
+		t.Fatalf("violations not detected: %+v", rep)
+	}
+}
+
+func TestEmptyTraces(t *testing.T) {
+	if rep := CheckFlows(&trace.FlowTrace{}); rep != (FlowReport{}) {
+		t.Fatal("empty flow trace should report zeros")
+	}
+	if rep := CheckPackets(&trace.PacketTrace{}); rep != (PacketReport{}) {
+		t.Fatal("empty packet trace should report zeros")
+	}
+}

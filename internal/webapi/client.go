@@ -1,0 +1,176 @@
+package webapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Client is a typed client for the web prototype, so Go programs (and the
+// examples) can drive a remote NetShare service without hand-rolling HTTP.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the service at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError is the service's error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func decodeError(resp *http.Response) error {
+	var e apiError
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("webapi: %s (%d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("webapi: unexpected status %d", resp.StatusCode)
+}
+
+// Submit posts a training job and returns its initial status.
+func (c *Client) Submit(ctx context.Context, req JobRequest) (JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("webapi: encode request: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/api/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return JobStatus{}, decodeError(resp)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return JobStatus{}, fmt.Errorf("webapi: decode status: %w", err)
+	}
+	return st, nil
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/api/v1/jobs/"+id, nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return JobStatus{}, decodeError(resp)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return JobStatus{}, fmt.Errorf("webapi: decode status: %w", err)
+	}
+	return st, nil
+}
+
+// Wait polls until the job reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		switch st.State {
+		case StateDone, StateFailed:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// download fetches the job's trace in the given format.
+func (c *Client) download(ctx context.Context, id, format string) (io.ReadCloser, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/api/v1/jobs/"+id+"/trace?format="+format, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	return resp.Body, nil
+}
+
+// FlowTrace downloads and parses a finished NetFlow job's trace.
+func (c *Client) FlowTrace(ctx context.Context, id string) (*trace.FlowTrace, error) {
+	body, err := c.download(ctx, id, "csv")
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	return trace.ReadFlowCSV(body)
+}
+
+// PacketTrace downloads and parses a finished PCAP job's trace.
+func (c *Client) PacketTrace(ctx context.Context, id string) (*trace.PacketTrace, error) {
+	body, err := c.download(ctx, id, "csv")
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	return trace.ReadPacketCSV(body)
+}
+
+// RunFlowJob is the one-call convenience path: submit, wait, download.
+func (c *Client) RunFlowJob(ctx context.Context, req JobRequest, poll time.Duration) (*trace.FlowTrace, JobStatus, error) {
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, JobStatus{}, err
+	}
+	st, err = c.Wait(ctx, st.ID, poll)
+	if err != nil {
+		return nil, st, err
+	}
+	if st.State != StateDone {
+		return nil, st, fmt.Errorf("webapi: job %s failed: %s", st.ID, st.Error)
+	}
+	t, err := c.FlowTrace(ctx, st.ID)
+	return t, st, err
+}

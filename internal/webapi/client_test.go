@@ -1,0 +1,95 @@
+package webapi
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestClientFlowJobLifecycle(t *testing.T) {
+	ts, _ := startServer(t)
+	c := NewClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	tr, st, err := c.RunFlowJob(ctx, tinyJob("netflow"), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state = %s", st.State)
+	}
+	if len(tr.Records) != 120 {
+		t.Fatalf("downloaded %d records", len(tr.Records))
+	}
+}
+
+func TestClientPacketTrace(t *testing.T) {
+	ts, _ := startServer(t)
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, tinyJob("pcap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.Wait(ctx, st.ID, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("job: %s (%s)", st.State, st.Error)
+	}
+	tr, err := c.PacketTrace(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Packets) != 120 {
+		t.Fatalf("downloaded %d packets", len(tr.Packets))
+	}
+}
+
+func TestClientSurfacesAPIErrors(t *testing.T) {
+	ts, _ := startServer(t)
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+
+	if _, err := c.Submit(ctx, JobRequest{Kind: "bogus"}); err == nil {
+		t.Fatal("invalid request must error")
+	}
+	if _, err := c.Status(ctx, "job-404"); err == nil {
+		t.Fatal("missing job must error")
+	}
+	if _, err := c.FlowTrace(ctx, "job-404"); err == nil {
+		t.Fatal("missing trace must error")
+	}
+}
+
+func TestClientFailedJobReported(t *testing.T) {
+	ts, _ := startServer(t)
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+	req := tinyJob("netflow")
+	req.Dataset = "missing"
+	if _, _, err := c.RunFlowJob(ctx, req, 50*time.Millisecond); err == nil {
+		t.Fatal("failed job must surface an error")
+	}
+}
+
+func TestClientWaitHonoursContext(t *testing.T) {
+	ts, _ := startServer(t)
+	c := NewClient(ts.URL)
+	st, err := c.Submit(context.Background(), tinyJob("netflow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := c.Wait(ctx, st.ID, 10*time.Second); err == nil {
+		t.Fatal("expired context must abort Wait")
+	}
+	// Drain: let the job finish so the test server shuts down cleanly.
+	if _, err := c.Wait(context.Background(), st.ID, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+}

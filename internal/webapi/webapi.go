@@ -1,0 +1,441 @@
+// Package webapi implements the web-service prototype of the paper's §5
+// (the authors host theirs at pcapshare.com): an HTTP API through which a
+// data holder submits a trace (or selects a built-in dataset), trains
+// NetShare asynchronously, and downloads the synthetic trace in CSV,
+// libpcap, or NetFlow v5 format.
+//
+//	POST /api/v1/jobs              submit a training job
+//	GET  /api/v1/jobs              list jobs
+//	GET  /api/v1/jobs/{id}         job status
+//	GET  /api/v1/jobs/{id}/trace   download the synthetic trace
+//	GET  /api/v1/datasets          list built-in datasets
+//	GET  /healthz                  liveness
+package webapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/trace"
+)
+
+// JobRequest is the POST /api/v1/jobs body.
+type JobRequest struct {
+	// Kind is "netflow" or "pcap".
+	Kind string `json:"kind"`
+	// Dataset selects a built-in dataset; CSV supplies an inline trace in
+	// the package trace CSV schema instead. Exactly one must be set.
+	Dataset string `json:"dataset,omitempty"`
+	CSV     string `json:"csv,omitempty"`
+	// Records sizes the built-in dataset.
+	Records int `json:"records,omitempty"`
+	// Generate is the synthetic record/packet count to produce.
+	Generate int `json:"generate,omitempty"`
+
+	// Config overrides (zero values keep defaults).
+	Chunks        int   `json:"chunks,omitempty"`
+	SeedSteps     int   `json:"seedSteps,omitempty"`
+	FineTuneSteps int   `json:"fineTuneSteps,omitempty"`
+	MaxLen        int   `json:"maxLen,omitempty"`
+	Seed          int64 `json:"seed,omitempty"`
+
+	// DP enables differentially private training.
+	DP *DPRequest `json:"dp,omitempty"`
+}
+
+// DPRequest configures DP-SGD for a job.
+type DPRequest struct {
+	NoiseMultiplier float64 `json:"noiseMultiplier"`
+	Pretrain        bool    `json:"pretrain"`
+}
+
+// JobState enumerates a job's lifecycle.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StatePending JobState = "pending"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// JobStatus is the GET /api/v1/jobs/{id} response.
+type JobStatus struct {
+	ID        string   `json:"id"`
+	Kind      string   `json:"kind"`
+	State     JobState `json:"state"`
+	Error     string   `json:"error,omitempty"`
+	Submitted string   `json:"submitted"`
+	// Training stats, present once done.
+	CPUMillis  int64   `json:"cpuMillis,omitempty"`
+	WallMillis int64   `json:"wallMillis,omitempty"`
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	Records    int     `json:"records,omitempty"`
+}
+
+// job is the server-side job record.
+type job struct {
+	status JobStatus
+	flow   *trace.FlowTrace   // result for netflow jobs
+	packet *trace.PacketTrace // result for pcap jobs
+}
+
+// Server is the HTTP API. Create with NewServer and mount via Handler.
+type Server struct {
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int
+
+	// publicPackets sizes the public embedding corpus.
+	publicPackets int
+	// maxInflight bounds concurrently running jobs (the prototype runs on
+	// one box; excess submissions queue as pending until a slot frees).
+	sem chan struct{}
+	// done is closed-by-signal bookkeeping for tests: every finished job
+	// sends on it when the server was built with notifications.
+	notify chan string
+}
+
+// NewServer returns an API server allowing up to maxInflight concurrent
+// training jobs.
+func NewServer(maxInflight int) *Server {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	return &Server{
+		jobs:          make(map[string]*job),
+		publicPackets: 1500,
+		sem:           make(chan struct{}, maxInflight),
+	}
+}
+
+// Notifications returns a channel receiving each job id as it finishes
+// (success or failure). Intended for tests and CLI progress display.
+func (s *Server) Notifications() <-chan string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.notify == nil {
+		s.notify = make(chan string, 64)
+	}
+	return s.notify
+}
+
+// Handler returns the HTTP handler for the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"service": "netshare web prototype",
+			"paper":   "Practical GAN-based Synthetic IP Header Trace Generation using NetShare (SIGCOMM 2022), section 5",
+			"endpoints": []string{
+				"GET /healthz",
+				"GET /api/v1/datasets",
+				"POST /api/v1/jobs",
+				"GET /api/v1/jobs",
+				"GET /api/v1/jobs/{id}",
+				"GET /api/v1/jobs/{id}/trace?format=csv|pcap|netflow5",
+			},
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /api/v1/datasets", s.handleDatasets)
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleDownload)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{
+		"netflow": datasets.FlowDatasetNames,
+		"pcap":    append(append([]string(nil), datasets.PacketDatasetNames...), "caida-chicago"),
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if err := validateRequest(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("job-%d", s.nextID)
+	j := &job{status: JobStatus{
+		ID:        id,
+		Kind:      req.Kind,
+		State:     StatePending,
+		Submitted: time.Now().UTC().Format(time.RFC3339),
+	}}
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	go s.run(id, req)
+	writeJSON(w, http.StatusAccepted, j.status)
+}
+
+func validateRequest(req *JobRequest) error {
+	switch req.Kind {
+	case "netflow", "pcap":
+	default:
+		return fmt.Errorf("kind must be netflow or pcap, got %q", req.Kind)
+	}
+	if (req.Dataset == "") == (req.CSV == "") {
+		return fmt.Errorf("exactly one of dataset or csv must be set")
+	}
+	if req.Dataset != "" {
+		if req.Records <= 0 {
+			req.Records = 1000
+		}
+		if req.Records > 100_000 {
+			return fmt.Errorf("records capped at 100000 for the prototype")
+		}
+	}
+	if req.Generate <= 0 {
+		req.Generate = 1000
+	}
+	if req.Generate > 100_000 {
+		return fmt.Errorf("generate capped at 100000 for the prototype")
+	}
+	if req.DP != nil && req.DP.NoiseMultiplier <= 0 {
+		return fmt.Errorf("dp.noiseMultiplier must be positive")
+	}
+	return nil
+}
+
+// config assembles the NetShare configuration of a request.
+func (req *JobRequest) config() core.Config {
+	cfg := core.DefaultConfig()
+	if req.Chunks > 0 {
+		cfg.Chunks = req.Chunks
+	}
+	if req.SeedSteps > 0 {
+		cfg.SeedSteps = req.SeedSteps
+	}
+	if req.FineTuneSteps > 0 {
+		cfg.FineTuneSteps = req.FineTuneSteps
+	}
+	if req.MaxLen > 0 {
+		cfg.MaxLen = req.MaxLen
+	}
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+	if req.DP != nil {
+		cfg.Chunks = 1
+		cfg.DP = &core.DPConfig{
+			NoiseMultiplier: req.DP.NoiseMultiplier,
+			ClipNorm:        1.0,
+			Delta:           1e-5,
+			Pretrain:        req.DP.Pretrain,
+			PretrainSteps:   cfg.SeedSteps,
+		}
+	}
+	return cfg
+}
+
+// run executes one job in the background.
+func (s *Server) run(id string, req JobRequest) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	s.setState(id, StateRunning, nil)
+	cfg := req.config()
+	public := datasets.CAIDAChicago(s.publicPackets, cfg.Seed+500)
+
+	var fail error
+	switch req.Kind {
+	case "netflow":
+		real, err := loadFlowInput(req)
+		if err != nil {
+			fail = err
+			break
+		}
+		syn, err := core.TrainFlowSynthesizer(real, public, cfg)
+		if err != nil {
+			fail = err
+			break
+		}
+		gen := syn.Generate(req.Generate)
+		s.finishFlow(id, gen, syn.Stats())
+	case "pcap":
+		real, err := loadPacketInput(req)
+		if err != nil {
+			fail = err
+			break
+		}
+		syn, err := core.TrainPacketSynthesizer(real, public, cfg)
+		if err != nil {
+			fail = err
+			break
+		}
+		gen := syn.Generate(req.Generate)
+		s.finishPacket(id, gen, syn.Stats())
+	}
+	if fail != nil {
+		s.setState(id, StateFailed, fail)
+	}
+	s.mu.Lock()
+	ch := s.notify
+	s.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- id:
+		default:
+		}
+	}
+}
+
+func loadFlowInput(req JobRequest) (*trace.FlowTrace, error) {
+	if req.CSV != "" {
+		return trace.ReadFlowCSV(strings.NewReader(req.CSV))
+	}
+	t := datasets.FlowByName(req.Dataset, req.Records, 1)
+	if t == nil {
+		return nil, fmt.Errorf("unknown netflow dataset %q", req.Dataset)
+	}
+	return t, nil
+}
+
+func loadPacketInput(req JobRequest) (*trace.PacketTrace, error) {
+	if req.CSV != "" {
+		return trace.ReadPacketCSV(strings.NewReader(req.CSV))
+	}
+	t := datasets.PacketByName(req.Dataset, req.Records, 1)
+	if t == nil {
+		return nil, fmt.Errorf("unknown pcap dataset %q", req.Dataset)
+	}
+	return t, nil
+}
+
+func (s *Server) setState(id string, state JobState, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return
+	}
+	j.status.State = state
+	if err != nil {
+		j.status.Error = err.Error()
+	}
+}
+
+func (s *Server) finishFlow(id string, t *trace.FlowTrace, st core.Stats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	j.flow = t
+	j.status.State = StateDone
+	j.status.CPUMillis = st.CPUTime.Milliseconds()
+	j.status.WallMillis = st.WallTime.Milliseconds()
+	j.status.Epsilon = st.Epsilon
+	j.status.Records = len(t.Records)
+}
+
+func (s *Server) finishPacket(id string, t *trace.PacketTrace, st core.Stats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	j.packet = t
+	j.status.State = StateDone
+	j.status.CPUMillis = st.CPUTime.Milliseconds()
+	j.status.WallMillis = st.WallTime.Milliseconds()
+	j.status.Epsilon = st.Epsilon
+	j.status.Records = len(t.Packets)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.status)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status)
+}
+
+func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if j.status.State != StateDone {
+		writeError(w, http.StatusConflict, "job is %s", j.status.State)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "csv"
+	}
+
+	var buf bytes.Buffer
+	var contentType, ext string
+	var err error
+	switch {
+	case j.flow != nil && format == "csv":
+		contentType, ext = "text/csv", "csv"
+		err = trace.WriteFlowCSV(&buf, j.flow)
+	case j.flow != nil && format == "netflow5":
+		contentType, ext = "application/octet-stream", "nf5"
+		err = trace.WriteNetFlowV5(&buf, j.flow)
+	case j.packet != nil && format == "csv":
+		contentType, ext = "text/csv", "csv"
+		err = trace.WritePacketCSV(&buf, j.packet)
+	case j.packet != nil && format == "pcap":
+		contentType, ext = "application/vnd.tcpdump.pcap", "pcap"
+		err = trace.WritePCAP(&buf, j.packet)
+	default:
+		writeError(w, http.StatusBadRequest, "format %q not available for this job", format)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode trace: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%s.%s", j.status.ID, ext))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
