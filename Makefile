@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet test test-race bench bench-parallel ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages with parallel kernels: the matmul
+# worker pool, the per-sample DP-SGD fan-out, and the chunked fine-tune
+# fan-out (DESIGN.md §6).
+test-race:
+	$(GO) test -race ./internal/mat/... ./internal/dgan/... ./internal/core/...
+
+# Full paper-evaluation benchmark suite (slow).
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Serial-vs-parallel kernel timings, recorded to BENCH_parallel.json.
+bench-parallel:
+	$(GO) run ./cmd/benchpar -out BENCH_parallel.json
+
+ci: vet build test test-race
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,37 @@
+// Parallel-kernel benchmarks: the blocked matmul, the full WGAN-GP critic
+// update, and the per-sample DP-SGD critic update, each timed serially and
+// with all CPUs. The workloads live in internal/benchpar so cmd/benchpar
+// can record the same numbers into BENCH_parallel.json. Run with
+//
+//	go test -bench=Parallel -benchmem
+package repro
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/benchpar"
+)
+
+func serialAndParallel(b *testing.B, work func(int) func(*testing.B)) {
+	b.Helper()
+	b.Run("serial", work(1))
+	b.Run("parallel", work(runtime.NumCPU()))
+}
+
+// BenchmarkParallelMatMul times MulInto at 96×96×96.
+func BenchmarkParallelMatMul(b *testing.B) {
+	serialAndParallel(b, benchpar.MatMul)
+}
+
+// BenchmarkParallelCriticStep times one non-private critic update.
+func BenchmarkParallelCriticStep(b *testing.B) {
+	serialAndParallel(b, benchpar.CriticStep)
+}
+
+// BenchmarkParallelDPCriticStep times one DP-SGD critic update; allocs/op
+// shows the per-worker scratch reuse (the old per-sample loop allocated a
+// fresh row matrix and gradient per sample).
+func BenchmarkParallelDPCriticStep(b *testing.B) {
+	serialAndParallel(b, benchpar.DPCriticStep)
+}

@@ -1,0 +1,102 @@
+// Command benchpar runs the parallel-training benchmark workloads
+// (internal/benchpar) at serial and all-CPU settings and records the
+// results as JSON, including the machine's CPU count so readers can judge
+// the speedups in context (on a 1-CPU runner serial and parallel are
+// expected to tie).
+//
+// Usage:
+//
+//	benchpar -out BENCH_parallel.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/benchpar"
+)
+
+type result struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+	MFlops      float64 `json:"mflops,omitempty"`
+}
+
+type pair struct {
+	Serial   result  `json:"serial"`
+	Parallel result  `json:"parallel"`
+	Speedup  float64 `json:"speedup"`
+}
+
+type report struct {
+	CPUs       int             `json:"cpus"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	GoVersion  string          `json:"go_version"`
+	Note       string          `json:"note"`
+	Benchmarks map[string]pair `json:"benchmarks"`
+}
+
+func run(name string, work func(int) func(*testing.B), flops float64) pair {
+	measure := func(workers int) result {
+		r := testing.Benchmark(work(workers))
+		out := result{
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+		if flops > 0 && r.NsPerOp() > 0 {
+			// flops per op / (ns per op) = GFLOPS; ×1e3 → MFLOPS.
+			out.MFlops = flops / float64(r.NsPerOp()) * 1e3
+		}
+		return out
+	}
+	log.Printf("%s: serial...", name)
+	s := measure(1)
+	log.Printf("%s: parallel (%d workers)...", name, runtime.NumCPU())
+	p := measure(runtime.NumCPU())
+	sp := 0.0
+	if p.NsPerOp > 0 {
+		sp = float64(s.NsPerOp) / float64(p.NsPerOp)
+	}
+	log.Printf("%s: serial %d ns/op, parallel %d ns/op, speedup %.2fx, allocs %d -> %d",
+		name, s.NsPerOp, p.NsPerOp, sp, s.AllocsPerOp, p.AllocsPerOp)
+	return pair{Serial: s, Parallel: p, Speedup: sp}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchpar: ")
+	out := flag.String("out", "BENCH_parallel.json", "output JSON path")
+	flag.Parse()
+
+	n := float64(benchpar.MatMulSize)
+	rep := report{
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Note: "serial vs parallel timings of the same deterministic kernels; " +
+			"speedups scale with cpus (expect ~1.0 on a 1-CPU runner)",
+		Benchmarks: map[string]pair{
+			"matmul_96":      run("matmul_96", benchpar.MatMul, 2*n*n*n),
+			"critic_step":    run("critic_step", benchpar.CriticStep, 0),
+			"dp_critic_step": run("dp_critic_step", benchpar.DPCriticStep, 0),
+		},
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/mat"
 	"repro/internal/trace"
 )
 
@@ -44,10 +45,19 @@ func main() {
 		dpTarget  = flag.Float64("target-epsilon", 0, "calibrate sigma for this target epsilon (overrides -epsilon-noise)")
 		dpPre     = flag.Bool("dp-pretrain", true, "pre-train on public data before DP fine-tuning")
 		ipBase    = flag.String("ip-transform", "", "optional CIDR-style base (e.g. 10.0.0.0/8) to remap generated IPs into")
+		par       = flag.Int("parallelism", 0, "training worker count (0 = all CPUs, 1 = serial); any value yields bitwise-identical output for a given -seed")
 	)
 	flag.Parse()
 
+	if *par < 0 {
+		log.Fatalf("-parallelism must be >= 0, got %d", *par)
+	}
+	if *par > 0 {
+		mat.SetParallelism(*par)
+	}
+
 	cfg := core.DefaultConfig()
+	cfg.Parallelism = *par
 	cfg.Chunks = *chunks
 	cfg.SeedSteps = *seedSteps
 	cfg.FineTuneSteps = *ftSteps

@@ -1,0 +1,138 @@
+// Package benchpar defines the parallel-training benchmark workloads
+// shared by the root `go test -bench` harness (bench_parallel_test.go) and
+// the cmd/benchpar recorder that writes BENCH_parallel.json. Each workload
+// is parameterized by worker count so serial and parallel timings come
+// from the same code path.
+package benchpar
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/dgan"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/privacy"
+	"repro/internal/rng"
+)
+
+// MatMulSize is the square matmul dimension benchmarked; at 96³ ≈ 885k
+// multiply-adds it sits above the default parallel dispatch threshold.
+const MatMulSize = 96
+
+// CriticBatch is the lot size used by the critic-step workloads.
+const CriticBatch = 16
+
+func setWorkers(workers int) func() {
+	mat.SetParallelism(workers)
+	return func() {
+		mat.SetParallelism(runtime.NumCPU())
+		mat.SetParallelThreshold(0)
+	}
+}
+
+// MatMul benchmarks the blocked MulInto kernel at the given worker count.
+func MatMul(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		defer setWorkers(workers)()
+		r := rng.New(1)
+		a := mat.New(MatMulSize, MatMulSize)
+		a.RandNorm(r, 1)
+		c := mat.New(MatMulSize, MatMulSize)
+		c.RandNorm(r, 1)
+		dst := mat.New(MatMulSize, MatMulSize)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mat.MulInto(dst, a, c)
+		}
+	}
+}
+
+func ganConfig(parallelism int) dgan.Config {
+	cfg := dgan.DefaultConfig()
+	cfg.MetaSchema = []nn.FieldSpec{
+		{Name: "class", Kind: nn.FieldCategorical, Size: 2},
+		{Name: "level", Kind: nn.FieldContinuous, Size: 1},
+	}
+	cfg.FeatureSchema = []nn.FieldSpec{
+		{Name: "value", Kind: nn.FieldContinuous, Size: 1},
+	}
+	cfg.MaxLen = 4
+	cfg.Hidden = 16
+	cfg.Batch = CriticBatch
+	cfg.Seed = 5
+	cfg.Parallelism = parallelism
+	return cfg
+}
+
+func samples(n int) []dgan.Sample {
+	r := rng.New(3)
+	out := make([]dgan.Sample, n)
+	for i := range out {
+		if r.Float64() < 0.85 {
+			out[i] = dgan.Sample{
+				Meta:     []float64{1, 0, 0.2},
+				Features: [][]float64{{0.8}, {0.8}},
+			}
+		} else {
+			out[i] = dgan.Sample{
+				Meta:     []float64{0, 1, 0.9},
+				Features: [][]float64{{0.1}},
+			}
+		}
+	}
+	return out
+}
+
+// CriticStep benchmarks one full WGAN-GP critic update (both critics, no
+// differential privacy) at the given parallelism.
+func CriticStep(parallelism int) func(b *testing.B) {
+	return func(b *testing.B) {
+		defer setWorkers(parallelism)()
+		m, err := dgan.New(ganConfig(parallelism))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ss := samples(64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.StepCritic(ss, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// DPCriticStep benchmarks one DP-SGD critic update — the per-sample
+// clip/reduce hot loop — at the given parallelism. Allocation counts are
+// reported because the parallel path reuses per-worker scratch where the
+// old serial loop allocated fresh matrices per sample.
+func DPCriticStep(parallelism int) func(b *testing.B) {
+	return func(b *testing.B) {
+		defer setWorkers(parallelism)()
+		m, err := dgan.New(ganConfig(parallelism))
+		if err != nil {
+			b.Fatal(err)
+		}
+		dp, err := privacy.NewDPSGD(privacy.DPSGDConfig{
+			ClipNorm:        1,
+			NoiseMultiplier: 0.7,
+			SampleRate:      float64(CriticBatch) / 64,
+			Delta:           1e-5,
+		}, rand.New(rand.NewSource(7)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ss := samples(64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.StepCritic(ss, dp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

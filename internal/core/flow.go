@@ -314,6 +314,7 @@ func ganConfig(cfg Config, meta, feat []nn.FieldSpec) dgan.Config {
 	g.GPWeight = cfg.GPWeight
 	g.LR = cfg.LR
 	g.Seed = cfg.Seed
+	g.Parallelism = cfg.Parallelism
 	return g
 }
 

@@ -18,7 +18,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -26,6 +25,7 @@ import (
 	"repro/internal/encoding"
 	"repro/internal/ip2vec"
 	"repro/internal/privacy"
+	"repro/internal/rng"
 	"repro/internal/trace"
 )
 
@@ -47,6 +47,11 @@ type Config struct {
 	FineTuneSteps int
 	// Parallel fine-tunes non-seed chunks concurrently.
 	Parallel bool
+	// Parallelism is the intra-step worker count passed to the GAN training
+	// kernels (parallel per-sample DP-SGD accumulation): 0 selects
+	// runtime.NumCPU(), 1 forces serial execution. Trained weights are
+	// bitwise identical at every setting.
+	Parallelism int
 
 	// EmbedDim is the IP2Vec embedding width for ports and protocols.
 	EmbedDim int
@@ -126,6 +131,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxLen <= 0 {
 		return fmt.Errorf("core: MaxLen must be positive, got %d", c.MaxLen)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: Parallelism must be >= 0 (0 = NumCPU), got %d", c.Parallelism)
 	}
 	if c.SeedSteps <= 0 || (c.Chunks > 1 && c.FineTuneSteps <= 0) {
 		return fmt.Errorf("core: training steps must be positive")
@@ -343,7 +351,7 @@ func trainChunks(cfg Config, ganCfg dgan.Config, chunkSamples [][]dgan.Sample, p
 			NoiseMultiplier: cfg.DP.NoiseMultiplier,
 			SampleRate:      rate,
 			Delta:           cfg.DP.Delta,
-		}, rand.New(rand.NewSource(cfg.Seed+101)))
+		}, rng.New(rng.Derive(cfg.Seed, dpNoiseStream)))
 		if err != nil {
 			return nil, st, err
 		}
@@ -371,7 +379,10 @@ func trainChunks(cfg Config, ganCfg dgan.Config, chunkSamples [][]dgan.Sample, p
 	}
 	fineTune := func(idx int) result {
 		mCfg := ganCfg
-		mCfg.Seed = cfg.Seed + int64(idx)*31
+		// Each chunk model trains on its own decorrelated RNG stream, so
+		// the parallel fan-out below and a serial loop draw identical noise
+		// per chunk (stream idx depends only on the seed and chunk index).
+		mCfg.Seed = rng.Derive(cfg.Seed, int64(idx))
 		m, err := dgan.New(mCfg)
 		if err != nil {
 			return result{idx: idx, err: err}
@@ -422,6 +433,10 @@ func trainChunks(cfg Config, ganCfg dgan.Config, chunkSamples [][]dgan.Sample, p
 	st.WallTime = time.Since(wallStart)
 	return models, st, nil
 }
+
+// dpNoiseStream is the rng.Derive stream index reserved for the DP-SGD
+// Gaussian noise source, outside the chunk-index stream range.
+const dpNoiseStream = 1 << 32
 
 func maxInt(a, b int) int {
 	if a > b {

@@ -16,6 +16,7 @@ package dgan
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"repro/internal/mat"
 	"repro/internal/nn"
@@ -33,6 +34,12 @@ type Config struct {
 	GPWeight      float64        // gradient-penalty λ
 	LR            float64        // Adam learning rate
 	Seed          int64
+	// Parallelism is the worker count for intra-step data parallelism
+	// (per-sample DP-SGD gradient accumulation): 0 selects
+	// runtime.NumCPU(), 1 forces serial execution. Both paths share the
+	// same fixed-order tree reduction, so trained weights are bitwise
+	// identical at every setting.
+	Parallelism int
 }
 
 // DefaultConfig returns a small configuration suitable for CPU training.
@@ -60,7 +67,18 @@ func (c Config) Validate() error {
 	if c.CriticIters <= 0 || c.GPWeight < 0 || c.LR <= 0 {
 		return fmt.Errorf("dgan: invalid training parameters")
 	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("dgan: Parallelism must be >= 0 (0 = NumCPU), got %d", c.Parallelism)
+	}
 	return nil
+}
+
+// workers resolves the effective worker count.
+func (c Config) workers() int {
+	if c.Parallelism == 0 {
+		return runtime.NumCPU()
+	}
+	return c.Parallelism
 }
 
 // Sample is one training or generated sample: activated metadata plus a
@@ -94,6 +112,10 @@ type Model struct {
 	optG, optD, optAux *nn.Adam
 	rng                *rand.Rand
 
+	// Per-critic scratch for parallel per-sample DP-SGD accumulation,
+	// built lazily on the first DP step and reused every step after.
+	dpScratch map[*nn.MLP]*dpScratch
+
 	// Generator forward caches for the backward pass.
 	lastZMeta *mat.Matrix
 	lastMeta  *mat.Matrix
@@ -108,10 +130,11 @@ func New(cfg Config) (*Model, error) {
 	r := rand.New(rand.NewSource(cfg.Seed))
 	featSchema := append(append([]nn.FieldSpec(nil), cfg.FeatureSchema...), presenceSpec)
 	m := &Model{
-		Config: cfg,
-		metaW:  nn.Width(cfg.MetaSchema),
-		featW:  nn.Width(featSchema),
-		rng:    r,
+		Config:    cfg,
+		metaW:     nn.Width(cfg.MetaSchema),
+		featW:     nn.Width(featSchema),
+		rng:       r,
+		dpScratch: make(map[*nn.MLP]*dpScratch),
 	}
 	m.metaGen = nn.NewMLP("g.meta", []int{cfg.NoiseDim, cfg.Hidden, cfg.Hidden, m.metaW}, nn.ReLU, nn.Identity, r)
 	m.metaHead = nn.NewOutputHead(cfg.MetaSchema)

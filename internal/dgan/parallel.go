@@ -1,0 +1,117 @@
+package dgan
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/privacy"
+	"repro/internal/rng"
+)
+
+// dpWorker is one lane of parallel per-sample gradient accumulation. Each
+// worker owns a full critic replica so per-sample forward/backward passes
+// share no state, plus reusable scratch so the hot loop allocates nothing
+// per sample (the serial path used to build a fresh 1×Cols matrix and a
+// fresh 1×1 gradient for every sample of every step).
+type dpWorker struct {
+	replica *nn.MLP
+	row     *mat.Matrix // 1×Cols input scratch, refilled per sample
+	gNeg    *mat.Matrix // 1×1 gradient of −D(real_i), fixed at −1
+	// rng is the worker's private stream, derived from (seed, worker) so it
+	// is decorrelated from the model stream and from every other worker.
+	// The per-sample critic pass draws no randomness today — all noise
+	// stays on the model's own stream, in serial order, which is why
+	// parallel and serial runs see identical draws — but any future
+	// worker-local sampling must come from here, never from Model.rng.
+	rng *rand.Rand
+}
+
+// dpScratch is the per-critic parallel accumulation state: the worker lanes
+// and one flattened clipped-gradient slot per sample of the lot. The slots
+// are written by exactly one worker each and folded by privacy.TreeReduce
+// in an order fixed by the lot size, so the reduced gradient is bitwise
+// identical for every worker count.
+type dpScratch struct {
+	workers   []*dpWorker
+	perSample [][]float64
+}
+
+// dpScratchFor returns (building on first use) the scratch for critic,
+// sized for the given input width and lot size.
+func (m *Model) dpScratchFor(critic *nn.MLP, cols, batch int) *dpScratch {
+	w := m.Config.workers()
+	if w > batch {
+		w = batch
+	}
+	if w < 1 {
+		w = 1
+	}
+	sc := m.dpScratch[critic]
+	if sc == nil {
+		sc = &dpScratch{}
+		m.dpScratch[critic] = sc
+	}
+	for len(sc.workers) < w {
+		i := len(sc.workers)
+		gNeg := mat.New(1, 1)
+		gNeg.Fill(-1)
+		sc.workers = append(sc.workers, &dpWorker{
+			replica: critic.Clone(),
+			row:     mat.New(1, cols),
+			gNeg:    gNeg,
+			rng:     rng.New(rng.Derive(m.Config.Seed, int64(i))),
+		})
+	}
+	size := privacy.GradSize(critic)
+	for len(sc.perSample) < batch {
+		sc.perSample = append(sc.perSample, make([]float64, size))
+	}
+	return sc
+}
+
+// accumulatePerSample computes the clipped per-sample real-term gradients
+// of critic over the lot `real`, sharding samples contiguously across the
+// workers, and returns their fixed-order tree-reduced sum. Sample i's
+// gradient lands in slot i no matter which worker computes it, and the
+// reduction order depends only on the lot size, so the result is bitwise
+// independent of the worker count.
+func (m *Model) accumulatePerSample(critic *nn.MLP, real *mat.Matrix, clip float64) []float64 {
+	batch := real.Rows
+	sc := m.dpScratchFor(critic, real.Cols, batch)
+	active := len(sc.workers)
+	if active > batch {
+		active = batch
+	}
+	for _, w := range sc.workers[:active] {
+		nn.CopyParams(w.replica, critic)
+		nn.ZeroGrads(w.replica)
+	}
+	span := (batch + active - 1) / active
+	var wg sync.WaitGroup
+	for wi := 0; wi < active; wi++ {
+		lo := wi * span
+		hi := lo + span
+		if hi > batch {
+			hi = batch
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w *dpWorker, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				copy(w.row.Data, real.Row(i))
+				w.replica.Forward(w.row)
+				w.replica.Backward(w.gNeg) // d/dD of −D(real_i)
+				privacy.GradVec(w.replica, sc.perSample[i])
+				privacy.ClipVec(sc.perSample[i], clip)
+				nn.ZeroGrads(w.replica)
+			}
+		}(sc.workers[wi], lo, hi)
+	}
+	wg.Wait()
+	return privacy.TreeReduce(sc.perSample[:batch])
+}

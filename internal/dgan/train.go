@@ -123,18 +123,15 @@ func (m *Model) criticStep(samples []Sample, dp *privacy.DPSGD) float64 {
 }
 
 // dpCriticUpdate updates one critic under DP-SGD and returns the
-// Wasserstein loss estimate.
+// Wasserstein loss estimate. The per-sample real gradients are computed on
+// per-worker critic replicas (Config.Parallelism lanes), clipped locally,
+// and merged by a fixed-order tree reduction, so the update is bitwise
+// identical at every parallelism level.
 func (m *Model) dpCriticUpdate(critic *nn.MLP, real, fake *mat.Matrix, dp *privacy.DPSGD) float64 {
 	batch := real.Rows
-	// Per-sample real gradients → clip → accumulate.
-	for i := 0; i < batch; i++ {
-		row := mat.NewFrom(1, real.Cols, real.Row(i))
-		critic.Forward(row)
-		g := mat.New(1, 1)
-		g.Fill(-1) // d/dD of −D(real_i)
-		critic.Backward(g)
-		dp.AccumulateSample(critic)
-	}
+	// Per-sample real gradients → clip per sample → tree-reduce → accumulate.
+	sum := m.accumulatePerSample(critic, real, dp.Config.ClipNorm)
+	dp.AccumulateLot(critic, sum)
 	dp.Finalize(critic, batch)
 	// Fake term and gradient penalty are post-processing w.r.t. the private
 	// data; add their gradients on top of the noised real-term gradient.
@@ -153,6 +150,17 @@ func (m *Model) dpCriticUpdate(critic *nn.MLP, real, fake *mat.Matrix, dp *priva
 	}
 	opt.Step(critic)
 	return l
+}
+
+// StepCritic runs one critic update round (both critics) outside the full
+// Train loop and returns the Wasserstein loss. dp may be nil for the
+// non-private path. It exists so benchmarks can time the hot kernel in
+// isolation; training should go through Train/TrainDP.
+func (m *Model) StepCritic(samples []Sample, dp *privacy.DPSGD) (float64, error) {
+	if err := m.checkSamples(samples); err != nil {
+		return 0, err
+	}
+	return m.criticStep(samples, dp), nil
 }
 
 // generatorStep performs one generator update against both critics.

@@ -101,8 +101,19 @@ func MulInto(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("mat: Mul dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
 	dst.Zero()
-	// ikj loop order: streams through b and dst rows sequentially.
-	for i := 0; i < a.Rows; i++ {
+	if parallelizable(a.Rows*a.Cols*b.Cols, a.Rows) {
+		ParallelFor(a.Rows, func(lo, hi int) { mulRows(dst, a, b, lo, hi) })
+		return
+	}
+	mulRows(dst, a, b, 0, a.Rows)
+}
+
+// mulRows computes dst rows [lo, hi) of a·b with the ikj loop order:
+// it streams through b and dst rows sequentially. Each dst element
+// accumulates over k in ascending order regardless of the row split, so
+// serial and parallel calls are bitwise identical.
+func mulRows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		drow := dst.Row(i)
 		for k := 0; k < a.Cols; k++ {
@@ -134,10 +145,23 @@ func MulTransAInto(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("mat: MulTransA dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
 	}
 	dst.Zero()
+	if parallelizable(a.Rows*a.Cols*b.Cols, dst.Rows) {
+		ParallelFor(dst.Rows, func(lo, hi int) { mulTransARows(dst, a, b, lo, hi) })
+		return
+	}
+	mulTransARows(dst, a, b, 0, dst.Rows)
+}
+
+// mulTransARows computes dst rows [lo, hi) of aᵀ·b. The k (sample) loop
+// stays outermost so every dst element accumulates over k in ascending
+// order — the same order as a full serial pass — keeping parallel and
+// serial results bitwise identical.
+func mulTransARows(dst, a, b *Matrix, lo, hi int) {
 	for k := 0; k < a.Rows; k++ {
 		arow := a.Row(k)
 		brow := b.Row(k)
-		for i, aki := range arow {
+		for i := lo; i < hi; i++ {
+			aki := arow[i]
 			if aki == 0 {
 				continue
 			}
@@ -164,7 +188,17 @@ func MulTransBInto(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: MulTransB dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
-	for i := 0; i < a.Rows; i++ {
+	if parallelizable(a.Rows*a.Cols*b.Rows, a.Rows) {
+		ParallelFor(a.Rows, func(lo, hi int) { mulTransBRows(dst, a, b, lo, hi) })
+		return
+	}
+	mulTransBRows(dst, a, b, 0, a.Rows)
+}
+
+// mulTransBRows computes dst rows [lo, hi) of a·bᵀ as independent dot
+// products, bitwise identical to the serial pass for any row split.
+func mulTransBRows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		drow := dst.Row(i)
 		for j := 0; j < b.Rows; j++ {

@@ -30,6 +30,18 @@ func NewDense(name string, in, out int) *Dense {
 // Params implements Module.
 func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }
 
+// Clone returns an independent copy of the layer: same names and weights,
+// fresh gradient accumulators and caches. Parallel training uses clones as
+// per-worker replicas so per-sample backward passes never share state.
+func (d *Dense) Clone() *Dense {
+	c := NewDense("", d.In, d.Out)
+	c.Weight.Name = d.Weight.Name
+	c.Bias.Name = d.Bias.Name
+	c.Weight.W.CopyFrom(d.Weight.W)
+	c.Bias.W.CopyFrom(d.Bias.W)
+	return c
+}
+
 // Forward computes the layer output for batch x (rows are samples) and
 // caches x for Backward.
 func (d *Dense) Forward(x *mat.Matrix) *mat.Matrix {

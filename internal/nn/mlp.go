@@ -58,6 +58,18 @@ func (m *MLP) Params() []*Param {
 	return ps
 }
 
+// Clone returns an independent replica of the MLP: identical architecture
+// and weights, fresh gradients and activation caches. Replicas back the
+// per-worker critics of parallel DP-SGD.
+func (m *MLP) Clone() *MLP {
+	c := &MLP{}
+	for i, l := range m.layers {
+		c.layers = append(c.layers, l.Clone())
+		c.acts = append(c.acts, NewActivation(m.acts[i].Kind))
+	}
+	return c
+}
+
 // Forward runs the batch x through all layers.
 func (m *MLP) Forward(x *mat.Matrix) *mat.Matrix {
 	h := x

@@ -47,6 +47,20 @@ func ZeroGrads(m Module) {
 	}
 }
 
+// CopyParams copies src's weights into dst, which must expose the same
+// parameter list (shape-wise). Gradients are untouched. Unlike a
+// Snapshot/Restore round trip it allocates nothing, so the parallel DP
+// training loop can refresh its worker replicas every step.
+func CopyParams(dst, src Module) {
+	dp, sp := dst.Params(), src.Params()
+	if len(dp) != len(sp) {
+		panic(fmt.Sprintf("nn: CopyParams param count %d != %d", len(dp), len(sp)))
+	}
+	for i, p := range dp {
+		p.W.CopyFrom(sp[i].W)
+	}
+}
+
 // GradNorm returns the global L2 norm over all gradients of m.
 func GradNorm(m Module) float64 {
 	var s float64

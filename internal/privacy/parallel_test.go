@@ -1,0 +1,210 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// testModule builds a small module whose gradients the tests control.
+func testModule() nn.Module { return nn.NewDense("d", 5, 3) }
+
+// sampleGrads returns per-sample gradient vectors for a lot of the given
+// size, drawn from a seeded source; some are scaled up so clipping is
+// actually exercised.
+func sampleGrads(m nn.Module, lot int, seed int64) [][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	size := GradSize(m)
+	out := make([][]float64, lot)
+	for i := range out {
+		out[i] = make([]float64, size)
+		scale := 0.3
+		if i%3 == 0 {
+			scale = 4 // well past the clip bound
+		}
+		for j := range out[i] {
+			out[i][j] = r.NormFloat64() * scale
+		}
+	}
+	return out
+}
+
+func setGrads(m nn.Module, flat []float64) {
+	off := 0
+	for _, p := range m.Params() {
+		off += copy(p.G.Data, flat[off:off+len(p.G.Data)])
+	}
+}
+
+func gradsOf(m nn.Module) []float64 {
+	out := make([]float64, GradSize(m))
+	return GradVec(m, out)
+}
+
+func cloneVecs(vs [][]float64) [][]float64 {
+	out := make([][]float64, len(vs))
+	for i, v := range vs {
+		out[i] = append([]float64(nil), v...)
+	}
+	return out
+}
+
+// TestParallelAccumulationMatchesSerial is the DPSGD property test: with
+// NoiseMultiplier = 0, the sharded clip→tree-reduce→AccumulateLot path must
+// (a) be bitwise identical no matter how the lot is split across workers,
+// (b) agree with the per-sample AccumulateSample path up to float
+// reassociation error, and (c) respect the clipping bound for every sample
+// of every shard.
+func TestParallelAccumulationMatchesSerial(t *testing.T) {
+	const lot = 16
+	const clip = 1.0
+	cfg := DPSGDConfig{ClipNorm: clip, NoiseMultiplier: 0, SampleRate: 0.25, Delta: 1e-5}
+
+	raw := sampleGrads(testModule(), lot, 7)
+
+	// Serial reference: AccumulateSample per sample (linear accumulation).
+	serialMod := testModule()
+	serialDP, err := NewDPSGD(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range raw {
+		setGrads(serialMod, g)
+		serialDP.AccumulateSample(serialMod)
+	}
+	serialDP.Finalize(serialMod, lot)
+	serialGrads := gradsOf(serialMod)
+
+	// Parallel path at several shard splits, including uneven ones.
+	var reference []float64
+	for _, shards := range []int{1, 2, 3, 4, 7, 16} {
+		slots := cloneVecs(raw)
+		var wg sync.WaitGroup
+		span := (lot + shards - 1) / shards
+		for s := 0; s < shards; s++ {
+			lo, hi := s*span, (s+1)*span
+			if hi > lot {
+				hi = lot
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					norm := ClipVec(slots[i], clip)
+					if got := vecNorm(slots[i]); got > clip*(1+1e-12) {
+						t.Errorf("shard split %d sample %d: post-clip norm %v > %v (pre %v)",
+							shards, i, got, clip, norm)
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.Fatalf("clip bound violated at %d shards", shards)
+		}
+
+		parMod := testModule()
+		parDP, err := NewDPSGD(cfg, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parDP.AccumulateLot(parMod, TreeReduce(slots))
+		parDP.Finalize(parMod, lot)
+		got := gradsOf(parMod)
+
+		if reference == nil {
+			reference = got
+			// Tree vs linear accumulation may differ only by reassociation
+			// rounding.
+			for i := range got {
+				if math.Abs(got[i]-serialGrads[i]) > 1e-12*math.Max(1, math.Abs(serialGrads[i])) {
+					t.Fatalf("tree sum diverged from serial sum at %d: %v vs %v",
+						i, got[i], serialGrads[i])
+				}
+			}
+			continue
+		}
+		for i := range got {
+			if got[i] != reference[i] {
+				t.Fatalf("shard split %d: element %d not bitwise identical: %v != %v",
+					shards, i, got[i], reference[i])
+			}
+		}
+	}
+}
+
+// TestTreeReduceFixedOrder pins the reduction shape: the result must match
+// an explicitly ordered pairwise tree, not a left fold.
+func TestTreeReduceFixedOrder(t *testing.T) {
+	// Values chosen so that float addition order is observable.
+	vals := []float64{1e16, 1, -1e16, 1, 1e-3, 7, -7, 1e-3}
+	vs := make([][]float64, len(vals))
+	for i, v := range vals {
+		vs[i] = []float64{v}
+	}
+	got := TreeReduce(vs)[0]
+	pair := func(a, b float64) float64 { return a + b }
+	want := pair(
+		pair(pair(vals[0], vals[1]), pair(vals[2], vals[3])),
+		pair(pair(vals[4], vals[5]), pair(vals[6], vals[7])),
+	)
+	if got != want {
+		t.Fatalf("TreeReduce order changed: got %v, want %v", got, want)
+	}
+
+	// Non-power-of-two lengths: result depends only on length.
+	vs5 := func() [][]float64 {
+		out := make([][]float64, 5)
+		for i := range out {
+			out[i] = []float64{float64(i) + 0.1}
+		}
+		return out
+	}
+	a := TreeReduce(vs5())[0]
+	b := TreeReduce(vs5())[0]
+	if a != b {
+		t.Fatalf("TreeReduce not deterministic for n=5: %v != %v", a, b)
+	}
+	if TreeReduce(nil) != nil {
+		t.Fatal("TreeReduce(nil) must be nil")
+	}
+}
+
+// TestAccumulateLotMatchesAccumulateSample checks the two accumulation APIs
+// share one lot buffer: mixing them composes, and Finalize drains both.
+func TestAccumulateLotMatchesAccumulateSample(t *testing.T) {
+	m := testModule()
+	dp, err := NewDPSGD(DPSGDConfig{ClipNorm: 10, NoiseMultiplier: 0, SampleRate: 0.5, Delta: 1e-5},
+		rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := make([]float64, GradSize(m))
+	for i := range g {
+		g[i] = float64(i%5) * 0.1
+	}
+	setGrads(m, g)
+	dp.AccumulateSample(m) // norm < 10, no clipping
+	dp.AccumulateLot(m, g) // same contribution again
+	dp.Finalize(m, 2)
+	got := gradsOf(m)
+	for i := range got {
+		if math.Abs(got[i]-g[i]) > 1e-15 {
+			t.Fatalf("element %d: got %v, want %v", i, got[i], g[i])
+		}
+	}
+}
+
+func vecNorm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

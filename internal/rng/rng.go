@@ -149,3 +149,30 @@ func ClampInt(v, lo, hi int) int {
 	}
 	return v
 }
+
+// Derive returns a decorrelated child seed for the given stream index of a
+// base seed, using two rounds of splitmix64 finalization. Stream i's seed
+// depends only on (seed, i) — never on how many streams exist or which
+// worker consumes it — which is what lets parallel training give each
+// worker (or each sample) its own reproducible noise source while the
+// serial run draws the identical values.
+func Derive(seed, stream int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(stream)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	z = (z + 0x9e3779b97f4a7c15) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 29)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 32))
+}
+
+// Streams returns n independent generators seeded with Derive(seed, i).
+// Stream i is identical regardless of n, so a pool of W workers and a
+// serial loop reading streams in index order observe the same sequences.
+func Streams(seed int64, n int) []*rand.Rand {
+	out := make([]*rand.Rand, n)
+	for i := range out {
+		out[i] = New(Derive(seed, int64(i)))
+	}
+	return out
+}

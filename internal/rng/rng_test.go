@@ -186,3 +186,42 @@ func TestClampInt(t *testing.T) {
 		}
 	}
 }
+
+func TestDeriveStreamsAreStableAndDistinct(t *testing.T) {
+	// Stream i must depend only on (seed, i): the same stream index yields
+	// the same sequence no matter how many streams were created.
+	four := Streams(7, 4)
+	eight := Streams(7, 8)
+	for i := 0; i < 4; i++ {
+		for k := 0; k < 16; k++ {
+			a, b := four[i].NormFloat64(), eight[i].NormFloat64()
+			if a != b {
+				t.Fatalf("stream %d draw %d: %v != %v (stream depends on pool size)", i, k, a, b)
+			}
+		}
+	}
+	// Distinct streams (and distinct base seeds) must decorrelate: no two
+	// child seeds collide across a modest grid.
+	seen := make(map[int64][2]int64)
+	for seed := int64(0); seed < 32; seed++ {
+		for stream := int64(0); stream < 32; stream++ {
+			d := Derive(seed, stream)
+			if prev, ok := seen[d]; ok {
+				t.Fatalf("Derive collision: (%d,%d) and (%d,%d) -> %d", prev[0], prev[1], seed, stream, d)
+			}
+			seen[d] = [2]int64{seed, stream}
+		}
+	}
+	// Sequential seeds must not produce near-identical streams the way raw
+	// rand.NewSource(seed) and rand.NewSource(seed+1) can correlate.
+	a, b := New(Derive(1, 0)), New(Derive(1, 1))
+	same := 0
+	for k := 0; k < 64; k++ {
+		if a.Intn(2) == b.Intn(2) {
+			same++
+		}
+	}
+	if same == 0 || same == 64 {
+		t.Fatalf("streams 0 and 1 look correlated: %d/64 equal coin flips", same)
+	}
+}
