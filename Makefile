@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: all build vet test test-race bench bench-parallel ci clean
+.PHONY: all build vet test test-race test-crash fuzz bench bench-parallel ci clean
 
 all: build
 
@@ -13,11 +14,31 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the packages with parallel kernels: the matmul
-# worker pool, the per-sample DP-SGD fan-out, and the chunked fine-tune
-# fan-out (DESIGN.md §6).
+# Race-detector pass over the packages with parallel kernels and the
+# fault-tolerant training fan-out: the matmul worker pool, the per-sample
+# DP-SGD fan-out, the chunked fine-tune fan-out, and the checkpoint/resume
+# orchestrator (DESIGN.md §6–7).
 test-race:
-	$(GO) test -race ./internal/mat/... ./internal/dgan/... ./internal/core/...
+	$(GO) test -race ./internal/mat/... ./internal/dgan/... ./internal/core/... \
+		./internal/orchestrator/... ./internal/privacy/...
+
+# Crash/fault matrix: the checkpoint/resume/retry tests that simulate
+# process death, torn writes, and exhausted retry budgets (DESIGN.md §7).
+test-crash:
+	$(GO) test ./internal/orchestrator/... -run 'Crash|Fault|Resume|Torn|Partial|Exhaust'
+	$(GO) test ./internal/core -run 'Resume|Fault|Exhausted|DPRetry'
+
+# Short fuzz pass over every fuzz target (trace parsers and checkpoint/
+# manifest loaders). Each target needs its own invocation: `go test -fuzz`
+# accepts exactly one target per run.
+fuzz:
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadPCAP -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadNetFlowV5 -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadFlowCSV -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadPacketCSV -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzParseIPv4 -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/orchestrator -run '^$$' -fuzz FuzzLoadCheckpoint -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/orchestrator -run '^$$' -fuzz FuzzLoadManifest -fuzztime $(FUZZTIME)
 
 # Full paper-evaluation benchmark suite (slow).
 bench:
@@ -27,7 +48,7 @@ bench:
 bench-parallel:
 	$(GO) run ./cmd/benchpar -out BENCH_parallel.json
 
-ci: vet build test test-race
+ci: vet build test test-race test-crash fuzz
 
 clean:
 	$(GO) clean ./...

@@ -6,6 +6,8 @@
 //	netshare -kind netflow -dataset ugr16 -records 2000 -out synthetic.csv
 //	netshare -kind pcap -in real.csv -out synthetic.csv -chunks 5
 //	netshare -kind netflow -dataset ugr16 -dp -epsilon-noise 0.7 -out dp.csv
+//	netshare -kind netflow -dataset ugr16 -checkpoint-dir ckpt -max-retries 2 -out synthetic.csv
+//	netshare -kind netflow -dataset ugr16 -checkpoint-dir ckpt -resume -out synthetic.csv
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/mat"
+	"repro/internal/orchestrator"
 	"repro/internal/trace"
 )
 
@@ -46,11 +49,20 @@ func main() {
 		dpPre     = flag.Bool("dp-pretrain", true, "pre-train on public data before DP fine-tuning")
 		ipBase    = flag.String("ip-transform", "", "optional CIDR-style base (e.g. 10.0.0.0/8) to remap generated IPs into")
 		par       = flag.Int("parallelism", 0, "training worker count (0 = all CPUs, 1 = serial); any value yields bitwise-identical output for a given -seed")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for per-chunk training checkpoints (empty disables)")
+		resume    = flag.Bool("resume", false, "resume training from -checkpoint-dir, skipping completed chunks")
+		maxRetry  = flag.Int("max-retries", 0, "per-chunk retry budget; past it a fine-tune chunk degrades to the seed weights")
 	)
 	flag.Parse()
 
 	if *par < 0 {
 		log.Fatalf("-parallelism must be >= 0, got %d", *par)
+	}
+	if *resume && *ckptDir == "" {
+		log.Fatal("-resume requires -checkpoint-dir")
+	}
+	if *maxRetry < 0 {
+		log.Fatalf("-max-retries must be >= 0, got %d", *maxRetry)
 	}
 	if *par > 0 {
 		mat.SetParallelism(*par)
@@ -80,6 +92,7 @@ func main() {
 		}
 	}
 	public := datasets.CAIDAChicago(4000, *seed+500)
+	opts := trainOptions(*ckptDir, *resume, *maxRetry)
 
 	switch *kind {
 	case "netflow":
@@ -95,12 +108,10 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			if syn, err = core.TrainFlowSynthesizer(real, public, cfg); err != nil {
+			if syn, err = core.TrainFlowSynthesizerOpts(real, public, cfg, opts); err != nil {
 				log.Fatal(err)
 			}
-			st := syn.Stats()
-			log.Printf("trained %d chunk model(s): cpu=%v wall=%v epsilon=%.2f",
-				len(st.ChunkSamples), st.CPUTime.Round(1e6), st.WallTime.Round(1e6), st.Epsilon)
+			reportStats(syn.Stats())
 		}
 		if *savePath != "" {
 			if err := saveModel(*savePath, syn.Save); err != nil {
@@ -134,12 +145,10 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			if syn, err = core.TrainPacketSynthesizer(real, public, cfg); err != nil {
+			if syn, err = core.TrainPacketSynthesizerOpts(real, public, cfg, opts); err != nil {
 				log.Fatal(err)
 			}
-			st := syn.Stats()
-			log.Printf("trained %d chunk model(s): cpu=%v wall=%v epsilon=%.2f",
-				len(st.ChunkSamples), st.CPUTime.Round(1e6), st.WallTime.Round(1e6), st.Epsilon)
+			reportStats(syn.Stats())
 		}
 		if *savePath != "" {
 			if err := saveModel(*savePath, syn.Save); err != nil {
@@ -155,6 +164,49 @@ func main() {
 
 	default:
 		log.Fatalf("unknown -kind %q (want netflow or pcap)", *kind)
+	}
+}
+
+// trainOptions wires the CLI's fault-tolerance flags into the training
+// orchestrator, logging retries, resumes, and degradations as they happen.
+func trainOptions(ckptDir string, resume bool, maxRetries int) core.TrainOptions {
+	if ckptDir == "" && maxRetries == 0 {
+		return core.TrainOptions{}
+	}
+	return core.TrainOptions{Orchestration: &orchestrator.Options{
+		Dir:        ckptDir,
+		Resume:     resume,
+		MaxRetries: maxRetries,
+		OnEvent: func(ev orchestrator.Event) {
+			switch ev.Kind {
+			case orchestrator.EventChunkResumed:
+				log.Printf("chunk %d: resumed from checkpoint", ev.Chunk)
+			case orchestrator.EventChunkRetry:
+				log.Printf("chunk %d: retry %d after error: %v", ev.Chunk, ev.Attempt, ev.Err)
+			case orchestrator.EventChunkDegraded:
+				log.Printf("chunk %d: retry budget exhausted after %d attempt(s), degrading to seed weights: %v",
+					ev.Chunk, ev.Attempt, ev.Err)
+			case orchestrator.EventCheckpointError:
+				log.Printf("chunk %d: checkpoint I/O error (training continues): %v", ev.Chunk, ev.Err)
+			}
+		},
+	}}
+}
+
+func reportStats(st core.Stats) {
+	log.Printf("trained %d chunk model(s): cpu=%v wall=%v epsilon=%.2f",
+		len(st.ChunkSamples), st.CPUTime.Round(1e6), st.WallTime.Round(1e6), st.Epsilon)
+	resumed := 0
+	for _, r := range st.ChunkResumed {
+		if r {
+			resumed++
+		}
+	}
+	if resumed > 0 {
+		log.Printf("resumed %d chunk(s) from checkpoints", resumed)
+	}
+	if deg := st.DegradedChunks(); len(deg) > 0 {
+		log.Printf("WARNING: chunk(s) %v degraded to seed weights after exhausting retries", deg)
 	}
 }
 

@@ -90,3 +90,22 @@ func TestModelSaveLoadHelpers(t *testing.T) {
 		t.Fatal("unwritable path must fail")
 	}
 }
+
+func TestTrainOptionsWiring(t *testing.T) {
+	if got := trainOptions("", false, 0); got.Orchestration != nil {
+		t.Fatal("no flags must yield zero orchestration options")
+	}
+	got := trainOptions("ckpt", true, 3)
+	if got.Orchestration == nil {
+		t.Fatal("checkpoint flags must enable orchestration")
+	}
+	if got.Orchestration.Dir != "ckpt" || !got.Orchestration.Resume || got.Orchestration.MaxRetries != 3 {
+		t.Fatalf("orchestration options = %+v", got.Orchestration)
+	}
+	if got.Orchestration.OnEvent == nil {
+		t.Fatal("CLI must log orchestration events")
+	}
+	if got = trainOptions("", false, 2); got.Orchestration == nil || got.Orchestration.MaxRetries != 2 {
+		t.Fatal("-max-retries alone must still enable the retry policy")
+	}
+}

@@ -225,6 +225,13 @@ type FlowSynthesizer struct {
 // public supplies the IP2Vec corpus (and DP pre-training data when
 // configured); the paper uses a CAIDA backbone trace.
 func TrainFlowSynthesizer(t *trace.FlowTrace, public *trace.PacketTrace, cfg Config) (*FlowSynthesizer, error) {
+	return TrainFlowSynthesizerOpts(t, public, cfg, TrainOptions{})
+}
+
+// TrainFlowSynthesizerOpts is TrainFlowSynthesizer with operational
+// options: checkpoint/resume, retry policy, and progress events for the
+// chunked training fan-out.
+func TrainFlowSynthesizerOpts(t *trace.FlowTrace, public *trace.PacketTrace, cfg Config, opts TrainOptions) (*FlowSynthesizer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -269,7 +276,7 @@ func TrainFlowSynthesizer(t *trace.FlowTrace, public *trace.PacketTrace, cfg Con
 	}
 
 	ganCfg := ganConfig(cfg, codec.metaSchema(), codec.featureSchema())
-	models, stats, err := trainChunks(cfg, ganCfg, chunkSamples, publicSamples)
+	models, stats, err := trainChunks(cfg, ganCfg, chunkSamples, publicSamples, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -18,12 +18,13 @@ package core
 
 import (
 	"fmt"
-	"sync"
+	"hash/fnv"
 	"time"
 
 	"repro/internal/dgan"
 	"repro/internal/encoding"
 	"repro/internal/ip2vec"
+	"repro/internal/orchestrator"
 	"repro/internal/privacy"
 	"repro/internal/rng"
 	"repro/internal/trace"
@@ -144,6 +145,13 @@ func (c Config) Validate() error {
 	if c.IPVectorEncoding && c.DP != nil {
 		return fmt.Errorf("core: IP vector encoding trains its dictionary on private data and cannot be combined with DP (Table 2)")
 	}
+	if c.DP != nil && c.Chunks != 1 {
+		// Fine-tune chunks train without DP-SGD, so letting them see the
+		// private trace would void the epsilon report. Requiring Chunks=1
+		// is also what makes the seed chunk authoritative for the DP-SGD
+		// sample rate: it IS the entire private dataset.
+		return fmt.Errorf("core: DP training requires Chunks=1 (Insight 4 fine-tunes privately only on the seed chunk), got %d", c.Chunks)
+	}
 	if c.DP != nil {
 		probe := privacy.DPSGDConfig{
 			ClipNorm:        c.DP.ClipNorm,
@@ -171,11 +179,21 @@ func (c Config) DPSteps() int { return c.SeedSteps * c.CriticIters * 2 }
 // with this configuration on a dataset of n flow samples stays within
 // (targetEps, delta). It inverts the RDP accountant numerically.
 func (c Config) NoiseForTargetEpsilon(targetEps, delta float64, n int) float64 {
-	rate := float64(c.Batch) / float64(maxInt(n, c.Batch))
+	return privacy.NoiseForEpsilon(targetEps, dpSampleRate(c.Batch, n), c.DPSteps(), delta)
+}
+
+// dpSampleRate is DP-SGD's per-lot sampling probability: a minibatch of
+// `batch` drawn from the n samples of the chunk actually being trained
+// with TrainDP. Validate enforces Chunks=1 under DP, so that chunk is the
+// seed chunk and holds the entire private dataset — the rate computed
+// from chunk 0 is the rate of the trained chunk by construction, not an
+// approximation.
+func dpSampleRate(batch, n int) float64 {
+	rate := float64(batch) / float64(maxInt(n, batch))
 	if rate > 1 {
 		rate = 1
 	}
-	return privacy.NoiseForEpsilon(targetEps, rate, c.DPSteps(), delta)
+	return rate
 }
 
 // Stats reports a training run's cost, the quantities behind Figure 4.
@@ -192,6 +210,26 @@ type Stats struct {
 	Epsilon float64
 	// ChunkSamples records how many flow samples each chunk contained.
 	ChunkSamples []int
+	// ChunkAttempts counts training attempts per chunk (0 when the chunk
+	// was restored from a checkpoint instead of trained).
+	ChunkAttempts []int
+	// ChunkResumed marks chunks restored from a checkpoint directory.
+	ChunkResumed []bool
+	// ChunkDegraded marks chunks that exhausted their retry budget and
+	// fell back to the warm-started seed weights (DESIGN.md §7).
+	ChunkDegraded []bool
+}
+
+// DegradedChunks returns the indices of chunks that fell back to seed
+// weights, for reporting.
+func (s Stats) DegradedChunks() []int {
+	var out []int
+	for i, d := range s.ChunkDegraded {
+		if d {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // portEmbedding wraps the public-data IP2Vec model plus per-dimension
@@ -310,10 +348,38 @@ func (pe *portEmbedding) decodeProto(v []float64) trace.Protocol {
 	return trace.Protocol(w.Value)
 }
 
+// TrainOptions carries per-run operational settings that are not part of
+// the model configuration and are never persisted with it.
+type TrainOptions struct {
+	// Orchestration configures checkpoint/resume, the retry/degradation
+	// policy, and progress events for the chunked training fan-out; nil
+	// runs with the defaults (no checkpointing, no retries).
+	Orchestration *orchestrator.Options
+}
+
+// hash digests every configuration field that determines training
+// results, for the checkpoint manifest. Parallel and Parallelism are
+// deliberately excluded: training is bitwise deterministic across worker
+// counts (DESIGN.md §6), so a resumed run may change them freely.
+func (c Config) hash() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%g|%g|%t|%t|%t",
+		c.Chunks, c.MaxLen, c.SeedSteps, c.FineTuneSteps, c.EmbedDim, c.EmbedEpochs,
+		c.Hidden, c.Batch, c.NoiseDim, c.CriticIters, c.GPWeight, c.LR,
+		c.DisableFlowTags, c.DisableLogTransform, c.IPVectorEncoding)
+	if c.DP != nil {
+		fmt.Fprintf(h, "|dp:%g|%g|%g|%t|%d",
+			c.DP.NoiseMultiplier, c.DP.ClipNorm, c.DP.Delta, c.DP.Pretrain, c.DP.PretrainSteps)
+	}
+	return h.Sum64()
+}
+
 // trainChunks trains the per-chunk models over encoded sample sets
-// following Insight 3: chunk 0 is the seed; the rest warm-start from it and
-// fine-tune (in parallel when requested). It returns the models and stats.
-func trainChunks(cfg Config, ganCfg dgan.Config, chunkSamples [][]dgan.Sample, public []dgan.Sample) ([]*dgan.Model, Stats, error) {
+// following Insight 3: chunk 0 is the seed; the rest warm-start from it
+// and fine-tune (in parallel when requested). The fan-out runs under the
+// fault-tolerant orchestrator: per-chunk checkpoints, resume, retries
+// with backoff, and seed-weight degradation, all governed by opts.
+func trainChunks(cfg Config, ganCfg dgan.Config, chunkSamples [][]dgan.Sample, public []dgan.Sample, opts TrainOptions) ([]*dgan.Model, Stats, error) {
 	var st Stats
 	st.ChunkSamples = make([]int, len(chunkSamples))
 	for i, s := range chunkSamples {
@@ -321,122 +387,153 @@ func trainChunks(cfg Config, ganCfg dgan.Config, chunkSamples [][]dgan.Sample, p
 	}
 	wallStart := time.Now()
 
-	models := make([]*dgan.Model, len(chunkSamples))
-	seedCfg := ganCfg
-	seedCfg.Seed = cfg.Seed
-	seed, err := dgan.New(seedCfg)
-	if err != nil {
-		return nil, st, err
+	// stepHook adapts a chunk's mid-training snapshot callback to dgan's
+	// train-step hook.
+	stepHook := func(run orchestrator.ChunkRun, m *dgan.Model) dgan.TrainHook {
+		if run.SavePartial == nil {
+			return nil
+		}
+		return func(step int, _ dgan.Stats) error { return run.SavePartial(step, m) }
 	}
 
-	var dp *privacy.DPSGD
-	if cfg.DP != nil {
+	// epsilon is written by the successful seed attempt (the seed phase is
+	// synchronous, so no lock is needed). Each attempt constructs fresh
+	// DP-SGD state on the reserved noise stream, so retries replay
+	// identical noise and cannot change the final weights.
+	var epsilon float64
+	trainSeed := func(run orchestrator.ChunkRun) (orchestrator.Model, error) {
+		seedCfg := ganCfg
+		seedCfg.Seed = cfg.Seed
+		seed, err := dgan.New(seedCfg)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.DP == nil {
+			if _, err := seed.TrainWithHook(chunkSamples[0], cfg.SeedSteps, stepHook(run, seed)); err != nil {
+				return nil, err
+			}
+			return seed, nil
+		}
 		if cfg.DP.Pretrain {
 			if len(public) == 0 {
-				return nil, st, fmt.Errorf("core: DP pretraining requires public samples")
+				return nil, fmt.Errorf("core: DP pretraining requires public samples")
 			}
-			t0 := time.Now()
 			if _, err := seed.Train(public, cfg.DP.PretrainSteps); err != nil {
-				return nil, st, err
+				return nil, err
 			}
-			st.CPUTime += time.Since(t0)
 		}
-		n := len(chunkSamples[0])
-		rate := float64(ganCfg.Batch) / float64(maxInt(n, ganCfg.Batch))
-		if rate > 1 {
-			rate = 1
-		}
-		dp, err = privacy.NewDPSGD(privacy.DPSGDConfig{
+		dp, err := privacy.NewDPSGD(privacy.DPSGDConfig{
 			ClipNorm:        cfg.DP.ClipNorm,
 			NoiseMultiplier: cfg.DP.NoiseMultiplier,
-			SampleRate:      rate,
+			SampleRate:      dpSampleRate(ganCfg.Batch, len(chunkSamples[0])),
 			Delta:           cfg.DP.Delta,
 		}, rng.New(rng.Derive(cfg.Seed, dpNoiseStream)))
 		if err != nil {
-			return nil, st, err
+			return nil, err
 		}
+		if _, err := seed.TrainDPWithHook(chunkSamples[0], cfg.SeedSteps, dp, stepHook(run, seed)); err != nil {
+			return nil, err
+		}
+		epsilon = dp.Epsilon()
+		return seed, nil
 	}
 
-	// Seed chunk.
-	t0 := time.Now()
-	if dp != nil {
-		_, err = seed.TrainDP(chunkSamples[0], cfg.SeedSteps, dp)
-	} else {
-		_, err = seed.Train(chunkSamples[0], cfg.SeedSteps)
+	// newChunkModel builds chunk idx's model on its decorrelated RNG
+	// stream and warm-starts it from the seed weights; it is both the
+	// fine-tune starting point and the degraded fallback.
+	newChunkModel := func(stream int64, seed *dgan.Model) (*dgan.Model, error) {
+		mCfg := ganCfg
+		// Each chunk model trains on its own decorrelated RNG stream, so
+		// the parallel fan-out and a serial loop draw identical noise per
+		// chunk (the stream depends only on the seed and chunk index).
+		mCfg.Seed = stream
+		m, err := dgan.New(mCfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Warmstart(seed); err != nil {
+			return nil, err
+		}
+		return m, nil
 	}
+
+	fineTune := func(run orchestrator.ChunkRun, seedM orchestrator.Model) (orchestrator.Model, error) {
+		seed := seedM.(*dgan.Model)
+		steps := cfg.FineTuneSteps
+		var m *dgan.Model
+		if run.Partial != nil && run.PartialStep < steps {
+			// Continue a mid-chunk snapshot (AllowPartial): functionally
+			// correct, but not bitwise identical to an uninterrupted run
+			// since optimizer and RNG state restart (DESIGN.md §7).
+			if pm, err := dgan.DecodeModel(run.Partial); err == nil {
+				m, steps = pm, steps-run.PartialStep
+			}
+		}
+		if m == nil {
+			var err error
+			if m, err = newChunkModel(run.Stream, seed); err != nil {
+				return nil, err
+			}
+		}
+		if len(chunkSamples[run.Idx]) > 0 && steps > 0 {
+			if _, err := m.TrainWithHook(chunkSamples[run.Idx], steps, stepHook(run, m)); err != nil {
+				return nil, err
+			}
+		}
+		return m, nil
+	}
+
+	fallback := func(idx int, seedM orchestrator.Model) (orchestrator.Model, error) {
+		return newChunkModel(rng.Derive(cfg.Seed, int64(idx)), seedM.(*dgan.Model))
+	}
+
+	var orch orchestrator.Options
+	if opts.Orchestration != nil {
+		orch = *opts.Orchestration
+	}
+	res, err := orchestrator.Run(orch, orchestrator.Spec{
+		NumChunks:  len(chunkSamples),
+		ConfigHash: cfg.hash(),
+		BaseSeed:   cfg.Seed,
+		Parallel:   cfg.Parallel,
+		TrainSeed:  trainSeed,
+		FineTune:   fineTune,
+		Fallback:   fallback,
+		Decode: func(data []byte) (orchestrator.Model, error) {
+			return dgan.DecodeModel(data)
+		},
+	})
 	if err != nil {
 		return nil, st, err
 	}
-	st.SeedTime = time.Since(t0)
-	st.CPUTime += st.SeedTime
-	models[0] = seed
 
-	// Fine-tune remaining chunks, warm-started from the seed model.
-	type result struct {
-		idx int
-		dur time.Duration
-		err error
+	models := make([]*dgan.Model, len(res.Models))
+	for i, m := range res.Models {
+		models[i] = m.(*dgan.Model)
+		// Canonical generation stream: whether a chunk model was trained
+		// fresh (its RNG advanced through training) or restored from a
+		// checkpoint (fresh RNG), generation afterwards draws from the
+		// same derived stream — resumed and uninterrupted runs emit
+		// bitwise-identical traces.
+		models[i].Reseed(rng.Derive(cfg.Seed, genStream+int64(i)))
+		st.CPUTime += res.ChunkTime[i]
 	}
-	fineTune := func(idx int) result {
-		mCfg := ganCfg
-		// Each chunk model trains on its own decorrelated RNG stream, so
-		// the parallel fan-out below and a serial loop draw identical noise
-		// per chunk (stream idx depends only on the seed and chunk index).
-		mCfg.Seed = rng.Derive(cfg.Seed, int64(idx))
-		m, err := dgan.New(mCfg)
-		if err != nil {
-			return result{idx: idx, err: err}
-		}
-		if err := m.Warmstart(seed); err != nil {
-			return result{idx: idx, err: err}
-		}
-		t := time.Now()
-		if len(chunkSamples[idx]) > 0 {
-			if _, err := m.Train(chunkSamples[idx], cfg.FineTuneSteps); err != nil {
-				return result{idx: idx, err: err}
-			}
-		}
-		models[idx] = m
-		return result{idx: idx, dur: time.Since(t)}
-	}
-
-	if cfg.Parallel {
-		var wg sync.WaitGroup
-		results := make([]result, len(chunkSamples))
-		for i := 1; i < len(chunkSamples); i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				results[i] = fineTune(i)
-			}(i)
-		}
-		wg.Wait()
-		for i := 1; i < len(chunkSamples); i++ {
-			if results[i].err != nil {
-				return nil, st, results[i].err
-			}
-			st.CPUTime += results[i].dur
-		}
-	} else {
-		for i := 1; i < len(chunkSamples); i++ {
-			res := fineTune(i)
-			if res.err != nil {
-				return nil, st, res.err
-			}
-			st.CPUTime += res.dur
-		}
-	}
-
-	if dp != nil {
-		st.Epsilon = dp.Epsilon()
-	}
+	st.SeedTime = res.SeedTime
+	st.ChunkAttempts = res.Attempts
+	st.ChunkResumed = res.Resumed
+	st.ChunkDegraded = res.Degraded
+	st.Epsilon = epsilon
 	st.WallTime = time.Since(wallStart)
 	return models, st, nil
 }
 
 // dpNoiseStream is the rng.Derive stream index reserved for the DP-SGD
-// Gaussian noise source, outside the chunk-index stream range.
-const dpNoiseStream = 1 << 32
+// Gaussian noise source, outside the chunk-index stream range;
+// genStream+idx are the reserved post-training generation streams.
+const (
+	dpNoiseStream = 1 << 32
+	genStream     = 1 << 33
+)
 
 func maxInt(a, b int) int {
 	if a > b {

@@ -127,6 +127,13 @@ type PacketSynthesizer struct {
 // TrainPacketSynthesizer runs the full NetShare pipeline on a packet trace.
 // public supplies the IP2Vec corpus and optional DP pre-training data.
 func TrainPacketSynthesizer(t *trace.PacketTrace, public *trace.PacketTrace, cfg Config) (*PacketSynthesizer, error) {
+	return TrainPacketSynthesizerOpts(t, public, cfg, TrainOptions{})
+}
+
+// TrainPacketSynthesizerOpts is TrainPacketSynthesizer with operational
+// options: checkpoint/resume, retry policy, and progress events for the
+// chunked training fan-out.
+func TrainPacketSynthesizerOpts(t *trace.PacketTrace, public *trace.PacketTrace, cfg Config, opts TrainOptions) (*PacketSynthesizer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -167,7 +174,7 @@ func TrainPacketSynthesizer(t *trace.PacketTrace, public *trace.PacketTrace, cfg
 	}
 
 	ganCfg := ganConfig(cfg, codec.metaSchema(), codec.featureSchema())
-	models, stats, err := trainChunks(cfg, ganCfg, chunkSamples, publicSamples)
+	models, stats, err := trainChunks(cfg, ganCfg, chunkSamples, publicSamples, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dgan"
 	"repro/internal/encoding"
 	"repro/internal/ip2vec"
+	"repro/internal/rng"
 )
 
 // Model persistence: a trained synthesizer (chunk models, port embedding,
@@ -145,11 +146,14 @@ func LoadFlowSynthesizer(r io.Reader) (*FlowSynthesizer, error) {
 	codec.bytNorm.RestoreRange(wire.Byt.Lo, wire.Byt.Hi)
 
 	s := &FlowSynthesizer{cfg: wire.Config, codec: codec, stats: wire.Stats}
-	for _, enc := range wire.Models {
+	for i, enc := range wire.Models {
 		m, err := dgan.DecodeModel(enc)
 		if err != nil {
 			return nil, err
 		}
+		// Same canonical generation stream as trainChunks, so a loaded
+		// model's first Generate matches the freshly trained one's.
+		m.Reseed(rng.Derive(wire.Config.Seed, genStream+int64(i)))
 		s.models = append(s.models, m)
 	}
 	return s, nil
@@ -213,11 +217,12 @@ func LoadPacketSynthesizer(r io.Reader) (*PacketSynthesizer, error) {
 	codec.sizeNorm.RestoreRange(wire.Size.Lo, wire.Size.Hi)
 
 	s := &PacketSynthesizer{cfg: wire.Config, codec: codec, stats: wire.Stats}
-	for _, enc := range wire.Models {
+	for i, enc := range wire.Models {
 		m, err := dgan.DecodeModel(enc)
 		if err != nil {
 			return nil, err
 		}
+		m.Reseed(rng.Derive(wire.Config.Seed, genStream+int64(i)))
 		s.models = append(s.models, m)
 	}
 	return s, nil

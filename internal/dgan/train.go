@@ -16,22 +16,27 @@ type Stats struct {
 	GenLoss    float64 // last generator loss
 }
 
+// TrainHook observes training progress at generator-step granularity:
+// it is invoked after every completed generator update with the 1-based
+// step count and the running stats. A non-nil return aborts training with
+// that error. Mid-chunk checkpointing (internal/orchestrator) hangs off
+// this hook.
+type TrainHook func(step int, st Stats) error
+
 // Train runs `steps` generator updates (each preceded by CriticIters critic
 // updates) over the sample set. It returns an error for an empty sample
 // set or malformed sample shapes.
 func (m *Model) Train(samples []Sample, steps int) (Stats, error) {
+	return m.TrainWithHook(samples, steps, nil)
+}
+
+// TrainWithHook is Train with a per-step progress hook (nil behaves like
+// Train).
+func (m *Model) TrainWithHook(samples []Sample, steps int, hook TrainHook) (Stats, error) {
 	if err := m.checkSamples(samples); err != nil {
 		return Stats{}, err
 	}
-	var st Stats
-	for i := 0; i < steps; i++ {
-		for c := 0; c < m.Config.CriticIters; c++ {
-			st.CriticLoss = m.criticStep(samples, nil)
-		}
-		st.GenLoss = m.generatorStep()
-		st.Steps++
-	}
-	return st, nil
+	return m.trainLoop(samples, steps, nil, hook)
 }
 
 // TrainDP runs DP-SGD training: the critics (which observe private data)
@@ -40,12 +45,21 @@ func (m *Model) Train(samples []Sample, steps int) (Stats, error) {
 // extra noise. Pre-train on public data with Train, then fine-tune with
 // TrainDP (Insight 4).
 func (m *Model) TrainDP(samples []Sample, steps int, dp *privacy.DPSGD) (Stats, error) {
+	return m.TrainDPWithHook(samples, steps, dp, nil)
+}
+
+// TrainDPWithHook is TrainDP with a per-step progress hook.
+func (m *Model) TrainDPWithHook(samples []Sample, steps int, dp *privacy.DPSGD, hook TrainHook) (Stats, error) {
 	if err := m.checkSamples(samples); err != nil {
 		return Stats{}, err
 	}
 	if dp == nil {
 		return Stats{}, fmt.Errorf("dgan: TrainDP requires a DPSGD instance")
 	}
+	return m.trainLoop(samples, steps, dp, hook)
+}
+
+func (m *Model) trainLoop(samples []Sample, steps int, dp *privacy.DPSGD, hook TrainHook) (Stats, error) {
 	var st Stats
 	for i := 0; i < steps; i++ {
 		for c := 0; c < m.Config.CriticIters; c++ {
@@ -53,6 +67,11 @@ func (m *Model) TrainDP(samples []Sample, steps int, dp *privacy.DPSGD) (Stats, 
 		}
 		st.GenLoss = m.generatorStep()
 		st.Steps++
+		if hook != nil {
+			if err := hook(st.Steps, st); err != nil {
+				return st, err
+			}
+		}
 	}
 	return st, nil
 }
@@ -223,3 +242,10 @@ func (m *Model) featSchema() []nn.FieldSpec {
 // Rand exposes the model's seeded source for callers that need coordinated
 // sampling (e.g. post-processing draws).
 func (m *Model) Rand() *rand.Rand { return m.rng }
+
+// Reseed replaces the model's RNG with a fresh source. Training advances
+// the RNG by a data-dependent number of draws, while a checkpoint-decoded
+// model starts from Config.Seed — reseeding both onto the same canonical
+// stream after training is what makes generation from a resumed run
+// bitwise identical to an uninterrupted one (DESIGN.md §7).
+func (m *Model) Reseed(seed int64) { m.rng = rand.New(rand.NewSource(seed)) }

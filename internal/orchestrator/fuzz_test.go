@@ -1,0 +1,55 @@
+package orchestrator
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadCheckpoint feeds arbitrary bytes to the checkpoint decoder:
+// corrupt or truncated input must return an error, never panic, and a
+// successful decode must re-encode to the identical frame.
+func FuzzLoadCheckpoint(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(ckptMagic[:])
+	f.Add(EncodeCheckpoint(nil))
+	f.Add(EncodeCheckpoint([]byte("seed payload")))
+	f.Add(EncodeCheckpoint(bytes.Repeat([]byte{0xab}, 64)))
+	truncated := EncodeCheckpoint([]byte("about to lose my tail"))
+	f.Add(truncated[:len(truncated)-4])
+	flipped := EncodeCheckpoint([]byte("one flipped bit"))
+	flipped[len(flipped)-1] ^= 0x01
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeCheckpoint(payload), data) {
+			t.Fatalf("decode/encode not idempotent for %d-byte frame", len(data))
+		}
+	})
+}
+
+// FuzzLoadManifest feeds arbitrary bytes to the manifest parser: it must
+// error on anything invalid, never panic, and anything it accepts must
+// survive an encode/parse roundtrip.
+func FuzzLoadManifest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"version":1}`))
+	f.Add(validManifest().encode())
+	bad := validManifest()
+	bad.Chunks[0].File = "../escape"
+	f.Add(bad.encode())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseManifest(data)
+		if err != nil {
+			return
+		}
+		if _, err := ParseManifest(m.encode()); err != nil {
+			t.Fatalf("accepted manifest fails its own roundtrip: %v", err)
+		}
+	})
+}

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/orchestrator"
 	"repro/internal/trace"
 )
 
@@ -46,6 +47,11 @@ type JobRequest struct {
 	MaxLen        int   `json:"maxLen,omitempty"`
 	Seed          int64 `json:"seed,omitempty"`
 
+	// MaxRetries is the per-chunk retry budget; past it a fine-tune chunk
+	// degrades to the warm-started seed weights (reported per chunk in
+	// JobStatus.Chunks).
+	MaxRetries int `json:"maxRetries,omitempty"`
+
 	// DP enables differentially private training.
 	DP *DPRequest `json:"dp,omitempty"`
 }
@@ -67,6 +73,24 @@ const (
 	StateFailed  JobState = "failed"
 )
 
+// ChunkInfo is one chunk's live training status within a job.
+type ChunkInfo struct {
+	// State is pending, training, retrying, done, resumed, or degraded.
+	State string `json:"state"`
+	// Attempts counts training attempts consumed so far.
+	Attempts int `json:"attempts,omitempty"`
+}
+
+// Per-chunk states surfaced in ChunkInfo.
+const (
+	ChunkPending  = "pending"
+	ChunkTraining = "training"
+	ChunkRetrying = "retrying"
+	ChunkDone     = "done"
+	ChunkResumed  = "resumed"
+	ChunkDegraded = "degraded"
+)
+
 // JobStatus is the GET /api/v1/jobs/{id} response.
 type JobStatus struct {
 	ID        string   `json:"id"`
@@ -74,6 +98,8 @@ type JobStatus struct {
 	State     JobState `json:"state"`
 	Error     string   `json:"error,omitempty"`
 	Submitted string   `json:"submitted"`
+	// Chunks is the per-chunk training status, live while the job runs.
+	Chunks []ChunkInfo `json:"chunks,omitempty"`
 	// Training stats, present once done.
 	CPUMillis  int64   `json:"cpuMillis,omitempty"`
 	WallMillis int64   `json:"wallMillis,omitempty"`
@@ -226,6 +252,9 @@ func validateRequest(req *JobRequest) error {
 	if req.DP != nil && req.DP.NoiseMultiplier <= 0 {
 		return fmt.Errorf("dp.noiseMultiplier must be positive")
 	}
+	if req.MaxRetries < 0 || req.MaxRetries > 10 {
+		return fmt.Errorf("maxRetries must be in [0, 10]")
+	}
 	return nil
 }
 
@@ -268,6 +297,11 @@ func (s *Server) run(id string, req JobRequest) {
 	s.setState(id, StateRunning, nil)
 	cfg := req.config()
 	public := datasets.CAIDAChicago(s.publicPackets, cfg.Seed+500)
+	s.initChunks(id, cfg.Chunks)
+	opts := core.TrainOptions{Orchestration: &orchestrator.Options{
+		MaxRetries: req.MaxRetries,
+		OnEvent:    func(ev orchestrator.Event) { s.chunkEvent(id, ev) },
+	}}
 
 	var fail error
 	switch req.Kind {
@@ -277,7 +311,7 @@ func (s *Server) run(id string, req JobRequest) {
 			fail = err
 			break
 		}
-		syn, err := core.TrainFlowSynthesizer(real, public, cfg)
+		syn, err := core.TrainFlowSynthesizerOpts(real, public, cfg, opts)
 		if err != nil {
 			fail = err
 			break
@@ -290,7 +324,7 @@ func (s *Server) run(id string, req JobRequest) {
 			fail = err
 			break
 		}
-		syn, err := core.TrainPacketSynthesizer(real, public, cfg)
+		syn, err := core.TrainPacketSynthesizerOpts(real, public, cfg, opts)
 		if err != nil {
 			fail = err
 			break
@@ -334,6 +368,63 @@ func loadPacketInput(req JobRequest) (*trace.PacketTrace, error) {
 	return t, nil
 }
 
+// initChunks publishes the job's chunk slots before training starts.
+func (s *Server) initChunks(id string, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j := s.jobs[id]; j != nil {
+		j.status.Chunks = make([]ChunkInfo, n)
+		for i := range j.status.Chunks {
+			j.status.Chunks[i].State = ChunkPending
+		}
+	}
+}
+
+// chunkEvent folds an orchestrator progress event into the job's live
+// per-chunk status.
+func (s *Server) chunkEvent(id string, ev orchestrator.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil || ev.Chunk < 0 || ev.Chunk >= len(j.status.Chunks) {
+		return
+	}
+	c := &j.status.Chunks[ev.Chunk]
+	switch ev.Kind {
+	case orchestrator.EventChunkStart:
+		c.State = ChunkTraining
+	case orchestrator.EventChunkRetry:
+		c.State, c.Attempts = ChunkRetrying, ev.Attempt
+	case orchestrator.EventChunkDone:
+		c.State, c.Attempts = ChunkDone, ev.Attempt
+	case orchestrator.EventChunkResumed:
+		c.State = ChunkResumed
+	case orchestrator.EventChunkDegraded:
+		c.State, c.Attempts = ChunkDegraded, ev.Attempt
+	}
+}
+
+// finalizeChunks reconciles the per-chunk status with the authoritative
+// post-run Stats (events are best-effort progress; Stats is ground truth).
+func finalizeChunks(j *job, st core.Stats) {
+	if len(st.ChunkAttempts) == 0 {
+		return
+	}
+	j.status.Chunks = make([]ChunkInfo, len(st.ChunkAttempts))
+	for i := range st.ChunkAttempts {
+		c := &j.status.Chunks[i]
+		c.Attempts = st.ChunkAttempts[i]
+		switch {
+		case st.ChunkDegraded[i]:
+			c.State = ChunkDegraded
+		case st.ChunkResumed[i]:
+			c.State = ChunkResumed
+		default:
+			c.State = ChunkDone
+		}
+	}
+}
+
 func (s *Server) setState(id string, state JobState, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -357,6 +448,7 @@ func (s *Server) finishFlow(id string, t *trace.FlowTrace, st core.Stats) {
 	j.status.WallMillis = st.WallTime.Milliseconds()
 	j.status.Epsilon = st.Epsilon
 	j.status.Records = len(t.Records)
+	finalizeChunks(j, st)
 }
 
 func (s *Server) finishPacket(id string, t *trace.PacketTrace, st core.Stats) {
@@ -369,6 +461,7 @@ func (s *Server) finishPacket(id string, t *trace.PacketTrace, st core.Stats) {
 	j.status.WallMillis = st.WallTime.Milliseconds()
 	j.status.Epsilon = st.Epsilon
 	j.status.Records = len(t.Packets)
+	finalizeChunks(j, st)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/datasets"
+	"repro/internal/orchestrator"
 	"repro/internal/trace"
 )
 
@@ -390,4 +391,63 @@ func ExampleServer() {
 	mux.Handle("/", api.Handler())
 	fmt.Println("mounted")
 	// Output: mounted
+}
+
+func TestJobReportsChunkStatus(t *testing.T) {
+	ts, api := startServer(t)
+	job := postJob(t, ts, tinyJob("netflow"))
+	st := waitDone(t, api, ts, job.ID)
+	if st.State != StateDone {
+		t.Fatalf("job state = %s (%s)", st.State, st.Error)
+	}
+	if len(st.Chunks) != 2 {
+		t.Fatalf("chunk status count = %d, want 2", len(st.Chunks))
+	}
+	for i, c := range st.Chunks {
+		if c.State != ChunkDone || c.Attempts != 1 {
+			t.Fatalf("chunk %d = %+v, want done after 1 attempt", i, c)
+		}
+	}
+}
+
+func TestMaxRetriesValidation(t *testing.T) {
+	ts, _ := startServer(t)
+	bad := tinyJob("netflow")
+	bad.MaxRetries = 11
+	body, _ := json.Marshal(bad)
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("maxRetries=11: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestChunkEventProgression(t *testing.T) {
+	api := NewServer(1)
+	api.jobs["job-x"] = &job{status: JobStatus{ID: "job-x"}}
+	api.initChunks("job-x", 2)
+	for _, c := range api.jobs["job-x"].status.Chunks {
+		if c.State != ChunkPending {
+			t.Fatalf("initial chunk state = %q", c.State)
+		}
+	}
+	api.chunkEvent("job-x", orchestrator.Event{Kind: orchestrator.EventChunkStart, Chunk: 1})
+	if got := api.jobs["job-x"].status.Chunks[1].State; got != ChunkTraining {
+		t.Fatalf("after start: %q", got)
+	}
+	api.chunkEvent("job-x", orchestrator.Event{Kind: orchestrator.EventChunkRetry, Chunk: 1, Attempt: 1})
+	if c := api.jobs["job-x"].status.Chunks[1]; c.State != ChunkRetrying || c.Attempts != 1 {
+		t.Fatalf("after retry: %+v", c)
+	}
+	api.chunkEvent("job-x", orchestrator.Event{Kind: orchestrator.EventChunkDegraded, Chunk: 1, Attempt: 2})
+	if c := api.jobs["job-x"].status.Chunks[1]; c.State != ChunkDegraded || c.Attempts != 2 {
+		t.Fatalf("after degrade: %+v", c)
+	}
+	// Out-of-range and manifest-level events must be ignored, not panic.
+	api.chunkEvent("job-x", orchestrator.Event{Kind: orchestrator.EventCheckpointError, Chunk: -1})
+	api.chunkEvent("job-x", orchestrator.Event{Kind: orchestrator.EventChunkDone, Chunk: 9})
+	api.chunkEvent("job-missing", orchestrator.Event{Kind: orchestrator.EventChunkDone, Chunk: 0})
 }
