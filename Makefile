@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build vet test test-race test-crash fuzz bench bench-parallel ci clean
+.PHONY: all build vet test test-race test-crash fuzz bench bench-parallel bench-generate ci clean
 
 all: build
 
@@ -14,13 +14,14 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the packages with parallel kernels and the
-# fault-tolerant training fan-out: the matmul worker pool, the per-sample
-# DP-SGD fan-out, the chunked fine-tune fan-out, and the checkpoint/resume
-# orchestrator (DESIGN.md §6–7).
+# Race-detector pass over the packages with parallel kernels, the
+# fault-tolerant training fan-out, and the lot-parallel generation
+# pipeline: the matmul worker pool, the per-sample DP-SGD fan-out, the
+# chunked fine-tune fan-out, the checkpoint/resume orchestrator, the
+# generation scratch pool, and the shared decode cache (DESIGN.md §6–8).
 test-race:
 	$(GO) test -race ./internal/mat/... ./internal/dgan/... ./internal/core/... \
-		./internal/orchestrator/... ./internal/privacy/...
+		./internal/orchestrator/... ./internal/privacy/... ./internal/ip2vec/...
 
 # Crash/fault matrix: the checkpoint/resume/retry tests that simulate
 # process death, torn writes, and exhausted retry budgets (DESIGN.md §7).
@@ -48,7 +49,12 @@ bench:
 bench-parallel:
 	$(GO) run ./cmd/benchpar -out BENCH_parallel.json
 
-ci: vet build test test-race test-crash fuzz
+# Generation-pipeline timings (baseline-vs-optimized sampler and decode,
+# end-to-end flow generation), recorded to BENCH_generate.json.
+bench-generate:
+	$(GO) run ./cmd/benchpar -suite generate -out BENCH_generate.json
+
+ci: vet build test test-race test-crash fuzz bench-generate
 
 clean:
 	$(GO) clean ./...

@@ -1,12 +1,20 @@
-// Command benchpar runs the parallel-training benchmark workloads
-// (internal/benchpar) at serial and all-CPU settings and records the
-// results as JSON, including the machine's CPU count so readers can judge
-// the speedups in context (on a 1-CPU runner serial and parallel are
-// expected to tie).
+// Command benchpar runs the benchmark workloads from internal/benchpar
+// and records the results as JSON, including the machine's CPU count so
+// readers can judge the speedups in context (on a 1-CPU runner serial and
+// parallel are expected to tie).
+//
+// Two suites are available:
+//
+//   - parallel (default): training kernels at serial vs all-CPU worker
+//     counts, written to BENCH_parallel.json
+//   - generate: the generation pipeline — old-vs-new dgan sampler,
+//     scan-vs-batched embedding decode, and the end-to-end flow
+//     synthesizer — written to BENCH_generate.json
 //
 // Usage:
 //
 //	benchpar -out BENCH_parallel.json
+//	benchpar -suite generate -out BENCH_generate.json
 package main
 
 import (
@@ -34,33 +42,65 @@ type pair struct {
 	Speedup  float64 `json:"speedup"`
 }
 
-type report struct {
-	CPUs       int             `json:"cpus"`
-	GoMaxProcs int             `json:"gomaxprocs"`
-	GoVersion  string          `json:"go_version"`
-	Note       string          `json:"note"`
-	Benchmarks map[string]pair `json:"benchmarks"`
+// comparison records a baseline implementation against its optimized
+// replacement on the same machine and inputs.
+type comparison struct {
+	Baseline  result  `json:"baseline"`
+	Optimized result  `json:"optimized"`
+	Speedup   float64 `json:"speedup"`
+	AllocCut  float64 `json:"alloc_cut"` // baseline allocs/op ÷ optimized allocs/op
 }
 
-func run(name string, work func(int) func(*testing.B), flops float64) pair {
-	measure := func(workers int) result {
-		r := testing.Benchmark(work(workers))
-		out := result{
+type report struct {
+	CPUs        int                   `json:"cpus"`
+	GoMaxProcs  int                   `json:"gomaxprocs"`
+	GoVersion   string                `json:"go_version"`
+	Note        string                `json:"note"`
+	Benchmarks  map[string]pair       `json:"benchmarks,omitempty"`
+	Comparisons map[string]comparison `json:"comparisons,omitempty"`
+}
+
+// bench runs work several times and keeps the fastest rep: the minimum
+// ns/op is the best estimate of a workload's intrinsic cost on a shared
+// runner, where slower reps carry scheduler and GC interference.
+func bench(work func(*testing.B)) result {
+	const reps = 3
+	var best result
+	for i := 0; i < reps; i++ {
+		r := testing.Benchmark(work)
+		got := result{
 			NsPerOp:     r.NsPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			Iterations:  r.N,
 		}
-		if flops > 0 && r.NsPerOp() > 0 {
+		if i == 0 || got.NsPerOp < best.NsPerOp {
+			best = got
+		}
+	}
+	return best
+}
+
+func run(name string, work func(int) func(*testing.B), flops float64) pair {
+	measure := func(workers int) result {
+		out := bench(work(workers))
+		if flops > 0 && out.NsPerOp > 0 {
 			// flops per op / (ns per op) = GFLOPS; ×1e3 → MFLOPS.
-			out.MFlops = flops / float64(r.NsPerOp()) * 1e3
+			out.MFlops = flops / float64(out.NsPerOp) * 1e3
 		}
 		return out
 	}
 	log.Printf("%s: serial...", name)
 	s := measure(1)
-	log.Printf("%s: parallel (%d workers)...", name, runtime.NumCPU())
-	p := measure(runtime.NumCPU())
+	var p result
+	if runtime.NumCPU() > 1 {
+		log.Printf("%s: parallel (%d workers)...", name, runtime.NumCPU())
+		p = measure(runtime.NumCPU())
+	} else {
+		// One CPU: the "parallel" setting is the same configuration, so
+		// re-measuring would only record scheduler noise.
+		p = s
+	}
 	sp := 0.0
 	if p.NsPerOp > 0 {
 		sp = float64(s.NsPerOp) / float64(p.NsPerOp)
@@ -70,17 +110,29 @@ func run(name string, work func(int) func(*testing.B), flops float64) pair {
 	return pair{Serial: s, Parallel: p, Speedup: sp}
 }
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("benchpar: ")
-	out := flag.String("out", "BENCH_parallel.json", "output JSON path")
-	flag.Parse()
+// compare measures a baseline workload against its optimized replacement.
+func compare(name string, baseline, optimized func(*testing.B)) comparison {
+	measure := func(label string, work func(*testing.B)) result {
+		log.Printf("%s: %s...", name, label)
+		return bench(work)
+	}
+	b := measure("baseline", baseline)
+	o := measure("optimized", optimized)
+	c := comparison{Baseline: b, Optimized: o}
+	if o.NsPerOp > 0 {
+		c.Speedup = float64(b.NsPerOp) / float64(o.NsPerOp)
+	}
+	if o.AllocsPerOp > 0 {
+		c.AllocCut = float64(b.AllocsPerOp) / float64(o.AllocsPerOp)
+	}
+	log.Printf("%s: baseline %d ns/op (%d allocs), optimized %d ns/op (%d allocs), speedup %.2fx",
+		name, b.NsPerOp, b.AllocsPerOp, o.NsPerOp, o.AllocsPerOp, c.Speedup)
+	return c
+}
 
+func parallelReport() report {
 	n := float64(benchpar.MatMulSize)
-	rep := report{
-		CPUs:       runtime.NumCPU(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		GoVersion:  runtime.Version(),
+	return report{
 		Note: "serial vs parallel timings of the same deterministic kernels; " +
 			"speedups scale with cpus (expect ~1.0 on a 1-CPU runner)",
 		Benchmarks: map[string]pair{
@@ -89,14 +141,59 @@ func main() {
 			"dp_critic_step": run("dp_critic_step", benchpar.DPCriticStep, 0),
 		},
 	}
+}
+
+func generateReport() report {
+	return report{
+		Note: "generation pipeline: baseline-vs-optimized comparisons are " +
+			"algorithmic (batched matmul decode, early-exit unroll, pooled " +
+			"scratch) and hold at any cpu count; the serial-vs-parallel pairs " +
+			"scale with cpus (expect ~1.0 on a 1-CPU runner). Output is " +
+			"bitwise-identical at every parallelism setting.",
+		Comparisons: map[string]comparison{
+			"ip2vec_decode_256": compare("ip2vec_decode_256",
+				benchpar.DecodeScan(), benchpar.DecodeBatched()),
+			"dgan_generate_256": compare("dgan_generate_256",
+				benchpar.GenerateBaseline(), benchpar.Generate(1)),
+		},
+		Benchmarks: map[string]pair{
+			"dgan_generate_256":  run("dgan_generate_256", benchpar.Generate, 0),
+			"flow_generate_2000": run("flow_generate_2000", benchpar.FlowGenerate, 0),
+		},
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchpar: ")
+	suite := flag.String("suite", "parallel", "benchmark suite: parallel or generate")
+	out := flag.String("out", "", "output JSON path (default BENCH_<suite>.json)")
+	flag.Parse()
+
+	var rep report
+	switch *suite {
+	case "parallel":
+		rep = parallelReport()
+	case "generate":
+		rep = generateReport()
+	default:
+		log.Fatalf("unknown -suite %q (want parallel or generate)", *suite)
+	}
+	rep.CPUs = runtime.NumCPU()
+	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.GoVersion = runtime.Version()
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *suite + ".json"
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("wrote %s", *out)
+	log.Printf("wrote %s", path)
 }

@@ -16,6 +16,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/datasets"
@@ -27,7 +29,14 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("netshare: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run holds the whole CLI body and returns errors instead of calling
+// log.Fatal so the deferred profile writers always flush.
+func run() error {
 	var (
 		kind      = flag.String("kind", "netflow", "trace kind: netflow or pcap")
 		inPath    = flag.String("in", "", "input trace CSV (mutually exclusive with -dataset)")
@@ -52,20 +61,48 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "directory for per-chunk training checkpoints (empty disables)")
 		resume    = flag.Bool("resume", false, "resume training from -checkpoint-dir, skipping completed chunks")
 		maxRetry  = flag.Int("max-retries", 0, "per-chunk retry budget; past it a fine-tune chunk degrades to the seed weights")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	flag.Parse()
 
 	if *par < 0 {
-		log.Fatalf("-parallelism must be >= 0, got %d", *par)
+		return fmt.Errorf("-parallelism must be >= 0, got %d", *par)
 	}
 	if *resume && *ckptDir == "" {
-		log.Fatal("-resume requires -checkpoint-dir")
+		return fmt.Errorf("-resume requires -checkpoint-dir")
 	}
 	if *maxRetry < 0 {
-		log.Fatalf("-max-retries must be >= 0, got %d", *maxRetry)
+		return fmt.Errorf("-max-retries must be >= 0, got %d", *maxRetry)
 	}
 	if *par > 0 {
 		mat.SetParallelism(*par)
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Printf("-memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("-memprofile: %v", err)
+			}
+		}()
 	}
 
 	cfg := core.DefaultConfig()
@@ -100,22 +137,23 @@ func main() {
 		if *loadPath != "" {
 			var err error
 			if syn, err = loadFlowModel(*loadPath); err != nil {
-				log.Fatal(err)
+				return err
 			}
+			syn.SetParallelism(*par)
 			log.Printf("loaded model from %s", *loadPath)
 		} else {
 			real, err := loadFlow(*inPath, *dataset, *records, *seed)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if syn, err = core.TrainFlowSynthesizerOpts(real, public, cfg, opts); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			reportStats(syn.Stats())
 		}
 		if *savePath != "" {
 			if err := saveModel(*savePath, syn.Save); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			log.Printf("saved model to %s", *savePath)
 		}
@@ -123,12 +161,12 @@ func main() {
 		if *ipBase != "" {
 			base, bits, err := parseCIDR(*ipBase)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			core.TransformIPs(gen, base, bits)
 		}
 		if err := writeFlow(*outPath, gen, *format); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		log.Printf("wrote %d flow records to %s (%s)", len(gen.Records), *outPath, *format)
 
@@ -137,34 +175,36 @@ func main() {
 		if *loadPath != "" {
 			var err error
 			if syn, err = loadPacketModel(*loadPath); err != nil {
-				log.Fatal(err)
+				return err
 			}
+			syn.SetParallelism(*par)
 			log.Printf("loaded model from %s", *loadPath)
 		} else {
 			real, err := loadPacket(*inPath, *dataset, *records, *seed)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if syn, err = core.TrainPacketSynthesizerOpts(real, public, cfg, opts); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			reportStats(syn.Stats())
 		}
 		if *savePath != "" {
 			if err := saveModel(*savePath, syn.Save); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			log.Printf("saved model to %s", *savePath)
 		}
 		gen := syn.Generate(*genSize)
 		if err := writePacket(*outPath, gen, *format); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		log.Printf("wrote %d packets to %s (%s)", len(gen.Packets), *outPath, *format)
 
 	default:
-		log.Fatalf("unknown -kind %q (want netflow or pcap)", *kind)
+		return fmt.Errorf("unknown -kind %q (want netflow or pcap)", *kind)
 	}
+	return nil
 }
 
 // trainOptions wires the CLI's fault-tolerance flags into the training

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/dgan"
+	"repro/internal/ip2vec"
+	"repro/internal/mat"
+	"repro/internal/trace"
+)
+
+// Batched five-tuple decode for the generation pipeline. Per-sample decode
+// runs one linear nearest-neighbour search per port/protocol field; here all
+// fields of a generated batch are gathered into query matrices and resolved
+// with one ip2vec.NearestBatch (a single matmul) per kind, fronted by an
+// exact-hit cache keyed on the raw generator output row. Cached values always
+// equal what the search would recompute, so concurrent chunk decoders may
+// share the cache without affecting results.
+
+// decodeCacheCap bounds the exact-hit cache. Entries are never evicted; once
+// the cap is reached new rows are simply not inserted (generator outputs
+// repeat exactly only when sequences collide bitwise, so the cache stays
+// small in practice and the cap is a safety net).
+const decodeCacheCap = 1 << 16
+
+// Cache key kind prefixes.
+const (
+	portCacheKind  byte = 0
+	protoCacheKind byte = 1
+)
+
+// cacheKey serializes a raw (normalized) embedding row into a map key. The
+// float bits are used verbatim: the cache hits only on exact repeats.
+func cacheKey(kind byte, row []float64) string {
+	b := make([]byte, 1+8*len(row))
+	b[0] = kind
+	for i, x := range row {
+		binary.LittleEndian.PutUint64(b[1+8*i:], math.Float64bits(x))
+	}
+	return string(b)
+}
+
+func (pe *portEmbedding) cached(kind byte, row []float64) (uint32, bool) {
+	v, ok := pe.cache.Load(cacheKey(kind, row))
+	if !ok {
+		return 0, false
+	}
+	return v.(uint32), true
+}
+
+func (pe *portEmbedding) storeCached(kind byte, row []float64, value uint32) {
+	if pe.cacheLen.Load() >= decodeCacheCap {
+		return
+	}
+	if _, loaded := pe.cache.LoadOrStore(cacheKey(kind, row), value); !loaded {
+		pe.cacheLen.Add(1)
+	}
+}
+
+// fallbackPort is the explicit decode fallback when the dictionary has no
+// port vocabulary: the first (numerically lowest) known port, or 0 when the
+// vocabulary is empty.
+func (pe *portEmbedding) fallbackPort() uint16 {
+	if len(pe.ports) > 0 {
+		return uint16(pe.ports[0].Value)
+	}
+	return 0
+}
+
+// invertInto denormalizes row into dst (the generator emits [0,1]-normalized
+// embedding coordinates; the dictionary search runs in embedding space).
+func (pe *portEmbedding) invertInto(dst, row []float64) {
+	for d, x := range row {
+		dst[d] = pe.norms[d].Inverse(x)
+	}
+}
+
+// decodeKindBatch resolves every row to its nearest word value of the given
+// kind, consulting the exact-hit cache first and searching only the misses
+// through one batched matmul. fallback is used when the kind has no
+// vocabulary at all.
+func (pe *portEmbedding) decodeKindBatch(kind ip2vec.WordKind, ck byte, rows [][]float64, fallback uint32) []uint32 {
+	out := make([]uint32, len(rows))
+	miss := make([]int, 0, len(rows))
+	for i, row := range rows {
+		if v, ok := pe.cached(ck, row); ok {
+			out[i] = v
+			continue
+		}
+		miss = append(miss, i)
+	}
+	if len(miss) == 0 {
+		return out
+	}
+	q := mat.New(len(miss), pe.dim)
+	for qi, i := range miss {
+		pe.invertInto(q.Row(qi), rows[i])
+	}
+	words, ok := pe.model.NearestBatch(kind, q)
+	if !ok {
+		for _, i := range miss {
+			out[i] = fallback
+		}
+		return out
+	}
+	for qi, i := range miss {
+		out[i] = words[qi].Value
+		pe.storeCached(ck, rows[i], words[qi].Value)
+	}
+	return out
+}
+
+// decodeTuples inverts the shared metadata layout for a whole generated
+// batch at once: IPs are bit-decoded per sample, ports and protocols are
+// resolved through the batched dictionary search.
+func decodeTuples(embed *portEmbedding, ipEmbed *ipEmbedding, samples []dgan.Sample) []trace.FiveTuple {
+	d := embed.dim
+	n := len(samples)
+	out := make([]trace.FiveTuple, n)
+	portRows := make([][]float64, 2*n)
+	protoRows := make([][]float64, n)
+	for i := range samples {
+		meta := samples[i].Meta
+		var off int
+		out[i].SrcIP, out[i].DstIP, off = decodeIPs(meta, ipEmbed)
+		portRows[2*i] = meta[off : off+d]
+		portRows[2*i+1] = meta[off+d : off+2*d]
+		protoRows[i] = meta[off+2*d : off+3*d]
+	}
+	ports := embed.decodeKindBatch(ip2vec.KindPort, portCacheKind, portRows, uint32(embed.fallbackPort()))
+	protos := embed.decodeKindBatch(ip2vec.KindProto, protoCacheKind, protoRows, uint32(trace.TCP))
+	for i := range out {
+		out[i].SrcPort = uint16(ports[2*i])
+		out[i].DstPort = uint16(ports[2*i+1])
+		out[i].Proto = trace.Protocol(protos[i])
+	}
+	return out
+}

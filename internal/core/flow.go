@@ -188,7 +188,13 @@ func (c *flowCodec) encode(t *trace.TaggedFlowSeries) dgan.Sample {
 // decode converts a generated sample back into flow records (post-
 // processing: inverse transforms, integer rounding, label argmax).
 func (c *flowCodec) decode(s dgan.Sample) []trace.FlowRecord {
-	ft := c.decodeMeta(s.Meta)
+	return c.decodeRecords(s, c.decodeMeta(s.Meta))
+}
+
+// decodeRecords is decode with the five-tuple already resolved — the
+// generation pipeline decodes tuples for a whole batch at once
+// (decodeTuples) and feeds them back in here.
+func (c *flowCodec) decodeRecords(s dgan.Sample, ft trace.FiveTuple) []trace.FlowRecord {
 	out := make([]trace.FlowRecord, 0, len(s.Features))
 	for _, f := range s.Features {
 		rec := trace.FlowRecord{Tuple: ft}
@@ -327,37 +333,61 @@ func ganConfig(cfg Config, meta, feat []nn.FieldSpec) dgan.Config {
 
 // Generate produces approximately n synthetic flow records, drawing flow
 // samples from each chunk model proportionally to the chunk's training
-// share and reassembling by start time (§4.2 post-processing).
+// share and reassembling by start time (§4.2 post-processing). Chunk models
+// generate concurrently (each on its own canonical RNG stream) and their
+// records are merged in chunk order before sorting, so the emitted trace is
+// byte-identical at every parallelism setting.
 func (s *FlowSynthesizer) Generate(n int) *trace.FlowTrace {
 	out := &trace.FlowTrace{}
 	perChunk := splitCounts(n, s.stats.ChunkSamples)
-	for i, m := range s.models {
-		if perChunk[i] == 0 {
-			continue
-		}
-		// Samples are flows; records per flow vary, so generate flows until
-		// the record budget for this chunk is met.
-		budget := perChunk[i]
-		for budget > 0 {
-			batch := m.Generate(maxInt(budget/2, 1))
-			for _, sample := range batch {
-				recs := s.codec.decode(sample)
-				for _, r := range recs {
-					if budget == 0 {
-						break
-					}
-					out.Records = append(out.Records, r)
-					budget--
-				}
-			}
-		}
+	chunkRecs := make([][]trace.FlowRecord, len(s.models))
+	forEachChunk(s.cfg, len(s.models), func(i int) {
+		chunkRecs[i] = s.generateChunk(s.models[i], perChunk[i])
+	})
+	for _, recs := range chunkRecs {
+		out.Records = append(out.Records, recs...)
 	}
 	out.SortByStart()
 	return out
 }
 
+// generateChunk fills one chunk's record budget. Samples are flows and
+// records per flow vary, so it generates flows until the budget is met —
+// always requesting whole generation lots (partial lots waste a forward
+// pass) and trimming the overshoot.
+func (s *FlowSynthesizer) generateChunk(m *dgan.Model, budget int) []trace.FlowRecord {
+	if budget <= 0 {
+		return nil
+	}
+	out := make([]trace.FlowRecord, 0, budget)
+	for budget > 0 {
+		batch := m.Generate(fullLots(budget, m.Config.Batch))
+		tuples := decodeTuples(s.codec.embed, s.codec.ipEmbed, batch)
+		for bi, sample := range batch {
+			for _, r := range s.codec.decodeRecords(sample, tuples[bi]) {
+				if budget == 0 {
+					break
+				}
+				out = append(out, r)
+				budget--
+			}
+		}
+	}
+	return out
+}
+
 // Stats returns the training cost report.
 func (s *FlowSynthesizer) Stats() Stats { return s.stats }
+
+// SetParallelism retargets the generation (and any further training) worker
+// count of every chunk model: 0 = NumCPU, 1 = serial. Output is bitwise
+// independent of the setting.
+func (s *FlowSynthesizer) SetParallelism(n int) {
+	s.cfg.Parallelism = n
+	for _, m := range s.models {
+		m.SetParallelism(n)
+	}
+}
 
 // TransformIPs remaps every generated address into the given base/mask
 // range — the optional privacy extension of §5 (IP transformation to a

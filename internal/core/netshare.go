@@ -19,6 +19,8 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dgan"
@@ -239,6 +241,11 @@ type portEmbedding struct {
 	dim   int
 	norms []encoding.MinMax
 	ports []ip2vec.Word // sorted port vocabulary for numeric fallback
+
+	// Exact-hit decode cache (decode.go): raw generator row → word value.
+	// Values are deterministic, so concurrent access cannot change results.
+	cache    sync.Map
+	cacheLen atomic.Int64
 }
 
 // newPortEmbedding trains IP2Vec on a public packet trace (the paper uses a
@@ -308,16 +315,19 @@ func diffU32(a, b uint32) uint32 {
 }
 
 // decodePort maps a normalized embedding vector back to a concrete port by
-// nearest-neighbour search over the public dictionary.
+// nearest-neighbour search over the public dictionary. An empty port
+// vocabulary falls back to fallbackPort rather than fabricating a word.
 func (pe *portEmbedding) decodePort(v []float64) uint16 {
-	raw := make([]float64, pe.dim)
-	for d, x := range v {
-		raw[d] = pe.norms[d].Inverse(x)
+	if cached, ok := pe.cached(portCacheKind, v); ok {
+		return uint16(cached)
 	}
+	raw := make([]float64, pe.dim)
+	pe.invertInto(raw, v)
 	w, ok := pe.model.Nearest(ip2vec.KindPort, raw)
 	if !ok {
-		return 0
+		return pe.fallbackPort()
 	}
+	pe.storeCached(portCacheKind, v, w.Value)
 	return uint16(w.Value)
 }
 
@@ -335,16 +345,19 @@ func (pe *portEmbedding) encodeProto(p trace.Protocol) []float64 {
 	return out
 }
 
-// decodeProto maps a normalized embedding back to a protocol.
+// decodeProto maps a normalized embedding back to a protocol; an empty
+// protocol vocabulary falls back to TCP.
 func (pe *portEmbedding) decodeProto(v []float64) trace.Protocol {
-	raw := make([]float64, pe.dim)
-	for d, x := range v {
-		raw[d] = pe.norms[d].Inverse(x)
+	if cached, ok := pe.cached(protoCacheKind, v); ok {
+		return trace.Protocol(cached)
 	}
+	raw := make([]float64, pe.dim)
+	pe.invertInto(raw, v)
 	w, ok := pe.model.Nearest(ip2vec.KindProto, raw)
 	if !ok {
 		return trace.TCP
 	}
+	pe.storeCached(protoCacheKind, v, w.Value)
 	return trace.Protocol(w.Value)
 }
 
@@ -540,6 +553,39 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// fullLots sizes a generation request for a remaining record budget: aim for
+// budget/2 flows (flows carry at least one record each, usually more), but
+// never issue less than one lot, and round up to whole lots so the GAN's
+// batched forward passes always run full (a partial lot costs the same
+// matmuls for fewer samples). The overshoot is trimmed by the caller.
+func fullLots(budget, lot int) int {
+	want := maxInt(budget/2, 1)
+	return (want + lot - 1) / lot * lot
+}
+
+// forEachChunk runs fn(i) for every chunk index, concurrently when the
+// configuration enables parallelism and there is more than one chunk. Each
+// fn must touch only chunk i's state (plus data that is safe to share, like
+// the decode cache, whose values are deterministic), which is what keeps
+// parallel and serial generation byte-identical.
+func forEachChunk(cfg Config, n int, fn func(int)) {
+	if !cfg.Parallel || cfg.Parallelism == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
 }
 
 // splitCounts apportions n generated samples across chunks proportionally

@@ -89,7 +89,12 @@ func (c *packetCodec) encode(t *trace.TaggedPacketFlow) dgan.Sample {
 // valid, and the checksum-bearing header can be produced via
 // trace.IPv4Header.
 func (c *packetCodec) decode(s dgan.Sample) *trace.PacketFlow {
-	ft := c.decodeMeta(s.Meta)
+	return c.decodeFlow(s, c.decodeMeta(s.Meta))
+}
+
+// decodeFlow is decode with the five-tuple already resolved by the batched
+// decodeTuples pass.
+func (c *packetCodec) decodeFlow(s dgan.Sample, ft trace.FiveTuple) *trace.PacketFlow {
 	f := &trace.PacketFlow{Tuple: ft}
 	for _, feat := range s.Features {
 		size := int(math.Round(c.sizeNorm.Inverse(feat[1])))
@@ -195,35 +200,59 @@ func publicPacketSamples(codec *packetCodec, public *trace.PacketTrace, cfg Conf
 }
 
 // Generate produces approximately n synthetic packets assembled into a
-// time-sorted trace.
+// time-sorted trace. Chunk models generate concurrently (each on its own
+// canonical RNG stream) and their flows are merged in chunk order before
+// assembly, so the trace is byte-identical at every parallelism setting.
 func (s *PacketSynthesizer) Generate(n int) *trace.PacketTrace {
-	var flows []*trace.PacketFlow
 	perChunk := splitCounts(n, s.stats.ChunkSamples)
-	for i, m := range s.models {
-		if perChunk[i] == 0 {
-			continue
-		}
-		budget := perChunk[i]
-		for budget > 0 {
-			batch := m.Generate(maxInt(budget/2, 1))
-			for _, sample := range batch {
-				f := s.codec.decode(sample)
-				if len(f.Packets) > budget {
-					f.Packets = f.Packets[:budget]
-				}
-				budget -= len(f.Packets)
-				flows = append(flows, f)
-				if budget == 0 {
-					break
-				}
-			}
-		}
+	chunkFlows := make([][]*trace.PacketFlow, len(s.models))
+	forEachChunk(s.cfg, len(s.models), func(i int) {
+		chunkFlows[i] = s.generateChunk(s.models[i], perChunk[i])
+	})
+	var flows []*trace.PacketFlow
+	for _, fs := range chunkFlows {
+		flows = append(flows, fs...)
 	}
 	return trace.AssemblePackets(flows)
 }
 
+// generateChunk fills one chunk's packet budget, requesting whole generation
+// lots and trimming the overshoot.
+func (s *PacketSynthesizer) generateChunk(m *dgan.Model, budget int) []*trace.PacketFlow {
+	if budget <= 0 {
+		return nil
+	}
+	var flows []*trace.PacketFlow
+	for budget > 0 {
+		batch := m.Generate(fullLots(budget, m.Config.Batch))
+		tuples := decodeTuples(s.codec.embed, s.codec.ipEmbed, batch)
+		for bi, sample := range batch {
+			f := s.codec.decodeFlow(sample, tuples[bi])
+			if len(f.Packets) > budget {
+				f.Packets = f.Packets[:budget]
+			}
+			budget -= len(f.Packets)
+			flows = append(flows, f)
+			if budget == 0 {
+				break
+			}
+		}
+	}
+	return flows
+}
+
 // Stats returns the training cost report.
 func (s *PacketSynthesizer) Stats() Stats { return s.stats }
+
+// SetParallelism retargets the generation (and any further training) worker
+// count of every chunk model: 0 = NumCPU, 1 = serial. Output is bitwise
+// independent of the setting.
+func (s *PacketSynthesizer) SetParallelism(n int) {
+	s.cfg.Parallelism = n
+	for _, m := range s.models {
+		m.SetParallelism(n)
+	}
+}
 
 // Headers materializes valid IPv4 headers (with checksums) for every
 // packet of a generated trace — the derived-field step of §4.2.

@@ -1,0 +1,38 @@
+package dgan
+
+import "repro/internal/nn"
+
+// GenerateBaseline is the pre-pipeline serial sampler, retained as the
+// benchmark baseline for Generate (see internal/benchpar and
+// BENCH_generate.json). It runs the training forward pass — fresh
+// activations every batch, a full MaxLen unroll regardless of how early
+// the sequences terminate — and samples with the model's canonical RNG.
+// Its draw order differs from Generate's lot streams, so outputs are not
+// comparable sample-for-sample; use it only for timing and allocation
+// comparisons.
+func (m *Model) GenerateBaseline(n int) []Sample {
+	out := make([]Sample, 0, n)
+	for len(out) < n {
+		batch := m.Config.Batch
+		if rem := n - len(out); rem < batch {
+			batch = rem
+		}
+		meta, feats := m.forwardGenerator(batch)
+		for i := 0; i < batch; i++ {
+			s := Sample{
+				Meta: nn.SampleRow(m.Config.MetaSchema, meta.Row(i), false, m.rng.Float64),
+			}
+			for t := 0; t < m.Config.MaxLen; t++ {
+				row := feats[t].Row(i)
+				presence := row[len(row)-1]
+				if t > 0 && presence < 0.5 {
+					break
+				}
+				full := nn.SampleRow(m.featSchema(), row, false, m.rng.Float64)
+				s.Features = append(s.Features, full[:m.featW-1])
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync"
 
 	"repro/internal/mat"
 	"repro/internal/nn"
@@ -81,6 +82,16 @@ func (c Config) workers() int {
 	return c.Parallelism
 }
 
+// SetParallelism adjusts the worker count for training and generation after
+// construction (0 = NumCPU, 1 = serial). Results are bitwise independent of
+// the setting, so a loaded model may be retargeted to the host freely.
+func (m *Model) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.Config.Parallelism = n
+}
+
 // Sample is one training or generated sample: activated metadata plus a
 // measurement sequence of up to MaxLen steps.
 type Sample struct {
@@ -115,6 +126,9 @@ type Model struct {
 	// Per-critic scratch for parallel per-sample DP-SGD accumulation,
 	// built lazily on the first DP step and reused every step after.
 	dpScratch map[*nn.MLP]*dpScratch
+
+	// Pool of per-worker generation scratch (generate.go).
+	genPool sync.Pool
 
 	// Generator forward caches for the backward pass.
 	lastZMeta *mat.Matrix

@@ -1,0 +1,175 @@
+package dgan
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// Generation is organized in fixed-size lots of Config.Batch samples. Each
+// lot draws all of its randomness from a private stream derived from a
+// single base value taken off the model RNG, and writes a disjoint span of
+// the output slice, so the emitted samples are bitwise identical for every
+// Config.Parallelism setting — lots simply run on more or fewer goroutines.
+// Generate advances the model's canonical RNG by exactly one draw per call
+// regardless of n or worker count, keeping generation streams aligned across
+// train/save/load (DESIGN.md §8).
+
+// genScratch is one worker's reusable forward state: noise, GRU input and
+// hidden buffers, the projected step output, and the per-row liveness mask.
+// All buffers are sized for a full lot and viewed down for a partial final
+// lot, so a worker allocates on its first lot only.
+type genScratch struct {
+	mlp   nn.MLPScratch
+	gru   nn.GRUScratch
+	z     *mat.Matrix // lot × NoiseDim step/meta noise
+	x     *mat.Matrix // lot × (NoiseDim + metaW) GRU input
+	h, h2 *mat.Matrix // lot × Hidden ping-pong hidden states
+	proj  *mat.Matrix // lot × featW projected step output
+	alive []bool
+}
+
+// growBuf returns b viewed at rows×cols, reallocating when too small.
+func growBuf(b *mat.Matrix, rows, cols int) *mat.Matrix {
+	if b == nil || b.Cols != cols || b.Rows < rows {
+		b = mat.New(rows, cols)
+	}
+	return b
+}
+
+func (sc *genScratch) ensure(batch, noiseDim, metaW, hidden, featW int) {
+	sc.z = growBuf(sc.z, batch, noiseDim)
+	sc.x = growBuf(sc.x, batch, noiseDim+metaW)
+	sc.h = growBuf(sc.h, batch, hidden)
+	sc.h2 = growBuf(sc.h2, batch, hidden)
+	sc.proj = growBuf(sc.proj, batch, featW)
+	if cap(sc.alive) < batch {
+		sc.alive = make([]bool, batch)
+	}
+}
+
+// Generate produces n synthetic samples. Categorical fields are sampled
+// from the generator's softmax distributions; sequences are cut at the
+// first step whose presence flag falls below 0.5 (minimum length 1). Work
+// is fanned out across Config.Parallelism workers in lots of Config.Batch
+// on derived RNG streams; the result is byte-identical at every setting.
+func (m *Model) Generate(n int) []Sample {
+	if n <= 0 {
+		return nil
+	}
+	// The lot-stream base is the single draw Generate takes from the model's
+	// canonical RNG: repeated calls stay aligned across parallelism levels
+	// and across a save/load round trip.
+	base := m.rng.Int63()
+	lot := m.Config.Batch
+	numLots := (n + lot - 1) / lot
+	out := make([]Sample, n)
+	schema := m.featSchema()
+
+	runSpan := func(loLot, hiLot int) {
+		sc := m.genScratch()
+		defer m.putGenScratch(sc)
+		for j := loLot; j < hiLot; j++ {
+			lo := j * lot
+			hi := lo + lot
+			if hi > n {
+				hi = n
+			}
+			r := rng.New(rng.Derive(base, int64(j)))
+			m.generateLot(r, out[lo:hi], schema, sc)
+		}
+	}
+
+	workers := m.Config.workers()
+	if workers > numLots {
+		workers = numLots
+	}
+	if workers <= 1 {
+		runSpan(0, numLots)
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*numLots/workers, (w+1)*numLots/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			runSpan(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// generateLot fills out (one lot of samples) from r, the lot's private
+// stream. The draw order is fixed — meta noise, meta sampling uniforms, then
+// per executed step: step noise followed by the live rows' sampling uniforms
+// — so a lot's content depends only on (weights, lot stream), never on which
+// worker ran it. The GRU unroll stops as soon as every row in the lot has
+// terminated, not at MaxLen; termination is decided by the forward outputs,
+// which are deterministic per lot, so early exit preserves determinism.
+func (m *Model) generateLot(r *rand.Rand, out []Sample, schema []nn.FieldSpec, sc *genScratch) {
+	cfg := m.Config
+	batch := len(out)
+	sc.ensure(batch, cfg.NoiseDim, m.metaW, cfg.Hidden, m.featW)
+
+	z := sc.z.RowsView(0, batch)
+	z.RandNorm(r, 1)
+	meta := m.metaGen.InferInto(z, &sc.mlp)
+	nn.ActivateRows(cfg.MetaSchema, meta)
+	for i := range out {
+		out[i].Meta = nn.SampleRow(cfg.MetaSchema, meta.Row(i), false, r.Float64)
+		out[i].Features = out[i].Features[:0]
+		sc.alive[i] = true
+	}
+
+	x := sc.x.RowsView(0, batch)
+	h := sc.h.RowsView(0, batch)
+	hNext := sc.h2.RowsView(0, batch)
+	proj := sc.proj.RowsView(0, batch)
+	h.Zero()
+	live := batch
+	for t := 0; t < cfg.MaxLen && live > 0; t++ {
+		z.RandNorm(r, 1)
+		for i := 0; i < batch; i++ {
+			row := x.Row(i)
+			copy(row[:cfg.NoiseDim], z.Row(i))
+			copy(row[cfg.NoiseDim:], meta.Row(i))
+		}
+		m.seqGRU.StepInfer(x, h, hNext, &sc.gru)
+		h, hNext = hNext, h
+		m.seqProj.InferStepInto(h, proj)
+		nn.ActivateRows(schema, proj)
+		for i := 0; i < batch; i++ {
+			if !sc.alive[i] {
+				continue
+			}
+			row := proj.Row(i)
+			if t > 0 && row[m.featW-1] < 0.5 {
+				sc.alive[i] = false
+				live--
+				continue
+			}
+			full := nn.SampleRow(schema, row, false, r.Float64)
+			out[i].Features = append(out[i].Features, full[:m.featW-1])
+		}
+	}
+}
+
+// genScratch pops a scratch holder off the model's pool (or builds a fresh
+// one); putGenScratch returns it. Scratch holds no weights, only buffers, so
+// any holder works with any lot.
+func (m *Model) genScratch() *genScratch {
+	if sc, ok := m.genPool.Get().(*genScratch); ok {
+		return sc
+	}
+	return &genScratch{}
+}
+
+func (m *Model) putGenScratch(sc *genScratch) { m.genPool.Put(sc) }

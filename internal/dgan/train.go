@@ -205,36 +205,6 @@ func (m *Model) generatorStep() float64 {
 	return loss
 }
 
-// Generate produces n synthetic samples. Categorical fields are sampled
-// from the generator's softmax distributions; sequences are cut at the
-// first step whose presence flag falls below 0.5 (minimum length 1).
-func (m *Model) Generate(n int) []Sample {
-	out := make([]Sample, 0, n)
-	for len(out) < n {
-		batch := m.Config.Batch
-		if rem := n - len(out); rem < batch {
-			batch = rem
-		}
-		meta, feats := m.forwardGenerator(batch)
-		for i := 0; i < batch; i++ {
-			s := Sample{
-				Meta: nn.SampleRow(m.Config.MetaSchema, meta.Row(i), false, m.rng.Float64),
-			}
-			for t := 0; t < m.Config.MaxLen; t++ {
-				row := feats[t].Row(i)
-				presence := row[len(row)-1]
-				if t > 0 && presence < 0.5 {
-					break
-				}
-				full := nn.SampleRow(m.featSchema(), row, false, m.rng.Float64)
-				s.Features = append(s.Features, full[:m.featW-1])
-			}
-			out = append(out, s)
-		}
-	}
-	return out
-}
-
 func (m *Model) featSchema() []nn.FieldSpec {
 	return append(append([]nn.FieldSpec(nil), m.Config.FeatureSchema...), presenceSpec)
 }

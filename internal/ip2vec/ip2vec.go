@@ -16,7 +16,9 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
+	"repro/internal/mat"
 	"repro/internal/trace"
 )
 
@@ -63,6 +65,13 @@ type Model struct {
 	index map[Word]int
 	vecs  [][]float64 // input (center) vectors, the published embedding
 	ctx   [][]float64 // output (context) vectors, training state
+
+	// Per-kind decode searchers, built lazily from the frozen embedding on
+	// the first Nearest/NearestBatch call (the vectors never change after
+	// Train/Decode return). Guarded by searchMu so concurrent decoders can
+	// share one model.
+	searchMu  sync.Mutex
+	searchers map[WordKind]*searcher
 }
 
 // Train fits a skip-gram model on sentences. Every word in a sentence is a
@@ -205,9 +214,160 @@ func (m *Model) Words(kind WordKind) []Word {
 	return out
 }
 
+// searcher is the decode index for one word kind: the kind's embeddings laid
+// out as a contiguous V×Dim matrix plus precomputed squared norms, so that
+// nearest-neighbour over a query batch Q is one matmul Q·Wᵀ followed by an
+// argmin of ‖w_i‖² − 2·(q·w_i) per row (the ‖q‖² term is constant per query
+// and cannot change the argmin).
+type searcher struct {
+	words []Word      // kind's vocabulary, in model insertion order
+	emb   *mat.Matrix // V×Dim, row i is the embedding of words[i]
+	sq    []float64   // ‖emb[i]‖² for each row
+}
+
+// searcherFor returns the lazily built decode index for kind, or nil when the
+// kind has no vocabulary entries.
+func (m *Model) searcherFor(kind WordKind) *searcher {
+	m.searchMu.Lock()
+	defer m.searchMu.Unlock()
+	if s, ok := m.searchers[kind]; ok {
+		return s
+	}
+	var words []Word
+	var rows []int
+	for i, w := range m.words {
+		if w.Kind == kind {
+			words = append(words, w)
+			rows = append(rows, i)
+		}
+	}
+	var s *searcher
+	if len(words) > 0 {
+		emb := mat.New(len(words), m.Dim)
+		sq := make([]float64, len(words))
+		for i, src := range rows {
+			copy(emb.Row(i), m.vecs[src])
+			var n float64
+			for _, x := range m.vecs[src] {
+				n += x * x
+			}
+			sq[i] = n
+		}
+		s = &searcher{words: words, emb: emb, sq: sq}
+	}
+	if m.searchers == nil {
+		m.searchers = make(map[WordKind]*searcher)
+	}
+	m.searchers[kind] = s
+	return s
+}
+
+// dotKernel is the one dot product shared by every decode path, so single
+// and batched lookups score each (query, word) pair bitwise-identically and
+// always pick the same vocabulary entry. The four independent accumulators
+// break the floating-point add dependency chain (a strictly sequential sum
+// is latency-bound at one add every ~4 cycles); because Go may not
+// reassociate FP sums, the fixed grouping below is itself deterministic.
+func dotKernel(a, b []float64) float64 {
+	switch len(a) {
+	case 8:
+		x, y := (*[8]float64)(a), (*[8]float64)(b[:8])
+		return (x[0]*y[0] + x[4]*y[4]) + (x[1]*y[1] + x[5]*y[5]) +
+			(x[2]*y[2] + x[6]*y[6]) + (x[3]*y[3] + x[7]*y[7])
+	case 16:
+		x, y := (*[16]float64)(a), (*[16]float64)(b[:16])
+		d0 := x[0]*y[0] + x[4]*y[4] + x[8]*y[8] + x[12]*y[12]
+		d1 := x[1]*y[1] + x[5]*y[5] + x[9]*y[9] + x[13]*y[13]
+		d2 := x[2]*y[2] + x[6]*y[6] + x[10]*y[10] + x[14]*y[14]
+		d3 := x[3]*y[3] + x[7]*y[7] + x[11]*y[11] + x[15]*y[15]
+		return (d0 + d1) + (d2 + d3)
+	}
+	b = b[:len(a)]
+	var d0, d1, d2, d3 float64
+	k := 0
+	for ; k+4 <= len(a); k += 4 {
+		d0 += a[k] * b[k]
+		d1 += a[k+1] * b[k+1]
+		d2 += a[k+2] * b[k+2]
+		d3 += a[k+3] * b[k+3]
+	}
+	dot := (d0 + d1) + (d2 + d3)
+	for ; k < len(a); k++ {
+		dot += a[k] * b[k]
+	}
+	return dot
+}
+
+// argminRow returns the index minimizing sq[i] − 2·scores[i], ties broken
+// toward the lowest index. Shared by Nearest and NearestBatch so the single-
+// and batched decode paths pick identical words.
+func (s *searcher) argminRow(scores []float64) int {
+	best := math.Inf(1)
+	pick := 0
+	for i, dot := range scores {
+		if d := s.sq[i] - 2*dot; d < best {
+			best, pick = d, i
+		}
+	}
+	return pick
+}
+
 // Nearest returns the vocabulary word of the given kind whose embedding is
 // closest (Euclidean) to v — the paper's post-processing decode step.
 func (m *Model) Nearest(kind WordKind, v []float64) (Word, bool) {
+	s := m.searcherFor(kind)
+	if s == nil {
+		return Word{}, false
+	}
+	scores := make([]float64, len(s.words))
+	for i := range s.words {
+		scores[i] = dotKernel(s.emb.Row(i), v)
+	}
+	return s.words[s.argminRow(scores)], true
+}
+
+// NearestBatch decodes every row of queries (n×Dim) to its nearest vocabulary
+// word of the given kind in one pass over the embedding matrix: the Q·Wᵀ
+// matmul is fused with the per-row argmin of ‖w‖² − 2·dot, iterating
+// vocabulary-outer/query-inner so the V×Dim matrix is streamed exactly once
+// (the query block stays cache-resident) and no n×V score matrix is ever
+// materialized. Each (query, word) pair runs the same sequential dot and
+// comparison as Nearest, so the two paths pick identical words. It returns
+// found=false when the kind has no vocabulary entries (out is nil then).
+func (m *Model) NearestBatch(kind WordKind, queries *mat.Matrix) ([]Word, bool) {
+	s := m.searcherFor(kind)
+	if s == nil {
+		return nil, false
+	}
+	if queries.Cols != m.Dim {
+		panic(fmt.Sprintf("ip2vec: NearestBatch query dim %d, model dim %d", queries.Cols, m.Dim))
+	}
+	n := queries.Rows
+	best := make([]float64, n)
+	pick := make([]int, n)
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	for j := range s.words {
+		wrow := s.emb.Row(j)
+		sq := s.sq[j]
+		for i := 0; i < n; i++ {
+			if d := sq - 2*dotKernel(wrow, queries.Row(i)); d < best[i] {
+				best[i], pick[i] = d, j
+			}
+		}
+	}
+	out := make([]Word, n)
+	for i, j := range pick {
+		out[i] = s.words[j]
+	}
+	return out, true
+}
+
+// NearestScan is the direct linear-scan reference for Nearest: it computes
+// the full squared distance Σ(x−v)² per word. Kept for testing the batched
+// searcher against and for callers that decode a handful of vectors once.
+func (m *Model) NearestScan(kind WordKind, v []float64) (Word, bool) {
 	best := math.Inf(1)
 	var bestW Word
 	found := false

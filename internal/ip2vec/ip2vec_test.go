@@ -1,9 +1,11 @@
 package ip2vec
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/datasets"
+	"repro/internal/mat"
 	"repro/internal/trace"
 )
 
@@ -195,6 +197,109 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 func TestDecodeRejectsGarbage(t *testing.T) {
 	if _, err := Decode([]byte("nope")); err == nil {
 		t.Fatal("garbage must fail")
+	}
+}
+
+func TestNearestBatchMatchesScan(t *testing.T) {
+	public := datasets.CAIDAChicago(2000, 7)
+	cfg := DefaultConfig()
+	cfg.Epochs = 2
+	m, err := Train(PacketSentences(public), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(11))
+	const n = 64
+	queries := mat.New(n, m.Dim)
+	for i := 0; i < n; i++ {
+		row := queries.Row(i)
+		for j := range row {
+			row[j] = r.NormFloat64() * 0.2
+		}
+	}
+	for _, kind := range []WordKind{KindIP, KindPort, KindProto} {
+		batch, ok := m.NearestBatch(kind, queries)
+		if !ok || len(batch) != n {
+			t.Fatalf("kind %d: NearestBatch ok=%v len=%d", kind, ok, len(batch))
+		}
+		for i := 0; i < n; i++ {
+			scan, ok := m.NearestScan(kind, queries.Row(i))
+			if !ok {
+				t.Fatalf("kind %d: NearestScan found nothing", kind)
+			}
+			single, ok := m.Nearest(kind, queries.Row(i))
+			if !ok {
+				t.Fatalf("kind %d: Nearest found nothing", kind)
+			}
+			if batch[i] != single {
+				t.Fatalf("kind %d row %d: batch %v != single %v", kind, i, batch[i], single)
+			}
+			// The scan minimizes the exact Σ(x−v)²; the searcher minimizes
+			// ‖w‖²−2·dot. Both must pick a word at the same distance (they may
+			// differ only on exact floating-point ties).
+			if batch[i] != scan {
+				db := sqDist(m, batch[i], queries.Row(i))
+				ds := sqDist(m, scan, queries.Row(i))
+				if db != ds {
+					t.Fatalf("kind %d row %d: batch %v (d=%v) vs scan %v (d=%v)",
+						kind, i, batch[i], db, scan, ds)
+				}
+			}
+		}
+	}
+}
+
+func sqDist(m *Model, w Word, v []float64) float64 {
+	e, _ := m.Vector(w)
+	var d float64
+	for i, x := range e {
+		diff := x - v[i]
+		d += diff * diff
+	}
+	return d
+}
+
+func TestNearestEmptyKind(t *testing.T) {
+	// A corpus with no protocol words: decode of KindProto must report
+	// found=false rather than fabricating a word.
+	sentences := [][]Word{{IPWord(1), PortWord(80)}, {IPWord(2), PortWord(443)}}
+	m, err := Train(sentences, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Nearest(KindProto, make([]float64, m.Dim)); ok {
+		t.Fatal("Nearest on empty kind must report found=false")
+	}
+	if _, ok := m.NearestScan(KindProto, make([]float64, m.Dim)); ok {
+		t.Fatal("NearestScan on empty kind must report found=false")
+	}
+	q := mat.New(3, m.Dim)
+	if out, ok := m.NearestBatch(KindProto, q); ok || out != nil {
+		t.Fatal("NearestBatch on empty kind must report found=false")
+	}
+	// Non-empty kinds still decode.
+	if _, ok := m.NearestBatch(KindPort, q); !ok {
+		t.Fatal("NearestBatch on populated kind must succeed")
+	}
+}
+
+func TestNearestConcurrent(t *testing.T) {
+	m, err := Train(corpus(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.Vector(PortWord(443))
+	done := make(chan Word, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			w, _ := m.Nearest(KindPort, v)
+			done <- w
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if w := <-done; w != PortWord(443) {
+			t.Fatalf("concurrent Nearest = %v, want port 443", w)
+		}
 	}
 }
 

@@ -53,6 +53,16 @@ func (m *Matrix) Clone() *Matrix {
 	return NewFrom(m.Rows, m.Cols, m.Data)
 }
 
+// RowsView returns a matrix aliasing rows [lo, hi) of m: no data is copied,
+// so writes through the view mutate m. The generation pipeline uses views to
+// run lot-sized batches through scratch buffers allocated once at capacity.
+func (m *Matrix) RowsView(lo, hi int) *Matrix {
+	if lo < 0 || hi < lo || hi > m.Rows {
+		panic(fmt.Sprintf("mat: RowsView [%d, %d) of %d rows", lo, hi, m.Rows))
+	}
+	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
 // CopyFrom copies src's contents into m. Shapes must match.
 func (m *Matrix) CopyFrom(src *Matrix) {
 	if m.Rows != src.Rows || m.Cols != src.Cols {

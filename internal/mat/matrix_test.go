@@ -258,3 +258,21 @@ func TestZeroFill(t *testing.T) {
 		t.Fatal("Zero failed")
 	}
 }
+
+func TestRowsView(t *testing.T) {
+	m := NewFrom(3, 2, []float64{1, 2, 3, 4, 5, 6})
+	v := m.RowsView(1, 3)
+	if v.Rows != 2 || v.Cols != 2 || v.At(0, 0) != 3 || v.At(1, 1) != 6 {
+		t.Fatalf("RowsView wrong window: %+v", v)
+	}
+	v.Set(0, 0, 9)
+	if m.At(1, 0) != 9 {
+		t.Fatal("RowsView must alias, not copy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range RowsView must panic")
+		}
+	}()
+	m.RowsView(2, 4)
+}

@@ -59,27 +59,35 @@ func (h *OutputHead) Params() []*Param { return nil }
 
 // Forward applies the per-field activations to x.
 func (h *OutputHead) Forward(x *mat.Matrix) *mat.Matrix {
-	if x.Cols != Width(h.Schema) {
-		panic(fmt.Sprintf("nn: head input width %d, want %d", x.Cols, Width(h.Schema)))
-	}
 	y := x.Clone()
+	ActivateRows(h.Schema, y)
+	h.lastY = y
+	return y
+}
+
+// ActivateRows applies a schema's per-field activations to x in place:
+// sigmoid on continuous columns, softmax within each categorical group. It
+// is the allocation-free core of OutputHead.Forward, used directly by the
+// generation pipeline on reusable scratch rows.
+func ActivateRows(schema []FieldSpec, x *mat.Matrix) {
+	if x.Cols != Width(schema) {
+		panic(fmt.Sprintf("nn: head input width %d, want %d", x.Cols, Width(schema)))
+	}
 	col := 0
-	for _, f := range h.Schema {
+	for _, f := range schema {
 		switch f.Kind {
 		case FieldContinuous:
-			for i := 0; i < y.Rows; i++ {
-				row := y.Row(i)
+			for i := 0; i < x.Rows; i++ {
+				row := x.Row(i)
 				for j := col; j < col+f.Size; j++ {
 					row[j] = sigmoid(row[j])
 				}
 			}
 		case FieldCategorical:
-			SoftmaxRows(y, col, col+f.Size)
+			SoftmaxRows(x, col, col+f.Size)
 		}
 		col += f.Size
 	}
-	h.lastY = y
-	return y
 }
 
 // Backward returns ∂L/∂X given dout = ∂L/∂Y. For softmax groups it applies

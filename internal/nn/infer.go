@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Inference-only forward passes with caller-owned scratch. The training
+// Forward methods cache activations for Backward and allocate fresh
+// matrices on every call; the generation hot path needs neither, so these
+// variants write into reusable buffers and never touch the module's caches.
+// They read parameters only, so distinct scratch holders may drive the same
+// module from concurrent goroutines.
+
+// applyActKind applies the activation elementwise in place.
+func applyActKind(kind ActKind, x *mat.Matrix) {
+	switch kind {
+	case ReLU:
+		for i, v := range x.Data {
+			if v < 0 {
+				x.Data[i] = 0
+			}
+		}
+	case LeakyReLU:
+		for i, v := range x.Data {
+			if v < 0 {
+				x.Data[i] = leakySlope * v
+			}
+		}
+	case Tanh:
+		for i, v := range x.Data {
+			x.Data[i] = math.Tanh(v)
+		}
+	case Sigmoid:
+		for i, v := range x.Data {
+			x.Data[i] = sigmoid(v)
+		}
+	case Identity:
+		// no-op
+	}
+}
+
+// MLPScratch holds one per-layer output buffer for MLP.InferInto. The zero
+// value is ready to use; buffers are sized (and re-sized) on demand and
+// reused across calls.
+type MLPScratch struct {
+	bufs []*mat.Matrix
+}
+
+// buf returns scratch buffer i with at least rows×cols capacity, viewed at
+// exactly rows×cols.
+func (sc *MLPScratch) buf(i, rows, cols int) *mat.Matrix {
+	for len(sc.bufs) <= i {
+		sc.bufs = append(sc.bufs, nil)
+	}
+	b := sc.bufs[i]
+	if b == nil || b.Cols != cols || b.Rows < rows {
+		b = mat.New(rows, cols)
+		sc.bufs[i] = b
+	}
+	return b.RowsView(0, rows)
+}
+
+// InferInto runs the batch x through the MLP using sc's buffers, returning
+// a view of the last buffer. Unlike Forward it caches nothing, so Backward
+// must not be called after it; the returned matrix is valid until the next
+// InferInto with the same scratch.
+func (m *MLP) InferInto(x *mat.Matrix, sc *MLPScratch) *mat.Matrix {
+	h := x
+	for i, l := range m.layers {
+		y := sc.buf(i, h.Rows, l.Out)
+		mat.MulInto(y, h, l.Weight.W)
+		y.AddRowVec(l.Bias.W.Data)
+		applyActKind(m.acts[i].Kind, y)
+		h = y
+	}
+	return h
+}
+
+// GRUScratch holds the gate buffers for GRU.StepInfer. The zero value is
+// ready to use.
+type GRUScratch struct {
+	z, r, rh, hh, tmp *mat.Matrix
+}
+
+func (sc *GRUScratch) ensure(rows, hidden int) (z, r, rh, hh, tmp *mat.Matrix) {
+	grow := func(b *mat.Matrix) *mat.Matrix {
+		if b == nil || b.Cols != hidden || b.Rows < rows {
+			b = mat.New(rows, hidden)
+		}
+		return b
+	}
+	sc.z, sc.r, sc.rh, sc.hh, sc.tmp =
+		grow(sc.z), grow(sc.r), grow(sc.rh), grow(sc.hh), grow(sc.tmp)
+	return sc.z.RowsView(0, rows), sc.r.RowsView(0, rows), sc.rh.RowsView(0, rows),
+		sc.hh.RowsView(0, rows), sc.tmp.RowsView(0, rows)
+}
+
+// StepInfer advances the GRU one timestep without caching: it reads x and
+// h, writes the next hidden state into hNext, and keeps all intermediates
+// in sc. hNext must not alias x or h. The arithmetic matches Step exactly,
+// so inference and training forward passes are bitwise identical.
+func (g *GRU) StepInfer(x, h, hNext *mat.Matrix, sc *GRUScratch) {
+	if x.Rows != h.Rows || hNext.Rows != h.Rows || h.Cols != g.Hidden || hNext.Cols != g.Hidden {
+		panic(fmt.Sprintf("nn: StepInfer shapes x=%dx%d h=%dx%d hNext=%dx%d",
+			x.Rows, x.Cols, h.Rows, h.Cols, hNext.Rows, hNext.Cols))
+	}
+	z, r, rh, hh, tmp := sc.ensure(h.Rows, g.Hidden)
+	gate := func(dst *mat.Matrix, w, u, b *Param, kind ActKind, hIn *mat.Matrix) {
+		mat.MulInto(dst, x, w.W)
+		mat.MulInto(tmp, hIn, u.W)
+		dst.Add(tmp)
+		dst.AddRowVec(b.W.Data)
+		applyActKind(kind, dst)
+	}
+	gate(z, g.Wz, g.Uz, g.Bz, Sigmoid, h)
+	gate(r, g.Wr, g.Ur, g.Br, Sigmoid, h)
+	rh.CopyFrom(h)
+	rh.Hadamard(r)
+	gate(hh, g.Wh, g.Uh, g.Bh, Tanh, rh)
+	for i := range hNext.Data {
+		hNext.Data[i] = (1-z.Data[i])*h.Data[i] + z.Data[i]*hh.Data[i]
+	}
+}
+
+// InferStepInto applies the shared projection to one timestep, writing into
+// dst (x.Rows×Out) without caching the input for Backward.
+func (d *TimeDense) InferStepInto(x, dst *mat.Matrix) {
+	mat.MulInto(dst, x, d.Weight.W)
+	dst.AddRowVec(d.Bias.W.Data)
+}

@@ -46,6 +46,10 @@ type JobRequest struct {
 	FineTuneSteps int   `json:"fineTuneSteps,omitempty"`
 	MaxLen        int   `json:"maxLen,omitempty"`
 	Seed          int64 `json:"seed,omitempty"`
+	// Parallelism is the training/generation worker count (0 = all CPUs,
+	// 1 = serial). Results are bitwise identical at every setting; the knob
+	// only trades wall-clock time against CPU use.
+	Parallelism int `json:"parallelism,omitempty"`
 
 	// MaxRetries is the per-chunk retry budget; past it a fine-tune chunk
 	// degrades to the warm-started seed weights (reported per chunk in
@@ -105,6 +109,8 @@ type JobStatus struct {
 	WallMillis int64   `json:"wallMillis,omitempty"`
 	Epsilon    float64 `json:"epsilon,omitempty"`
 	Records    int     `json:"records,omitempty"`
+	// GenMillis is the wall-clock time of the generation phase.
+	GenMillis int64 `json:"genMillis,omitempty"`
 }
 
 // job is the server-side job record.
@@ -255,6 +261,9 @@ func validateRequest(req *JobRequest) error {
 	if req.MaxRetries < 0 || req.MaxRetries > 10 {
 		return fmt.Errorf("maxRetries must be in [0, 10]")
 	}
+	if req.Parallelism < 0 {
+		return fmt.Errorf("parallelism must be >= 0 (0 = all CPUs)")
+	}
 	return nil
 }
 
@@ -276,6 +285,7 @@ func (req *JobRequest) config() core.Config {
 	if req.Seed != 0 {
 		cfg.Seed = req.Seed
 	}
+	cfg.Parallelism = req.Parallelism
 	if req.DP != nil {
 		cfg.Chunks = 1
 		cfg.DP = &core.DPConfig{
@@ -316,8 +326,9 @@ func (s *Server) run(id string, req JobRequest) {
 			fail = err
 			break
 		}
+		genStart := time.Now()
 		gen := syn.Generate(req.Generate)
-		s.finishFlow(id, gen, syn.Stats())
+		s.finishFlow(id, gen, syn.Stats(), time.Since(genStart))
 	case "pcap":
 		real, err := loadPacketInput(req)
 		if err != nil {
@@ -329,8 +340,9 @@ func (s *Server) run(id string, req JobRequest) {
 			fail = err
 			break
 		}
+		genStart := time.Now()
 		gen := syn.Generate(req.Generate)
-		s.finishPacket(id, gen, syn.Stats())
+		s.finishPacket(id, gen, syn.Stats(), time.Since(genStart))
 	}
 	if fail != nil {
 		s.setState(id, StateFailed, fail)
@@ -438,7 +450,7 @@ func (s *Server) setState(id string, state JobState, err error) {
 	}
 }
 
-func (s *Server) finishFlow(id string, t *trace.FlowTrace, st core.Stats) {
+func (s *Server) finishFlow(id string, t *trace.FlowTrace, st core.Stats, genDur time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j := s.jobs[id]
@@ -448,10 +460,11 @@ func (s *Server) finishFlow(id string, t *trace.FlowTrace, st core.Stats) {
 	j.status.WallMillis = st.WallTime.Milliseconds()
 	j.status.Epsilon = st.Epsilon
 	j.status.Records = len(t.Records)
+	j.status.GenMillis = genDur.Milliseconds()
 	finalizeChunks(j, st)
 }
 
-func (s *Server) finishPacket(id string, t *trace.PacketTrace, st core.Stats) {
+func (s *Server) finishPacket(id string, t *trace.PacketTrace, st core.Stats, genDur time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j := s.jobs[id]
@@ -461,6 +474,7 @@ func (s *Server) finishPacket(id string, t *trace.PacketTrace, st core.Stats) {
 	j.status.WallMillis = st.WallTime.Milliseconds()
 	j.status.Epsilon = st.Epsilon
 	j.status.Records = len(t.Packets)
+	j.status.GenMillis = genDur.Milliseconds()
 	finalizeChunks(j, st)
 }
 

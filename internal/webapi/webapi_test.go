@@ -29,6 +29,7 @@ func tinyJob(kind string) JobRequest {
 		FineTuneSteps: 20,
 		MaxLen:        3,
 		Seed:          1,
+		Parallelism:   2,
 	}
 }
 
@@ -257,6 +258,7 @@ func TestSubmitValidation(t *testing.T) {
 		{"no source", `{"kind":"netflow"}`},
 		{"huge generate", `{"kind":"netflow","dataset":"ugr16","generate":1000000}`},
 		{"bad dp", `{"kind":"netflow","dataset":"ugr16","dp":{"noiseMultiplier":-1}}`},
+		{"bad parallelism", `{"kind":"netflow","dataset":"ugr16","parallelism":-1}`},
 	}
 	for _, c := range cases {
 		resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(c.body))
@@ -381,6 +383,10 @@ func TestRequestConfigDefaults(t *testing.T) {
 	}
 	if cfg.DP.PretrainSteps != cfg.SeedSteps {
 		t.Fatal("DP pretrain steps should default to seed steps")
+	}
+	req = JobRequest{Parallelism: 3}
+	if cfg = req.config(); cfg.Parallelism != 3 {
+		t.Fatal("parallelism not passed through")
 	}
 }
 
