@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build vet test test-race test-crash fuzz bench bench-parallel bench-generate ci clean
+.PHONY: all build vet test test-race test-crash test-telemetry fuzz bench bench-parallel bench-generate ci clean
 
 all: build
 
@@ -29,6 +29,15 @@ test-crash:
 	$(GO) test ./internal/orchestrator/... -run 'Crash|Fault|Resume|Torn|Partial|Exhaust'
 	$(GO) test ./internal/core -run 'Resume|Fault|Exhausted|DPRetry'
 
+# Telemetry subsystem (DESIGN.md §9): race pass over the registry and the
+# web API that serves it, the zero-allocation hot-path proof, and the
+# strictly-observational contract — training and generation are
+# bit-identical with recording on and off.
+test-telemetry:
+	$(GO) test -race ./internal/telemetry/... ./internal/webapi/...
+	$(GO) test ./internal/telemetry -run TestHotPathZeroAllocs
+	$(GO) test ./internal/core -run 'TestTelemetryStrictlyObservational|TestFlowGenerateGolden'
+
 # Short fuzz pass over every fuzz target (trace parsers and checkpoint/
 # manifest loaders). Each target needs its own invocation: `go test -fuzz`
 # accepts exactly one target per run.
@@ -54,7 +63,7 @@ bench-parallel:
 bench-generate:
 	$(GO) run ./cmd/benchpar -suite generate -out BENCH_generate.json
 
-ci: vet build test test-race test-crash fuzz bench-generate
+ci: vet build test test-race test-crash test-telemetry fuzz bench-generate
 
 clean:
 	$(GO) clean ./...

@@ -23,9 +23,12 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/benchpar"
+	"repro/internal/telemetry"
 )
 
 type result struct {
@@ -51,6 +54,16 @@ type comparison struct {
 	AllocCut  float64 `json:"alloc_cut"` // baseline allocs/op ÷ optimized allocs/op
 }
 
+// telemetryOverhead records the cost of telemetry recording on the
+// generation hot path: the same workload with the registry enabled vs
+// disabled. OverheadPct is (enabled − disabled) / disabled × 100; the
+// budget is ≤2%.
+type telemetryOverhead struct {
+	Enabled     result  `json:"enabled"`
+	Disabled    result  `json:"disabled"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
 type report struct {
 	CPUs        int                   `json:"cpus"`
 	GoMaxProcs  int                   `json:"gomaxprocs"`
@@ -58,6 +71,7 @@ type report struct {
 	Note        string                `json:"note"`
 	Benchmarks  map[string]pair       `json:"benchmarks,omitempty"`
 	Comparisons map[string]comparison `json:"comparisons,omitempty"`
+	Telemetry   *telemetryOverhead    `json:"telemetry,omitempty"`
 }
 
 // bench runs work several times and keeps the fastest rep: the minimum
@@ -143,6 +157,66 @@ func parallelReport() report {
 	}
 }
 
+// measureTelemetry times the serial dgan generation workload with the
+// global registry off vs on, restoring the prior setting. The workload's
+// RNG draws and control flow are identical either way (telemetry is
+// strictly observational), so the delta is pure recording cost — a few
+// atomics per generated lot. That delta is orders of magnitude below
+// shared-runner drift (thermal throttling, co-tenants swing whole
+// testing.Benchmark blocks by ±15%), so block-level timing cannot
+// resolve it. Instead single ops are timed with recording toggled every
+// iteration: adjacent ~10ms ops see identical machine conditions, and
+// the per-side medians are immune to the odd GC pause or scheduler
+// stall landing on one op.
+func measureTelemetry() *telemetryOverhead {
+	op, err := benchpar.GenerateOp(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prev := telemetry.Default.Enabled()
+	defer telemetry.Default.SetEnabled(prev)
+
+	for i := 0; i < 8; i++ {
+		op() // warm caches and the scratch pool before timing
+	}
+
+	const pairs = 200
+	log.Printf("telemetry_overhead: %d interleaved op pairs...", pairs)
+	onNs := make([]int64, 0, pairs)
+	offNs := make([]int64, 0, pairs)
+	for i := 0; i < pairs; i++ {
+		order := [2]bool{false, true}
+		if i%2 == 1 {
+			order[0], order[1] = true, false
+		}
+		for _, enabled := range order {
+			telemetry.Default.SetEnabled(enabled)
+			t0 := time.Now()
+			op()
+			d := time.Since(t0).Nanoseconds()
+			if enabled {
+				onNs = append(onNs, d)
+			} else {
+				offNs = append(offNs, d)
+			}
+		}
+	}
+	med := func(xs []int64) int64 {
+		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		return xs[len(xs)/2]
+	}
+	on := result{NsPerOp: med(onNs), Iterations: pairs}
+	off := result{NsPerOp: med(offNs), Iterations: pairs}
+
+	o := &telemetryOverhead{Enabled: on, Disabled: off}
+	if off.NsPerOp > 0 {
+		o.OverheadPct = (float64(on.NsPerOp) - float64(off.NsPerOp)) / float64(off.NsPerOp) * 100
+	}
+	log.Printf("telemetry_overhead: disabled %d ns/op, enabled %d ns/op (medians), overhead %.2f%%",
+		off.NsPerOp, on.NsPerOp, o.OverheadPct)
+	return o
+}
+
 func generateReport() report {
 	return report{
 		Note: "generation pipeline: baseline-vs-optimized comparisons are " +
@@ -160,6 +234,7 @@ func generateReport() report {
 			"dgan_generate_256":  run("dgan_generate_256", benchpar.Generate, 0),
 			"flow_generate_2000": run("flow_generate_2000", benchpar.FlowGenerate, 0),
 		},
+		Telemetry: measureTelemetry(),
 	}
 }
 

@@ -8,9 +8,11 @@
 //	netshare -kind netflow -dataset ugr16 -dp -epsilon-noise 0.7 -out dp.csv
 //	netshare -kind netflow -dataset ugr16 -checkpoint-dir ckpt -max-retries 2 -out synthetic.csv
 //	netshare -kind netflow -dataset ugr16 -checkpoint-dir ckpt -resume -out synthetic.csv
+//	netshare -kind netflow -dataset ugr16 -out synthetic.csv -metrics-out metrics.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/mat"
 	"repro/internal/orchestrator"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -63,6 +66,7 @@ func run() error {
 		maxRetry  = flag.Int("max-retries", 0, "per-chunk retry budget; past it a fine-tune chunk degrades to the seed weights")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this path on exit")
+		metricsJS = flag.String("metrics-out", "", "write the run's telemetry snapshot (counters, phase timers, per-chunk loss curves) to this JSON path on exit")
 	)
 	flag.Parse()
 
@@ -89,6 +93,18 @@ func run() error {
 			return fmt.Errorf("-cpuprofile: %w", err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *metricsJS != "" {
+		// Deferred so the snapshot lands even when a later stage errors:
+		// a failed run's partial counters are exactly what a post-mortem
+		// wants to see.
+		defer func() {
+			if err := writeMetrics(*metricsJS); err != nil {
+				log.Printf("-metrics-out: %v", err)
+			} else {
+				log.Printf("wrote telemetry snapshot to %s", *metricsJS)
+			}
+		}()
 	}
 	if *memProf != "" {
 		defer func() {
@@ -318,6 +334,15 @@ func writePacket(path string, t *trace.PacketTrace, format string) error {
 	default:
 		return fmt.Errorf("format %q not supported for packet traces (want csv or pcap)", format)
 	}
+}
+
+// writeMetrics dumps the global telemetry registry as indented JSON.
+func writeMetrics(path string) error {
+	data, err := json.MarshalIndent(telemetry.Default.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func saveModel(path string, save func(io.Writer) error) error {

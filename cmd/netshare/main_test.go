@@ -1,11 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/datasets"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -87,6 +89,24 @@ func TestModelSaveLoadHelpers(t *testing.T) {
 		t.Fatal("missing file must fail")
 	}
 	if err := saveModel("/nonexistent/dir/model", nil); err == nil {
+		t.Fatal("unwritable path must fail")
+	}
+}
+
+func TestWriteMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := writeMetrics(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if err := writeMetrics("/nonexistent/dir/metrics.json"); err == nil {
 		t.Fatal("unwritable path must fail")
 	}
 }

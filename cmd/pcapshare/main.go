@@ -23,12 +23,14 @@ func main() {
 	log.SetPrefix("pcapshare: ")
 
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		jobs = flag.Int("jobs", 1, "max concurrent training jobs")
+		addr  = flag.String("addr", ":8080", "listen address")
+		jobs  = flag.Int("jobs", 1, "max concurrent training jobs")
+		debug = flag.Bool("debug", false, "mount /debug/pprof profiling endpoints")
 	)
 	flag.Parse()
 
 	api := webapi.NewServer(*jobs)
+	api.Debug = *debug
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           logRequests(api.Handler()),

@@ -23,7 +23,7 @@ const DecodeQueries = 256
 // FlowGenSize is the record count per op of the end-to-end flow workload.
 const FlowGenSize = 2000
 
-func genModel(b *testing.B, parallelism int) *dgan.Model {
+func newGenModel(parallelism int) (*dgan.Model, error) {
 	cfg := dgan.DefaultConfig()
 	cfg.MetaSchema = []nn.FieldSpec{
 		{Name: "m0", Kind: nn.FieldContinuous, Size: 2},
@@ -37,11 +37,26 @@ func genModel(b *testing.B, parallelism int) *dgan.Model {
 	cfg.Batch = 8
 	cfg.Seed = 3
 	cfg.Parallelism = parallelism
-	m, err := dgan.New(cfg)
+	return dgan.New(cfg)
+}
+
+func genModel(b *testing.B, parallelism int) *dgan.Model {
+	m, err := newGenModel(parallelism)
 	if err != nil {
 		b.Fatal(err)
 	}
 	return m
+}
+
+// GenerateOp returns a single-op closure over a fresh generation model,
+// for callers that time individual ops rather than testing.B loops (the
+// telemetry-overhead measurement interleaves recording on/off per op).
+func GenerateOp(parallelism int) (func(), error) {
+	m, err := newGenModel(parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return func() { m.Generate(GenBatch) }, nil
 }
 
 // Generate benchmarks the lot-parallel sampler (inference forwards, live

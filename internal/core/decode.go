@@ -49,23 +49,45 @@ func (pe *portEmbedding) cached(kind byte, row []float64) (uint32, bool) {
 	return v.(uint32), true
 }
 
+// storeCached inserts a decode result unless the cache is at capacity. The
+// slot is reserved with a CAS loop *before* the LoadOrStore, so concurrent
+// decoders can never push cacheLen past decodeCacheCap (a plain
+// check-then-add would let N racing writers overshoot by up to N−1); a
+// reservation whose LoadOrStore loses to an identical concurrent insert is
+// returned to the pool.
 func (pe *portEmbedding) storeCached(kind byte, row []float64, value uint32) {
-	if pe.cacheLen.Load() >= decodeCacheCap {
-		return
+	for {
+		n := pe.cacheLen.Load()
+		if n >= decodeCacheCap {
+			telDecodeCacheSkips.Inc()
+			return
+		}
+		if pe.cacheLen.CompareAndSwap(n, n+1) {
+			break
+		}
 	}
-	if _, loaded := pe.cache.LoadOrStore(cacheKey(kind, row), value); !loaded {
-		pe.cacheLen.Add(1)
+	if _, loaded := pe.cache.LoadOrStore(cacheKey(kind, row), value); loaded {
+		pe.cacheLen.Add(-1)
 	}
 }
 
 // fallbackPort is the explicit decode fallback when the dictionary has no
-// port vocabulary: the first (numerically lowest) known port, or 0 when the
-// vocabulary is empty.
+// port vocabulary: the numerically lowest known port, or 0 when the
+// vocabulary is empty. pe.ports is sorted at build time (model.Words) and
+// re-sorted when restored from a checkpoint, but the minimum is scanned
+// explicitly so the fallback stays correct even for a hand-built or
+// unsorted vocabulary.
 func (pe *portEmbedding) fallbackPort() uint16 {
-	if len(pe.ports) > 0 {
-		return uint16(pe.ports[0].Value)
+	if len(pe.ports) == 0 {
+		return 0
 	}
-	return 0
+	min := pe.ports[0].Value
+	for _, w := range pe.ports[1:] {
+		if w.Value < min {
+			min = w.Value
+		}
+	}
+	return uint16(min)
 }
 
 // invertInto denormalizes row into dst (the generator emits [0,1]-normalized
@@ -90,6 +112,8 @@ func (pe *portEmbedding) decodeKindBatch(kind ip2vec.WordKind, ck byte, rows [][
 		}
 		miss = append(miss, i)
 	}
+	telDecodeCacheHits.Add(int64(len(rows) - len(miss)))
+	telDecodeCacheMisses.Add(int64(len(miss)))
 	if len(miss) == 0 {
 		return out
 	}

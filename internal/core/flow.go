@@ -338,6 +338,7 @@ func ganConfig(cfg Config, meta, feat []nn.FieldSpec) dgan.Config {
 // records are merged in chunk order before sorting, so the emitted trace is
 // byte-identical at every parallelism setting.
 func (s *FlowSynthesizer) Generate(n int) *trace.FlowTrace {
+	defer telGeneratePhase.Start().Stop()
 	out := &trace.FlowTrace{}
 	perChunk := splitCounts(n, s.stats.ChunkSamples)
 	chunkRecs := make([][]trace.FlowRecord, len(s.models))

@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/orchestrator"
 	"repro/internal/privacy"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -220,6 +222,11 @@ type Stats struct {
 	// ChunkDegraded marks chunks that exhausted their retry budget and
 	// fell back to the warm-started seed weights (DESIGN.md §7).
 	ChunkDegraded []bool
+	// ChunkCriticLoss / ChunkGenLoss hold each chunk's final training
+	// losses (0 for chunks restored from checkpoints, which run no steps).
+	// Full per-step curves live in the telemetry registry (DESIGN.md §9).
+	ChunkCriticLoss []float64
+	ChunkGenLoss    []float64
 }
 
 // DegradedChunks returns the indices of chunks that fell back to seed
@@ -260,7 +267,7 @@ func newPortEmbedding(public *trace.PacketTrace, dim, epochs int, seed int64) (*
 	if err != nil {
 		return nil, fmt.Errorf("core: train port embedding: %w", err)
 	}
-	pe := &portEmbedding{model: model, dim: dim, ports: model.Words(ip2vec.KindPort)}
+	pe := &portEmbedding{model: model, dim: dim, ports: sortedPorts(model)}
 	if len(pe.ports) == 0 {
 		return nil, fmt.Errorf("core: public trace produced no port vocabulary")
 	}
@@ -312,6 +319,17 @@ func diffU32(a, b uint32) uint32 {
 		return a - b
 	}
 	return b - a
+}
+
+// sortedPorts returns the model's port vocabulary in ascending value
+// order. ip2vec.Model.Words already sorts, but the invariant documented on
+// portEmbedding.ports is enforced here rather than assumed, so a future
+// model change (or a hand-built vocabulary) cannot silently break the
+// numeric fallbacks.
+func sortedPorts(model *ip2vec.Model) []ip2vec.Word {
+	ports := model.Words(ip2vec.KindPort)
+	sort.Slice(ports, func(i, j int) bool { return ports[i].Value < ports[j].Value })
+	return ports
 }
 
 // decodePort maps a normalized embedding vector back to a concrete port by
@@ -398,15 +416,30 @@ func trainChunks(cfg Config, ganCfg dgan.Config, chunkSamples [][]dgan.Sample, p
 	for i, s := range chunkSamples {
 		st.ChunkSamples[i] = len(s)
 	}
+	st.ChunkCriticLoss = make([]float64, len(chunkSamples))
+	st.ChunkGenLoss = make([]float64, len(chunkSamples))
 	wallStart := time.Now()
+	trainSW := telTrainPhase.Start()
+	defer trainSW.Stop()
 
-	// stepHook adapts a chunk's mid-training snapshot callback to dgan's
-	// train-step hook.
+	// stepHook composes per-step telemetry recording with the chunk's
+	// optional mid-training snapshot callback. Loss/grad-norm curves go to
+	// the chunk's telemetry series; the final per-chunk losses land in
+	// Stats at distinct indices, so the parallel fan-out needs no lock.
+	// Recording is observational only — it cannot perturb training.
 	stepHook := func(run orchestrator.ChunkRun, m *dgan.Model) dgan.TrainHook {
-		if run.SavePartial == nil {
+		critic, gen, grad, _ := chunkSeries(run.Idx)
+		return func(step int, ts dgan.Stats) error {
+			critic.Record(int64(step), ts.CriticLoss)
+			gen.Record(int64(step), ts.GenLoss)
+			grad.Record(int64(step), ts.GradNorm)
+			st.ChunkCriticLoss[run.Idx] = ts.CriticLoss
+			st.ChunkGenLoss[run.Idx] = ts.GenLoss
+			if run.SavePartial != nil {
+				return run.SavePartial(step, m)
+			}
 			return nil
 		}
-		return func(step int, _ dgan.Stats) error { return run.SavePartial(step, m) }
 	}
 
 	// epsilon is written by the successful seed attempt (the seed phase is
@@ -444,10 +477,24 @@ func trainChunks(cfg Config, ganCfg dgan.Config, chunkSamples [][]dgan.Sample, p
 		if err != nil {
 			return nil, err
 		}
-		if _, err := seed.TrainDPWithHook(chunkSamples[0], cfg.SeedSteps, dp, stepHook(run, seed)); err != nil {
+		// Wrap the step hook to chart the cumulative privacy spend: the
+		// RDP accountant is queried per generator step (cheap relative to a
+		// critic round) only while telemetry is enabled.
+		hook := stepHook(run, seed)
+		_, _, _, epsSeries := chunkSeries(run.Idx)
+		dpHook := func(step int, ts dgan.Stats) error {
+			if telemetry.Default.Enabled() {
+				e := dp.Epsilon()
+				epsSeries.Record(int64(step), e)
+				telEpsilon.Set(e)
+			}
+			return hook(step, ts)
+		}
+		if _, err := seed.TrainDPWithHook(chunkSamples[0], cfg.SeedSteps, dp, dpHook); err != nil {
 			return nil, err
 		}
 		epsilon = dp.Epsilon()
+		telEpsilon.Set(epsilon)
 		return seed, nil
 	}
 

@@ -204,6 +204,7 @@ func publicPacketSamples(codec *packetCodec, public *trace.PacketTrace, cfg Conf
 // canonical RNG stream) and their flows are merged in chunk order before
 // assembly, so the trace is byte-identical at every parallelism setting.
 func (s *PacketSynthesizer) Generate(n int) *trace.PacketTrace {
+	defer telGeneratePhase.Start().Stop()
 	perChunk := splitCounts(n, s.stats.ChunkSamples)
 	chunkFlows := make([][]*trace.PacketFlow, len(s.models))
 	forEachChunk(s.cfg, len(s.models), func(i int) {

@@ -61,7 +61,7 @@ func restoreEmbed(w embedWire) (*portEmbedding, error) {
 	if len(w.Norms) != w.Dim {
 		return nil, fmt.Errorf("core: embedding has %d norms, want %d", len(w.Norms), w.Dim)
 	}
-	pe := &portEmbedding{model: model, dim: w.Dim, ports: model.Words(ip2vec.KindPort)}
+	pe := &portEmbedding{model: model, dim: w.Dim, ports: sortedPorts(model)}
 	if len(pe.ports) == 0 {
 		return nil, fmt.Errorf("core: persisted embedding has no port vocabulary")
 	}

@@ -135,7 +135,9 @@ func (m *Model) generateLot(r *rand.Rand, out []Sample, schema []nn.FieldSpec, s
 	proj := sc.proj.RowsView(0, batch)
 	h.Zero()
 	live := batch
+	depth := 0
 	for t := 0; t < cfg.MaxLen && live > 0; t++ {
+		depth = t + 1
 		z.RandNorm(r, 1)
 		for i := 0; i < batch; i++ {
 			row := x.Row(i)
@@ -160,6 +162,10 @@ func (m *Model) generateLot(r *rand.Rand, out []Sample, schema []nn.FieldSpec, s
 			out[i].Features = append(out[i].Features, full[:m.featW-1])
 		}
 	}
+	telGenLots.Inc()
+	telGenSamples.Add(int64(batch))
+	telUnrollDepth.Observe(float64(depth))
+	telStepsSaved.Add(int64(cfg.MaxLen - depth))
 }
 
 // genScratch pops a scratch holder off the model's pool (or builds a fresh

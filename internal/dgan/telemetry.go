@@ -1,0 +1,15 @@
+package dgan
+
+import "repro/internal/telemetry"
+
+// Pre-registered telemetry handles (DESIGN.md §9). Recording is strictly
+// observational — none of these calls touch an RNG or the output — and
+// each is a single atomic op on the generation hot path.
+var (
+	telSteps       = telemetry.Default.Counter("dgan.train.steps")
+	telGenLots     = telemetry.Default.Counter("dgan.generate.lots")
+	telGenSamples  = telemetry.Default.Counter("dgan.generate.samples")
+	telStepsSaved  = telemetry.Default.Counter("dgan.generate.steps_saved")
+	telUnrollDepth = telemetry.Default.Histogram("dgan.generate.unroll_depth",
+		telemetry.ExpBuckets(1, 2, 12))
+)

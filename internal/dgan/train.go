@@ -14,6 +14,7 @@ type Stats struct {
 	Steps      int
 	CriticLoss float64 // last critic Wasserstein loss (pre-penalty)
 	GenLoss    float64 // last generator loss
+	GradNorm   float64 // generator gradient L2 norm at the last step
 }
 
 // TrainHook observes training progress at generator-step granularity:
@@ -65,8 +66,9 @@ func (m *Model) trainLoop(samples []Sample, steps int, dp *privacy.DPSGD, hook T
 		for c := 0; c < m.Config.CriticIters; c++ {
 			st.CriticLoss = m.criticStep(samples, dp)
 		}
-		st.GenLoss = m.generatorStep()
+		st.GenLoss, st.GradNorm = m.generatorStep()
 		st.Steps++
+		telSteps.Inc()
 		if hook != nil {
 			if err := hook(st.Steps, st); err != nil {
 				return st, err
@@ -182,8 +184,9 @@ func (m *Model) StepCritic(samples []Sample, dp *privacy.DPSGD) (float64, error)
 	return m.criticStep(samples, dp), nil
 }
 
-// generatorStep performs one generator update against both critics.
-func (m *Model) generatorStep() float64 {
+// generatorStep performs one generator update against both critics and
+// returns the generator loss and the pre-update gradient L2 norm.
+func (m *Model) generatorStep() (float64, float64) {
 	batch := m.Config.Batch
 	meta, feats := m.forwardGenerator(batch)
 	fake := m.flatten(meta, feats)
@@ -201,8 +204,9 @@ func (m *Model) generatorStep() float64 {
 	dMeta.Add(dMetaAux)
 
 	m.backwardGenerator(dMeta, dFeats)
+	gradNorm := nn.GradNorm(generatorModule{m})
 	m.optG.Step(generatorModule{m})
-	return loss
+	return loss, gradNorm
 }
 
 func (m *Model) featSchema() []nn.FieldSpec {

@@ -319,6 +319,7 @@ func (m *Model) Nearest(kind WordKind, v []float64) (Word, bool) {
 	if s == nil {
 		return Word{}, false
 	}
+	telNearestQueries.Inc()
 	scores := make([]float64, len(s.words))
 	for i := range s.words {
 		scores[i] = dotKernel(s.emb.Row(i), v)
@@ -343,6 +344,9 @@ func (m *Model) NearestBatch(kind WordKind, queries *mat.Matrix) ([]Word, bool) 
 		panic(fmt.Sprintf("ip2vec: NearestBatch query dim %d, model dim %d", queries.Cols, m.Dim))
 	}
 	n := queries.Rows
+	telNearestBatches.Inc()
+	telNearestQueries.Add(int64(n))
+	telBatchSize.Observe(float64(n))
 	best := make([]float64, n)
 	pick := make([]int, n)
 	for i := range best {

@@ -1,0 +1,13 @@
+package ip2vec
+
+import "repro/internal/telemetry"
+
+// Pre-registered telemetry handles for the dictionary decode path
+// (DESIGN.md §9): how many nearest-neighbour lookups run, and how they
+// batch (larger batches amortize the vocabulary stream better).
+var (
+	telNearestQueries = telemetry.Default.Counter("ip2vec.nearest.queries")
+	telNearestBatches = telemetry.Default.Counter("ip2vec.nearest.batches")
+	telBatchSize      = telemetry.Default.Histogram("ip2vec.nearest.batch_size",
+		telemetry.ExpBuckets(1, 4, 8))
+)

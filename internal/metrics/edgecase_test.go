@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// The fidelity measures feed averaged report tables; a single NaN from a
+// degenerate input (empty histogram, zero-mass counts, an Inf EMD from a
+// one-sided empty sample set) would poison every downstream aggregate.
+// These tables pin the defined value for every edge case.
+
+func TestJSDEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		p, q map[string]float64
+		want float64
+	}{
+		{"both empty", map[string]float64{}, map[string]float64{}, 0},
+		{"both nil", nil, nil, 0},
+		{"one empty", map[string]float64{"a": 1}, map[string]float64{}, 1},
+		{"zero mass vs mass", map[string]float64{"a": 0}, map[string]float64{"a": 3}, 1},
+		{"both zero mass", map[string]float64{"a": 0}, map[string]float64{"b": 0}, 0},
+		{"negative total", map[string]float64{"a": -2}, map[string]float64{"a": 1}, 1},
+		{"nan count", map[string]float64{"a": math.NaN()}, map[string]float64{"a": 1}, 1},
+		{"inf count", map[string]float64{"a": math.Inf(1)}, map[string]float64{"a": 1}, 1},
+		{"identical", map[string]float64{"a": 2, "b": 2}, map[string]float64{"a": 1, "b": 1}, 0},
+	}
+	for _, tc := range cases {
+		got := JSD(tc.p, tc.q)
+		if math.IsNaN(got) {
+			t.Errorf("%s: JSD = NaN", tc.name)
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: JSD = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestEMDEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"both empty", nil, nil, 0},
+		{"one empty", []float64{1, 2}, nil, math.Inf(1)},
+		{"empty other side", nil, []float64{1}, math.Inf(1)},
+		{"single point identical", []float64{5}, []float64{5}, 0},
+		{"single points", []float64{0}, []float64{3}, 3},
+	}
+	for _, tc := range cases {
+		got := EMD(tc.a, tc.b)
+		if math.IsNaN(got) {
+			t.Errorf("%s: EMD = NaN", tc.name)
+			continue
+		}
+		if got != tc.want && math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: EMD = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestNormalizeEMDEdgeCases(t *testing.T) {
+	inf, nan := math.Inf(1), math.NaN()
+	cases := []struct {
+		name   string
+		values []float64
+		want   []float64
+	}{
+		{"empty", nil, []float64{}},
+		{"single", []float64{7}, []float64{0.5}},
+		{"all equal", []float64{2, 2, 2}, []float64{0.5, 0.5, 0.5}},
+		{"all inf", []float64{inf, inf}, []float64{0.5, 0.5}},
+		{"inf among finite", []float64{0, 1, inf}, []float64{0.1, 0.9, 0.9}},
+		{"neg inf among finite", []float64{math.Inf(-1), 0, 1}, []float64{0.1, 0.1, 0.9}},
+		{"nan among finite", []float64{0, nan, 1}, []float64{0.1, 0.5, 0.9}},
+		{"all nan", []float64{nan, nan}, []float64{0.5, 0.5}},
+		{"one finite plus inf", []float64{3, inf}, []float64{0.5, 0.9}},
+		{"mixed infs", []float64{math.Inf(-1), inf}, []float64{0.1, 0.9}},
+	}
+	for _, tc := range cases {
+		got := NormalizeEMD(tc.values)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: len = %d, want %d", tc.name, len(got), len(tc.want))
+			continue
+		}
+		for i := range got {
+			if math.IsNaN(got[i]) {
+				t.Errorf("%s[%d]: NaN output", tc.name, i)
+				continue
+			}
+			if math.Abs(got[i]-tc.want[i]) > 1e-12 {
+				t.Errorf("%s: NormalizeEMD = %v, want %v", tc.name, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestSpearmanEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"empty", nil, nil, 0},
+		{"single pair", []float64{1}, []float64{2}, 0},
+		{"zero variance a", []float64{3, 3, 3}, []float64{1, 2, 3}, 0},
+		{"zero variance b", []float64{1, 2, 3}, []float64{7, 7, 7}, 0},
+		{"both constant", []float64{1, 1}, []float64{2, 2}, 0},
+	}
+	for _, tc := range cases {
+		got := Spearman(tc.a, tc.b)
+		if math.IsNaN(got) {
+			t.Errorf("%s: Spearman = NaN", tc.name)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: Spearman = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestNormalizeEMDInfPoisonRegression is the exact pipeline bug: one model
+// compared against an empty sample set yields EMD = +Inf, and the old
+// min-max normalization turned (Inf−lo)/(Inf−lo) into NaN for that entry —
+// silently corrupting the cross-model table average.
+func TestNormalizeEMDInfPoisonRegression(t *testing.T) {
+	raw := []float64{EMD([]float64{1, 2}, nil), EMD([]float64{1, 2}, []float64{1, 2}), EMD([]float64{1, 2}, []float64{4, 5})}
+	norm := NormalizeEMD(raw)
+	for i, v := range norm {
+		if math.IsNaN(v) {
+			t.Fatalf("normalized[%d] = NaN (raw %v)", i, raw)
+		}
+		if v < 0.1-1e-9 || v > 0.9+1e-9 {
+			t.Fatalf("normalized[%d] = %g outside [0.1, 0.9]", i, v)
+		}
+	}
+	if norm[0] != 0.9 {
+		t.Fatalf("Inf entry normalized to %g, want the 0.9 ceiling", norm[0])
+	}
+	if !(norm[1] < norm[2]) {
+		t.Fatalf("order not preserved: %v", norm)
+	}
+}

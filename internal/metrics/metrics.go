@@ -16,7 +16,10 @@ import (
 // the same comparable key type.
 func JSD[K comparable](p, q map[K]float64) float64 {
 	pt, qt := total(p), total(q)
-	if pt == 0 || qt == 0 {
+	// Zero-mass, negative, or non-finite totals cannot be normalized into
+	// distributions; two equally-degenerate inputs are maximally similar
+	// (0), otherwise maximally divergent (1) — never NaN.
+	if !(pt > 0) || !(qt > 0) || math.IsInf(pt, 0) || math.IsInf(qt, 0) {
 		if pt == qt {
 			return 0
 		}
@@ -120,28 +123,49 @@ func EMD(a, b []float64) float64 {
 // NormalizeEMD maps raw EMD values across models to [0.1, 0.9] per the
 // paper's footnote 1 ("we normalize the EMDs of all models ... to
 // [0.1, 0.9]"), preserving order. Identical values all map to 0.5.
+// Non-finite inputs (EMD returns +Inf when exactly one side is empty) are
+// kept out of the scale so they cannot poison the rest with Inf/Inf = NaN:
+// +Inf clamps to 0.9, −Inf to 0.1, and NaN maps to the 0.5 midpoint.
 func NormalizeEMD(values []float64) []float64 {
 	out := make([]float64, len(values))
 	if len(values) == 0 {
 		return out
 	}
-	lo, hi := values[0], values[0]
+	lo, hi := math.Inf(1), math.Inf(-1)
+	allEqual := true
 	for _, v := range values {
-		if v < lo {
-			lo = v
+		if v != values[0] {
+			allEqual = false
 		}
-		if v > hi {
-			hi = v
+		if !math.IsInf(v, 0) && !math.IsNaN(v) {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
 		}
 	}
-	if hi == lo {
+	if allEqual {
 		for i := range out {
 			out[i] = 0.5
 		}
 		return out
 	}
 	for i, v := range values {
-		out[i] = 0.1 + 0.8*(v-lo)/(hi-lo)
+		switch {
+		case math.IsNaN(v):
+			out[i] = 0.5
+		case math.IsInf(v, 1):
+			out[i] = 0.9
+		case math.IsInf(v, -1):
+			out[i] = 0.1
+		case hi == lo:
+			// A single distinct finite value alongside infinities.
+			out[i] = 0.5
+		default:
+			out[i] = 0.1 + 0.8*(v-lo)/(hi-lo)
+		}
 	}
 	return out
 }

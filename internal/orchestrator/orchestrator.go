@@ -437,7 +437,9 @@ func (r *runner) attemptChunk(idx int, train func(ChunkRun) (Model, error)) (Mod
 		}
 		t0 := time.Now()
 		m, err := train(run)
-		dur += time.Since(t0)
+		attemptDur := time.Since(t0)
+		dur += attemptDur
+		telChunkTrain.Observe(attemptDur)
 		if err != nil {
 			if IsAbort(err) {
 				return nil, attempt + 1, dur, err
@@ -582,6 +584,7 @@ func (r *runner) persistManifestLocked() {
 }
 
 func (r *runner) event(ev Event) {
+	recordEvent(ev)
 	if r.opts.OnEvent == nil {
 		return
 	}

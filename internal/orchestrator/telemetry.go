@@ -1,0 +1,35 @@
+package orchestrator
+
+import "repro/internal/telemetry"
+
+// Pre-registered telemetry handles for chunk lifecycle events (DESIGN.md
+// §9). Counters are recorded unconditionally (independently of whether an
+// OnEvent observer is installed); durations come from the same wall-clock
+// measurements the Result already reports.
+var (
+	telChunkStarts      = telemetry.Default.Counter("orchestrator.chunk.starts")
+	telChunkDone        = telemetry.Default.Counter("orchestrator.chunk.done")
+	telChunkResumed     = telemetry.Default.Counter("orchestrator.chunk.resumed")
+	telChunkRetries     = telemetry.Default.Counter("orchestrator.chunk.retries")
+	telChunkDegraded    = telemetry.Default.Counter("orchestrator.chunk.degraded")
+	telCheckpointErrors = telemetry.Default.Counter("orchestrator.checkpoint.errors")
+	telChunkTrain       = telemetry.Default.Timer("orchestrator.chunk.train")
+)
+
+// recordEvent maps an event kind onto its counter.
+func recordEvent(ev Event) {
+	switch ev.Kind {
+	case EventChunkStart:
+		telChunkStarts.Inc()
+	case EventChunkDone:
+		telChunkDone.Inc()
+	case EventChunkResumed:
+		telChunkResumed.Inc()
+	case EventChunkRetry:
+		telChunkRetries.Inc()
+	case EventChunkDegraded:
+		telChunkDegraded.Inc()
+	case EventCheckpointError:
+		telCheckpointErrors.Inc()
+	}
+}

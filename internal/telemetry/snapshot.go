@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// HistogramSnapshot is one histogram's frozen state. Buckets[i] counts
+// observations ≤ Bounds[i]; the last entry of Buckets counts the
+// overflow (> Bounds[len-1]).
+type HistogramSnapshot struct {
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"`
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+}
+
+// TimerSnapshot is one phase timer's frozen state (durations in
+// milliseconds for readability in dumps).
+type TimerSnapshot struct {
+	Count   int64   `json:"count"`
+	TotalMs float64 `json:"totalMs"`
+	MaxMs   float64 `json:"maxMs"`
+	MeanMs  float64 `json:"meanMs"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry,
+// JSON-marshalable as-is (the -metrics-out dump and the /metrics JSON
+// response are exactly this struct).
+type Snapshot struct {
+	Enabled    bool                         `json:"enabled"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Timers     map[string]TimerSnapshot     `json:"timers,omitempty"`
+	Series     map[string][]Point           `json:"series,omitempty"`
+}
+
+// Snapshot freezes the registry's current state. It takes the
+// registration lock only to walk the name maps; per-metric reads are
+// atomic and may interleave with concurrent recording (each value is
+// individually consistent).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{Enabled: r.enabled.Load()}
+	if len(r.counters) > 0 {
+		snap.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			snap.Counters[name] = c.v.Load()
+		}
+	}
+	if len(r.gauges) > 0 {
+		snap.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			if g.set.Load() {
+				snap.Gauges[name] = math.Float64frombits(g.v.Load())
+			}
+		}
+		if len(snap.Gauges) == 0 {
+			snap.Gauges = nil
+		}
+	}
+	if len(r.hists) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistogramSnapshot{
+				Bounds:  append([]float64(nil), h.bounds...),
+				Buckets: make([]int64, len(h.counts)),
+				Count:   h.count.Load(),
+				Sum:     math.Float64frombits(h.sum.Load()),
+			}
+			for i := range h.counts {
+				hs.Buckets[i] = h.counts[i].Load()
+			}
+			snap.Histograms[name] = hs
+		}
+	}
+	if len(r.timers) > 0 {
+		snap.Timers = make(map[string]TimerSnapshot, len(r.timers))
+		for name, t := range r.timers {
+			ts := TimerSnapshot{
+				Count:   t.count.Load(),
+				TotalMs: float64(t.totalNs.Load()) / 1e6,
+				MaxMs:   float64(t.maxNs.Load()) / 1e6,
+			}
+			if ts.Count > 0 {
+				ts.MeanMs = ts.TotalMs / float64(ts.Count)
+			}
+			snap.Timers[name] = ts
+		}
+	}
+	if len(r.series) > 0 {
+		snap.Series = make(map[string][]Point, len(r.series))
+		for name, s := range r.series {
+			// A registered series that never recorded (the DP epsilon
+			// curve on a non-DP run) says nothing — drop it rather than
+			// emit a null.
+			if pts := s.Points(); len(pts) > 0 {
+				snap.Series[name] = pts
+			}
+		}
+		if len(snap.Series) == 0 {
+			snap.Series = nil
+		}
+	}
+	return snap
+}
+
+// promName maps a dotted metric name onto the Prometheus charset
+// ([a-zA-Z0-9_:], no leading digit).
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Counters and gauges map directly; phase timers
+// export _count and _total_seconds; histograms export cumulative
+// buckets with `le` labels. Series export only their last value, as a
+// gauge (the full curve lives in the JSON snapshot).
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, name := range sortedKeys(s.Counters) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Timers) {
+		n := promName(name)
+		t := s.Timers[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s_seconds summary\n%s_seconds_count %d\n%s_seconds_sum %g\n",
+			n, n, t.Count, n, t.TotalMs/1e3); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		n := promName(name)
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		var cum int64
+		for i, b := range h.Bounds {
+			cum += h.Buckets[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", n, b, cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Buckets[len(h.Buckets)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+			n, cum, n, h.Sum, n, h.Count); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Series) {
+		pts := s.Series[name]
+		if len(pts) == 0 {
+			continue
+		}
+		n := promName(name) + "_last"
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, pts[len(pts)-1].Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -24,7 +25,16 @@ import (
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/orchestrator"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
+)
+
+// Pre-registered telemetry handles (DESIGN.md §9).
+var (
+	telJobsSubmitted = telemetry.Default.Counter("webapi.jobs.submitted")
+	telJobsDone      = telemetry.Default.Counter("webapi.jobs.done")
+	telJobsFailed    = telemetry.Default.Counter("webapi.jobs.failed")
+	telJobDuration   = telemetry.Default.Timer("webapi.job.duration")
 )
 
 // JobRequest is the POST /api/v1/jobs body.
@@ -95,6 +105,15 @@ const (
 	ChunkDegraded = "degraded"
 )
 
+// JobMetrics carries a finished job's training telemetry in status
+// responses: the final per-chunk losses (full per-step curves are exposed
+// process-wide at GET /metrics). Values come from core.Stats, so they are
+// deterministic and race-free even with concurrent jobs.
+type JobMetrics struct {
+	ChunkCriticLoss []float64 `json:"chunkCriticLoss,omitempty"`
+	ChunkGenLoss    []float64 `json:"chunkGenLoss,omitempty"`
+}
+
 // JobStatus is the GET /api/v1/jobs/{id} response.
 type JobStatus struct {
 	ID        string   `json:"id"`
@@ -111,6 +130,24 @@ type JobStatus struct {
 	Records    int     `json:"records,omitempty"`
 	// GenMillis is the wall-clock time of the generation phase.
 	GenMillis int64 `json:"genMillis,omitempty"`
+	// Metrics holds per-job training telemetry, present once done.
+	Metrics *JobMetrics `json:"metrics,omitempty"`
+}
+
+// clone deep-copies the status so handlers can serialize it outside the
+// server lock. The Chunks slice (and Metrics) must not be shared: the
+// orchestrator's event goroutines mutate the live elements concurrently.
+func (st JobStatus) clone() JobStatus {
+	out := st
+	out.Chunks = append([]ChunkInfo(nil), st.Chunks...)
+	if st.Metrics != nil {
+		m := JobMetrics{
+			ChunkCriticLoss: append([]float64(nil), st.Metrics.ChunkCriticLoss...),
+			ChunkGenLoss:    append([]float64(nil), st.Metrics.ChunkGenLoss...),
+		}
+		out.Metrics = &m
+	}
+	return out
 }
 
 // job is the server-side job record.
@@ -122,6 +159,11 @@ type job struct {
 
 // Server is the HTTP API. Create with NewServer and mount via Handler.
 type Server struct {
+	// Debug mounts /debug/pprof/ on the handler. Set before calling
+	// Handler; the profiling endpoints expose internals and should stay
+	// off on anything public-facing.
+	Debug bool
+
 	mu     sync.Mutex
 	jobs   map[string]*job
 	nextID int
@@ -134,6 +176,10 @@ type Server struct {
 	// done is closed-by-signal bookkeeping for tests: every finished job
 	// sends on it when the server was built with notifications.
 	notify chan string
+
+	// runHook, when non-nil, runs at the start of every job body — the
+	// test seam for the panic-containment tests.
+	runHook func(id string)
 }
 
 // NewServer returns an API server allowing up to maxInflight concurrent
@@ -185,7 +231,30 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleDownload)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.Debug {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// handleMetrics serves the process-wide telemetry snapshot: JSON by
+// default, Prometheus text exposition with ?format=prom (or an Accept
+// header asking for text/plain).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := telemetry.Default.Snapshot()
+	if r.URL.Query().Get("format") == "prom" ||
+		strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = snap.WritePrometheus(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -216,20 +285,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	st := s.newJob(req.Kind)
+	telJobsSubmitted.Inc()
+	go s.run(st.ID, req)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// newJob registers a pending job and returns a snapshot of its status.
+func (s *Server) newJob(kind string) JobStatus {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.nextID++
 	id := fmt.Sprintf("job-%d", s.nextID)
 	j := &job{status: JobStatus{
 		ID:        id,
-		Kind:      req.Kind,
+		Kind:      kind,
 		State:     StatePending,
 		Submitted: time.Now().UTC().Format(time.RFC3339),
 	}}
 	s.jobs[id] = j
-	s.mu.Unlock()
-
-	go s.run(id, req)
-	writeJSON(w, http.StatusAccepted, j.status)
+	return j.status.clone()
 }
 
 func validateRequest(req *JobRequest) error {
@@ -299,12 +374,28 @@ func (req *JobRequest) config() core.Config {
 	return cfg
 }
 
-// run executes one job in the background.
+// run executes one job in the background. Panics in the job body are
+// contained: the job fails, the inflight slot is released, the completion
+// notification still fires, and — because every status mutation helper
+// unlocks via defer — no lock is left held, so the server stays fully
+// responsive afterwards.
 func (s *Server) run(id string, req JobRequest) {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
+	defer s.notifyDone(id)
+	sw := telJobDuration.Start()
+	defer sw.Stop()
+	defer func() {
+		if r := recover(); r != nil {
+			telJobsFailed.Inc()
+			s.setState(id, StateFailed, fmt.Errorf("job panicked: %v", r))
+		}
+	}()
 
 	s.setState(id, StateRunning, nil)
+	if s.runHook != nil {
+		s.runHook(id)
+	}
 	cfg := req.config()
 	public := datasets.CAIDAChicago(s.publicPackets, cfg.Seed+500)
 	s.initChunks(id, cfg.Chunks)
@@ -345,8 +436,16 @@ func (s *Server) run(id string, req JobRequest) {
 		s.finishPacket(id, gen, syn.Stats(), time.Since(genStart))
 	}
 	if fail != nil {
+		telJobsFailed.Inc()
 		s.setState(id, StateFailed, fail)
+	} else {
+		telJobsDone.Inc()
 	}
+}
+
+// notifyDone signals job completion to the notifications channel (if one
+// was requested) without blocking.
+func (s *Server) notifyDone(id string) {
 	s.mu.Lock()
 	ch := s.notify
 	s.mu.Unlock()
@@ -451,64 +550,88 @@ func (s *Server) setState(id string, state JobState, err error) {
 }
 
 func (s *Server) finishFlow(id string, t *trace.FlowTrace, st core.Stats, genDur time.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j := s.jobs[id]
-	j.flow = t
-	j.status.State = StateDone
-	j.status.CPUMillis = st.CPUTime.Milliseconds()
-	j.status.WallMillis = st.WallTime.Milliseconds()
-	j.status.Epsilon = st.Epsilon
-	j.status.Records = len(t.Records)
-	j.status.GenMillis = genDur.Milliseconds()
-	finalizeChunks(j, st)
+	s.finish(id, st, genDur, len(t.Records), func(j *job) { j.flow = t })
 }
 
 func (s *Server) finishPacket(id string, t *trace.PacketTrace, st core.Stats, genDur time.Duration) {
+	s.finish(id, st, genDur, len(t.Packets), func(j *job) { j.packet = t })
+}
+
+// finish publishes a completed job's result and final stats.
+func (s *Server) finish(id string, st core.Stats, genDur time.Duration, records int, attach func(*job)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j := s.jobs[id]
-	j.packet = t
+	if j == nil {
+		return
+	}
+	attach(j)
 	j.status.State = StateDone
 	j.status.CPUMillis = st.CPUTime.Milliseconds()
 	j.status.WallMillis = st.WallTime.Milliseconds()
 	j.status.Epsilon = st.Epsilon
-	j.status.Records = len(t.Packets)
+	j.status.Records = records
 	j.status.GenMillis = genDur.Milliseconds()
+	j.status.Metrics = &JobMetrics{
+		ChunkCriticLoss: append([]float64(nil), st.ChunkCriticLoss...),
+		ChunkGenLoss:    append([]float64(nil), st.ChunkGenLoss...),
+	}
 	finalizeChunks(j, st)
 }
 
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+// statusSnapshot returns a deep copy of one job's status, taken under the
+// server lock so concurrent chunk events cannot race the serialization.
+func (s *Server) statusSnapshot(id string) (JobStatus, bool) {
 	s.mu.Lock()
-	out := make([]JobStatus, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		out = append(out, j.status)
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return JobStatus{}, false
 	}
-	s.mu.Unlock()
+	return j.status.clone(), true
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	out := func() []JobStatus {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		out := make([]JobStatus, 0, len(s.jobs))
+		for _, j := range s.jobs {
+			out = append(out, j.status.clone())
+		}
+		return out
+	}()
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	j := s.jobs[r.PathValue("id")]
-	s.mu.Unlock()
-	if j == nil {
+	st, ok := s.statusSnapshot(r.PathValue("id"))
+	if !ok {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	writeJSON(w, http.StatusOK, j.status)
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	j := s.jobs[r.PathValue("id")]
-	s.mu.Unlock()
-	if j == nil {
+	// Snapshot the state and result pointers under the lock; the traces
+	// themselves are written once before State flips to done and read-only
+	// afterwards, so encoding may proceed unlocked.
+	st, flow, packet, ok := func() (JobStatus, *trace.FlowTrace, *trace.PacketTrace, bool) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		j := s.jobs[r.PathValue("id")]
+		if j == nil {
+			return JobStatus{}, nil, nil, false
+		}
+		return j.status.clone(), j.flow, j.packet, true
+	}()
+	if !ok {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	if j.status.State != StateDone {
-		writeError(w, http.StatusConflict, "job is %s", j.status.State)
+	if st.State != StateDone {
+		writeError(w, http.StatusConflict, "job is %s", st.State)
 		return
 	}
 	format := r.URL.Query().Get("format")
@@ -520,18 +643,18 @@ func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
 	var contentType, ext string
 	var err error
 	switch {
-	case j.flow != nil && format == "csv":
+	case flow != nil && format == "csv":
 		contentType, ext = "text/csv", "csv"
-		err = trace.WriteFlowCSV(&buf, j.flow)
-	case j.flow != nil && format == "netflow5":
+		err = trace.WriteFlowCSV(&buf, flow)
+	case flow != nil && format == "netflow5":
 		contentType, ext = "application/octet-stream", "nf5"
-		err = trace.WriteNetFlowV5(&buf, j.flow)
-	case j.packet != nil && format == "csv":
+		err = trace.WriteNetFlowV5(&buf, flow)
+	case packet != nil && format == "csv":
 		contentType, ext = "text/csv", "csv"
-		err = trace.WritePacketCSV(&buf, j.packet)
-	case j.packet != nil && format == "pcap":
+		err = trace.WritePacketCSV(&buf, packet)
+	case packet != nil && format == "pcap":
 		contentType, ext = "application/vnd.tcpdump.pcap", "pcap"
-		err = trace.WritePCAP(&buf, j.packet)
+		err = trace.WritePCAP(&buf, packet)
 	default:
 		writeError(w, http.StatusBadRequest, "format %q not available for this job", format)
 		return
@@ -542,7 +665,7 @@ func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", contentType)
 	w.Header().Set("Content-Disposition",
-		fmt.Sprintf("attachment; filename=%s.%s", j.status.ID, ext))
+		fmt.Sprintf("attachment; filename=%s.%s", st.ID, ext))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(buf.Bytes())
 }
