@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build vet test test-race test-crash test-telemetry fuzz bench bench-parallel bench-generate ci clean
+.PHONY: all build vet test test-race test-crash test-telemetry fuzz bench bench-parallel bench-generate staticcheck govulncheck ci clean
 
 all: build
 
@@ -18,10 +18,12 @@ test:
 # fault-tolerant training fan-out, and the lot-parallel generation
 # pipeline: the matmul worker pool, the per-sample DP-SGD fan-out, the
 # chunked fine-tune fan-out, the checkpoint/resume orchestrator, the
-# generation scratch pool, and the shared decode cache (DESIGN.md §6–8).
+# generation scratch pool, the shared decode cache, and the durable
+# model registry (DESIGN.md §6–8, §10).
 test-race:
 	$(GO) test -race ./internal/mat/... ./internal/dgan/... ./internal/core/... \
-		./internal/orchestrator/... ./internal/privacy/... ./internal/ip2vec/...
+		./internal/orchestrator/... ./internal/privacy/... ./internal/ip2vec/... \
+		./internal/container/... ./internal/registry/...
 
 # Crash/fault matrix: the checkpoint/resume/retry tests that simulate
 # process death, torn writes, and exhausted retry budgets (DESIGN.md §7).
@@ -49,6 +51,7 @@ fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzParseIPv4 -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/orchestrator -run '^$$' -fuzz FuzzLoadCheckpoint -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/orchestrator -run '^$$' -fuzz FuzzLoadManifest -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/container -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 
 # Full paper-evaluation benchmark suite (slow).
 bench:
@@ -63,7 +66,24 @@ bench-parallel:
 bench-generate:
 	$(GO) run ./cmd/benchpar -suite generate -out BENCH_generate.json
 
-ci: vet build test test-race test-crash test-telemetry fuzz bench-generate
+# Static analysis and vulnerability scanning. Both tools are optional:
+# the targets run them when installed and skip with a notice otherwise,
+# so `make ci` works on minimal containers without network access.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
+ci: vet staticcheck govulncheck build test test-race test-crash test-telemetry fuzz bench-generate
 
 clean:
 	$(GO) clean ./...

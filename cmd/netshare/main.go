@@ -9,9 +9,12 @@
 //	netshare -kind netflow -dataset ugr16 -checkpoint-dir ckpt -max-retries 2 -out synthetic.csv
 //	netshare -kind netflow -dataset ugr16 -checkpoint-dir ckpt -resume -out synthetic.csv
 //	netshare -kind netflow -dataset ugr16 -out synthetic.csv -metrics-out metrics.json
+//	netshare -kind netflow -dataset ugr16 -registry reg -save-model ugr16-v1 -out synthetic.csv
+//	netshare -kind netflow -registry reg -load-model ugr16-v1 -gen 5000 -out more.csv
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,10 +24,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/mat"
 	"repro/internal/orchestrator"
+	"repro/internal/registry"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -55,6 +60,9 @@ func run() error {
 		format    = flag.String("format", "csv", "output format: csv, pcap (packet traces), or netflow5 (flow traces)")
 		savePath  = flag.String("save", "", "save the trained model to this path")
 		loadPath  = flag.String("load", "", "skip training; load a model saved with -save")
+		regDir    = flag.String("registry", "", "durable model registry directory for -save-model/-load-model")
+		saveName  = flag.String("save-model", "", "store the trained model in -registry under this name")
+		loadName  = flag.String("load-model", "", "skip training; load this named model from -registry")
 		dp        = flag.Bool("dp", false, "train with differential privacy (DP-SGD)")
 		dpNoise   = flag.Float64("epsilon-noise", 0.7, "DP-SGD noise multiplier sigma")
 		dpTarget  = flag.Float64("target-epsilon", 0, "calibrate sigma for this target epsilon (overrides -epsilon-noise)")
@@ -78,6 +86,19 @@ func run() error {
 	}
 	if *maxRetry < 0 {
 		return fmt.Errorf("-max-retries must be >= 0, got %d", *maxRetry)
+	}
+	if (*saveName != "" || *loadName != "") && *regDir == "" {
+		return fmt.Errorf("-save-model/-load-model require -registry")
+	}
+	if *loadName != "" && *loadPath != "" {
+		return fmt.Errorf("-load and -load-model are mutually exclusive")
+	}
+	var reg *registry.Registry
+	if *regDir != "" {
+		var err error
+		if reg, err = registry.Open(*regDir); err != nil {
+			return fmt.Errorf("-registry: %w", err)
+		}
 	}
 	if *par > 0 {
 		mat.SetParallelism(*par)
@@ -150,7 +171,20 @@ func run() error {
 	switch *kind {
 	case "netflow":
 		var syn *core.FlowSynthesizer
-		if *loadPath != "" {
+		if *loadName != "" {
+			framed, info, err := reg.ModelBytes(*loadName)
+			if err != nil {
+				return fmt.Errorf("-load-model: %w", err)
+			}
+			if info.Kind != "flow" {
+				return fmt.Errorf("-load-model: %q is a %s model, need flow", *loadName, info.Kind)
+			}
+			if syn, err = core.LoadFlowSynthesizer(bytes.NewReader(framed)); err != nil {
+				return fmt.Errorf("-load-model: %w", err)
+			}
+			syn.SetParallelism(*par)
+			log.Printf("loaded model %q from registry %s", *loadName, *regDir)
+		} else if *loadPath != "" {
 			var err error
 			if syn, err = loadFlowModel(*loadPath); err != nil {
 				return err
@@ -173,6 +207,12 @@ func run() error {
 			}
 			log.Printf("saved model to %s", *savePath)
 		}
+		if *saveName != "" {
+			if err := putRegistryModel(reg, *saveName, syn.Save); err != nil {
+				return fmt.Errorf("-save-model: %w", err)
+			}
+			log.Printf("stored model %q in registry %s", *saveName, *regDir)
+		}
 		gen := syn.Generate(*genSize)
 		if *ipBase != "" {
 			base, bits, err := parseCIDR(*ipBase)
@@ -188,7 +228,20 @@ func run() error {
 
 	case "pcap":
 		var syn *core.PacketSynthesizer
-		if *loadPath != "" {
+		if *loadName != "" {
+			framed, info, err := reg.ModelBytes(*loadName)
+			if err != nil {
+				return fmt.Errorf("-load-model: %w", err)
+			}
+			if info.Kind != "packet" {
+				return fmt.Errorf("-load-model: %q is a %s model, need packet", *loadName, info.Kind)
+			}
+			if syn, err = core.LoadPacketSynthesizer(bytes.NewReader(framed)); err != nil {
+				return fmt.Errorf("-load-model: %w", err)
+			}
+			syn.SetParallelism(*par)
+			log.Printf("loaded model %q from registry %s", *loadName, *regDir)
+		} else if *loadPath != "" {
 			var err error
 			if syn, err = loadPacketModel(*loadPath); err != nil {
 				return err
@@ -210,6 +263,12 @@ func run() error {
 				return err
 			}
 			log.Printf("saved model to %s", *savePath)
+		}
+		if *saveName != "" {
+			if err := putRegistryModel(reg, *saveName, syn.Save); err != nil {
+				return fmt.Errorf("-save-model: %w", err)
+			}
+			log.Printf("stored model %q in registry %s", *saveName, *regDir)
 		}
 		gen := syn.Generate(*genSize)
 		if err := writePacket(*outPath, gen, *format); err != nil {
@@ -345,13 +404,26 @@ func writeMetrics(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// saveModel persists a model container atomically: the synthesizer
+// serializes into memory, then the bytes land on disk via the shared
+// temp-file + fsync + rename discipline, so an interrupted save can
+// never leave a torn model under the final name.
 func saveModel(path string, save func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := save(&buf); err != nil {
 		return err
 	}
-	defer f.Close()
-	return save(f)
+	return container.AtomicWrite(container.OSFS{}, path, buf.Bytes())
+}
+
+// putRegistryModel stores a trained model in the durable registry.
+func putRegistryModel(reg *registry.Registry, name string, save func(io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := save(&buf); err != nil {
+		return err
+	}
+	_, err := reg.PutModel(name, buf.Bytes())
+	return err
 }
 
 func loadFlowModel(path string) (*core.FlowSynthesizer, error) {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -88,8 +90,12 @@ func TestModelSaveLoadHelpers(t *testing.T) {
 	if _, err := loadPacketModel("/nonexistent/model"); err == nil {
 		t.Fatal("missing file must fail")
 	}
-	if err := saveModel("/nonexistent/dir/model", nil); err == nil {
+	if err := saveModel("/nonexistent/dir/model", func(io.Writer) error { return nil }); err == nil {
 		t.Fatal("unwritable path must fail")
+	}
+	wantErr := errors.New("encode failed")
+	if err := saveModel(filepath.Join(t.TempDir(), "m"), func(io.Writer) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("serialization error must propagate, got %v", err)
 	}
 }
 

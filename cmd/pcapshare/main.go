@@ -2,11 +2,15 @@
 // hosted by the authors at pcapshare.com): an HTTP API for submitting
 // traces, training NetShare, and downloading synthetic traces.
 //
-//	pcapshare -addr :8080 -jobs 2
+//	pcapshare -addr :8080 -jobs 2 -registry /var/lib/pcapshare
 //
 //	curl -X POST localhost:8080/api/v1/jobs -d '{"kind":"netflow","dataset":"ugr16","records":2000,"generate":2000}'
 //	curl localhost:8080/api/v1/jobs/job-1
 //	curl -o syn.csv 'localhost:8080/api/v1/jobs/job-1/trace?format=csv'
+//
+// With -registry set, trained models and finished jobs are persisted in
+// a durable, checksummed registry; a restarted server recovers them and
+// keeps serving downloads and model generation.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/registry"
 	"repro/internal/webapi"
 )
 
@@ -23,18 +28,36 @@ func main() {
 	log.SetPrefix("pcapshare: ")
 
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		jobs  = flag.Int("jobs", 1, "max concurrent training jobs")
-		debug = flag.Bool("debug", false, "mount /debug/pprof profiling endpoints")
+		addr   = flag.String("addr", ":8080", "listen address")
+		jobs   = flag.Int("jobs", 1, "max concurrent training jobs")
+		debug  = flag.Bool("debug", false, "mount /debug/pprof profiling endpoints")
+		regDir = flag.String("registry", "", "durable model/job registry directory (empty = memory-only)")
 	)
 	flag.Parse()
 
 	api := webapi.NewServer(*jobs)
 	api.Debug = *debug
+	if *regDir != "" {
+		reg, err := registry.Open(*regDir)
+		if err != nil {
+			log.Fatalf("open registry: %v", err)
+		}
+		stats, err := api.UseRegistry(reg)
+		if err != nil {
+			log.Fatalf("recover registry: %v", err)
+		}
+		log.Printf("registry %s: recovered %d job(s), %d model(s); swept %d file(s) (%d corrupt)",
+			*regDir, stats.Jobs, stats.Models, stats.Swept, stats.Corrupt)
+	}
+	// Training jobs run async, so handlers are quick; the generous write
+	// timeout covers streaming a large trace download to a slow client.
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           logRequests(api.Handler()),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
 	}
 	log.Printf("listening on %s", *addr)
 	if err := srv.ListenAndServe(); err != nil {

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 
+	"repro/internal/container"
 	"repro/internal/dgan"
 	"repro/internal/encoding"
 	"repro/internal/ip2vec"
@@ -16,9 +19,31 @@ import (
 // generation, so data holders train once and serve many requests.
 // Optimizer state is not persisted; a loaded model generates and can be
 // fine-tuned further from its weights.
+//
+// The wire bytes are a container frame (internal/container): magic,
+// format version, kind tag (flow vs packet), and a CRC-32 over the gob
+// payload. Loading validates the frame before the gob decoder ever runs,
+// then validates the decoded state itself — model count against
+// Config.Chunks, every fitted normalizer range finite with Lo <= Hi —
+// so a truncated, bit-flipped, wrong-kind, or future-version file
+// surfaces as a typed error (container.ErrBadMagic, ErrFutureVersion,
+// ErrCorrupt, ErrWrongKind) instead of an opaque gob failure, silently
+// loaded garbage, or a panic.
 
 // rangeWire captures one fitted normalizer's bounds.
 type rangeWire struct{ Lo, Hi float64 }
+
+// validate rejects non-finite or inverted bounds, which would otherwise
+// poison every value the restored normalizer touches.
+func (r rangeWire) validate(field string) error {
+	if math.IsNaN(r.Lo) || math.IsNaN(r.Hi) || math.IsInf(r.Lo, 0) || math.IsInf(r.Hi, 0) {
+		return fmt.Errorf("core: persisted %s range [%v, %v] is not finite", field, r.Lo, r.Hi)
+	}
+	if r.Lo > r.Hi {
+		return fmt.Errorf("core: persisted %s range [%v, %v] is inverted", field, r.Lo, r.Hi)
+	}
+	return nil
+}
 
 func captureRange(c interface {
 	Range() (float64, float64, bool)
@@ -54,6 +79,9 @@ func captureEmbed(pe *portEmbedding) (embedWire, error) {
 }
 
 func restoreEmbed(w embedWire) (*portEmbedding, error) {
+	if w.Dim <= 0 {
+		return nil, fmt.Errorf("core: persisted embedding dimension %d is not positive", w.Dim)
+	}
 	model, err := ip2vec.Decode(w.Model)
 	if err != nil {
 		return nil, err
@@ -67,9 +95,63 @@ func restoreEmbed(w embedWire) (*portEmbedding, error) {
 	}
 	pe.norms = make([]encoding.MinMax, w.Dim)
 	for i, r := range w.Norms {
+		if err := r.validate(fmt.Sprintf("embedding norm %d", i)); err != nil {
+			return nil, err
+		}
 		pe.norms[i].RestoreRange(r.Lo, r.Hi)
 	}
 	return pe, nil
+}
+
+// saveContainer gob-encodes wire and writes it to w inside a container
+// frame of the given kind, so every saved synthesizer carries a magic,
+// format version, kind tag, and payload CRC.
+func saveContainer(w io.Writer, kind container.Kind, wire any) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(wire); err != nil {
+		return fmt.Errorf("core: encode synthesizer: %w", err)
+	}
+	if _, err := w.Write(container.Encode(kind, payload.Bytes())); err != nil {
+		return fmt.Errorf("core: write synthesizer: %w", err)
+	}
+	return nil
+}
+
+// loadContainer reads a full container frame from r, validates it, and
+// gob-decodes the payload into wire. The gob decoder only ever sees
+// CRC-verified bytes; a panic anywhere below (a malformed gob stream
+// that slips past the CRC, e.g. hand-crafted) is converted to an error.
+func loadContainer(r io.Reader, kind container.Kind, wire any) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("core: load synthesizer: decoder panicked on malformed input: %v", rec)
+		}
+	}()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("core: read synthesizer: %w", err)
+	}
+	payload, err := container.DecodeKind(data, kind)
+	if err != nil {
+		return fmt.Errorf("core: load synthesizer: %w", err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(wire); err != nil {
+		return fmt.Errorf("core: load synthesizer: %w", err)
+	}
+	return nil
+}
+
+// validateModels cross-checks the persisted chunk models against the
+// persisted configuration: exactly one model per configured chunk.
+func validateModels(models [][]byte, cfg Config) error {
+	if len(models) == 0 {
+		return fmt.Errorf("core: persisted synthesizer has no models")
+	}
+	if cfg.Chunks > 0 && len(models) != cfg.Chunks {
+		return fmt.Errorf("core: persisted synthesizer has %d models, config declares %d chunks",
+			len(models), cfg.Chunks)
+	}
+	return nil
 }
 
 // flowSynWire is the gob wire form of a FlowSynthesizer.
@@ -84,9 +166,9 @@ type flowSynWire struct {
 	Models [][]byte
 }
 
-// Save serializes the trained synthesizer to w. The IPVectorEncoding
-// ablation mode is not persistable (its private dictionary exists only to
-// quantify Table 2's tradeoff).
+// Save serializes the trained synthesizer to w as a flow-model
+// container. The IPVectorEncoding ablation mode is not persistable (its
+// private dictionary exists only to quantify Table 2's tradeoff).
 func (s *FlowSynthesizer) Save(w io.Writer) error {
 	if s.codec.ipEmbed != nil {
 		return fmt.Errorf("core: IPVectorEncoding models are ablation-only and cannot be persisted")
@@ -115,20 +197,28 @@ func (s *FlowSynthesizer) Save(w io.Writer) error {
 		}
 		wire.Models = append(wire.Models, enc)
 	}
-	if err := gob.NewEncoder(w).Encode(wire); err != nil {
-		return fmt.Errorf("core: save flow synthesizer: %w", err)
-	}
-	return nil
+	return saveContainer(w, container.KindFlowModel, wire)
 }
 
-// LoadFlowSynthesizer deserializes a synthesizer produced by Save.
+// LoadFlowSynthesizer deserializes a synthesizer produced by Save,
+// validating the container frame and the decoded state (model count vs
+// Config.Chunks, finite non-inverted normalizer ranges) before any model
+// weights are trusted.
 func LoadFlowSynthesizer(r io.Reader) (*FlowSynthesizer, error) {
 	var wire flowSynWire
-	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("core: load flow synthesizer: %w", err)
+	if err := loadContainer(r, container.KindFlowModel, &wire); err != nil {
+		return nil, err
 	}
-	if len(wire.Models) == 0 {
-		return nil, fmt.Errorf("core: persisted synthesizer has no models")
+	if err := validateModels(wire.Models, wire.Config); err != nil {
+		return nil, err
+	}
+	for _, rw := range []struct {
+		r    rangeWire
+		name string
+	}{{wire.Time, "time"}, {wire.Dur, "duration"}, {wire.Pkt, "packets"}, {wire.Byt, "bytes"}} {
+		if err := rw.r.validate(rw.name); err != nil {
+			return nil, err
+		}
 	}
 	embed, err := restoreEmbed(wire.Embed)
 	if err != nil {
@@ -169,8 +259,8 @@ type packetSynWire struct {
 	Models [][]byte
 }
 
-// Save serializes the trained synthesizer to w. The IPVectorEncoding
-// ablation mode is not persistable.
+// Save serializes the trained synthesizer to w as a packet-model
+// container. The IPVectorEncoding ablation mode is not persistable.
 func (s *PacketSynthesizer) Save(w io.Writer) error {
 	if s.codec.ipEmbed != nil {
 		return fmt.Errorf("core: IPVectorEncoding models are ablation-only and cannot be persisted")
@@ -193,20 +283,24 @@ func (s *PacketSynthesizer) Save(w io.Writer) error {
 		}
 		wire.Models = append(wire.Models, enc)
 	}
-	if err := gob.NewEncoder(w).Encode(wire); err != nil {
-		return fmt.Errorf("core: save packet synthesizer: %w", err)
-	}
-	return nil
+	return saveContainer(w, container.KindPacketMdl, wire)
 }
 
-// LoadPacketSynthesizer deserializes a synthesizer produced by Save.
+// LoadPacketSynthesizer deserializes a synthesizer produced by Save,
+// with the same frame and state validation as LoadFlowSynthesizer.
 func LoadPacketSynthesizer(r io.Reader) (*PacketSynthesizer, error) {
 	var wire packetSynWire
-	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("core: load packet synthesizer: %w", err)
+	if err := loadContainer(r, container.KindPacketMdl, &wire); err != nil {
+		return nil, err
 	}
-	if len(wire.Models) == 0 {
-		return nil, fmt.Errorf("core: persisted synthesizer has no models")
+	if err := validateModels(wire.Models, wire.Config); err != nil {
+		return nil, err
+	}
+	if err := wire.Time.validate("time"); err != nil {
+		return nil, err
+	}
+	if err := wire.Size.validate("size"); err != nil {
+		return nil, err
 	}
 	embed, err := restoreEmbed(wire.Embed)
 	if err != nil {

@@ -2,8 +2,12 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
+	"errors"
+	"math"
 	"testing"
 
+	"repro/internal/container"
 	"repro/internal/datasets"
 	"repro/internal/metrics"
 	"repro/internal/trace"
@@ -114,5 +118,110 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 	if _, err := LoadPacketSynthesizer(bytes.NewReader(nil)); err == nil {
 		t.Fatal("empty input must fail")
+	}
+}
+
+// TestSynthesizerCorruptionMatrix damages saved model bytes in every way
+// the container format must catch: each case yields the matching typed
+// error from internal/container, and no case can panic.
+func TestSynthesizerCorruptionMatrix(t *testing.T) {
+	syn, _ := trainTinyFlow(t)
+	var buf bytes.Buffer
+	if err := syn.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"truncated-header", func(b []byte) []byte { return b[:10] }, container.ErrTruncated},
+		{"truncated-payload", func(b []byte) []byte { return b[:len(b)/2] }, container.ErrCorrupt},
+		{"bit-flipped-payload", func(b []byte) []byte { b[len(b)/2] ^= 0x10; return b }, container.ErrCorrupt},
+		{"wrong-magic", func(b []byte) []byte { b[0] = 'g'; return b }, container.ErrBadMagic},
+		{"legacy-raw-gob", func(b []byte) []byte { return b[container.HeaderLen:] }, container.ErrBadMagic},
+		{"future-version", func(b []byte) []byte { b[8], b[9] = 0xFF, 0xFF; return b }, container.ErrFutureVersion},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(append([]byte(nil), good...))
+			_, err := LoadFlowSynthesizer(bytes.NewReader(data))
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("got %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+
+	// Wrong kind: flow bytes fed to the packet loader (and vice versa)
+	// are rejected by the kind tag before the gob decoder runs.
+	if _, err := LoadPacketSynthesizer(bytes.NewReader(good)); !errors.Is(err, container.ErrWrongKind) {
+		t.Fatalf("flow container in packet loader: got %v, want ErrWrongKind", err)
+	}
+}
+
+// rewireFlow decodes saved flow-model bytes to the wire struct, applies
+// mutate, and re-frames the result — forging the kind of internally
+// inconsistent state a buggy or malicious writer could produce.
+func rewireFlow(t *testing.T, data []byte, mutate func(*flowSynWire)) []byte {
+	t.Helper()
+	payload, err := container.DecodeKind(data, container.KindFlowModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire flowSynWire
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&wire)
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(wire); err != nil {
+		t.Fatal(err)
+	}
+	return container.Encode(container.KindFlowModel, out.Bytes())
+}
+
+// TestLoadValidatesDecodedState covers the post-frame checks: a CRC-clean
+// container whose decoded contents are inconsistent (model count vs
+// Config.Chunks, non-finite or inverted normalizer ranges) must be
+// rejected with a clear error instead of loading garbage.
+func TestLoadValidatesDecodedState(t *testing.T) {
+	syn, _ := trainTinyFlow(t)
+	var buf bytes.Buffer
+	if err := syn.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := []struct {
+		name   string
+		mutate func(*flowSynWire)
+	}{
+		{"model-count-mismatch", func(w *flowSynWire) { w.Models = w.Models[:1] }},
+		{"no-models", func(w *flowSynWire) { w.Models = nil }},
+		{"nan-range", func(w *flowSynWire) { w.Dur.Lo = math.NaN() }},
+		{"inf-range", func(w *flowSynWire) { w.Byt.Hi = math.Inf(1) }},
+		{"inverted-range", func(w *flowSynWire) { w.Time.Lo, w.Time.Hi = 10, -10 }},
+		{"inverted-embed-norm", func(w *flowSynWire) {
+			w.Embed.Norms[0].Lo, w.Embed.Norms[0].Hi = 1, 0
+		}},
+		{"nan-embed-norm", func(w *flowSynWire) { w.Embed.Norms[0].Hi = math.NaN() }},
+		{"embed-dim-mismatch", func(w *flowSynWire) { w.Embed.Dim++ }},
+		{"nonpositive-embed-dim", func(w *flowSynWire) { w.Embed.Dim = 0; w.Embed.Norms = nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := rewireFlow(t, good, tc.mutate)
+			if _, err := LoadFlowSynthesizer(bytes.NewReader(data)); err == nil {
+				t.Fatal("inconsistent state must be rejected")
+			}
+		})
+	}
+
+	// The unmutated round trip still loads, so the cases above fail for
+	// the injected reason and not an artifact of rewireFlow itself.
+	if _, err := LoadFlowSynthesizer(bytes.NewReader(rewireFlow(t, good, func(*flowSynWire) {}))); err != nil {
+		t.Fatalf("identity rewire must load: %v", err)
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+
+	"repro/internal/container"
 )
 
 // On-disk layout of a checkpoint directory:
@@ -33,27 +35,19 @@ type FS interface {
 	MkdirAll(dir string) error
 }
 
-// OSFS implements FS on the real filesystem.
-type OSFS struct{}
+// OSFS implements FS on the real filesystem. Writes and renames go
+// through container.OSFS, which fsyncs files and parent directories so
+// a crash right after a checkpoint cannot lose it.
+type OSFS struct{ container.OSFS }
 
-func (OSFS) ReadFile(name string) ([]byte, error)     { return os.ReadFile(name) }
-func (OSFS) WriteFile(name string, data []byte) error { return os.WriteFile(name, data, 0o644) }
-func (OSFS) Rename(oldpath, newpath string) error     { return os.Rename(oldpath, newpath) }
-func (OSFS) Remove(name string) error                 { return os.Remove(name) }
-func (OSFS) MkdirAll(dir string) error                { return os.MkdirAll(dir, 0o755) }
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (OSFS) MkdirAll(dir string) error            { return os.MkdirAll(dir, 0o755) }
 
-// atomicWrite writes data under a temporary name and renames it into
-// place, so readers never observe a partially written file.
+// atomicWrite is the shared temp-file + rename discipline
+// (container.AtomicWrite); the orchestrator FS is a structural superset
+// of container.FS, so fault-injection filesystems pass straight through.
 func atomicWrite(fs FS, path string, data []byte) error {
-	tmp := path + ".tmp"
-	if err := fs.WriteFile(tmp, data); err != nil {
-		return err
-	}
-	if err := fs.Rename(tmp, path); err != nil {
-		_ = fs.Remove(tmp)
-		return err
-	}
-	return nil
+	return container.AtomicWrite(fs, path, data)
 }
 
 // ckptMagic identifies a framed checkpoint file (version 1).
@@ -175,13 +169,16 @@ func ParseManifest(data []byte) (*Manifest, error) {
 	return &m, nil
 }
 
-func (m *Manifest) encode() []byte {
+// encode serializes the manifest for durable storage. Marshalling plain
+// data fields should never fail, but a persistence layer must not be
+// able to crash a training run, so the error propagates to the caller
+// (surfaced as an EventCheckpointError) instead of panicking.
+func (m *Manifest) encode() ([]byte, error) {
 	b, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
-		// Manifest contains only plain data fields; marshalling cannot fail.
-		panic(err)
+		return nil, fmt.Errorf("orchestrator: encode manifest: %w", err)
 	}
-	return b
+	return b, nil
 }
 
 func chunkFile(idx int) string   { return fmt.Sprintf("chunk-%04d.ckpt", idx) }

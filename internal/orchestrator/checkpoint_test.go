@@ -83,6 +83,15 @@ func TestAtomicWriteReplacesExisting(t *testing.T) {
 	}
 }
 
+// mustEncode serializes a manifest that is known-good by construction.
+func mustEncode(m *Manifest) []byte {
+	b, err := m.encode()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
 func validManifest() *Manifest {
 	return &Manifest{
 		Version:    ManifestVersion,
@@ -98,7 +107,7 @@ func validManifest() *Manifest {
 
 func TestManifestRoundtrip(t *testing.T) {
 	m := validManifest()
-	got, err := ParseManifest(m.encode())
+	got, err := ParseManifest(mustEncode(m))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +134,7 @@ func TestParseManifestRejections(t *testing.T) {
 	for name, mutate := range cases {
 		m := validManifest()
 		mutate(m)
-		if _, err := ParseManifest(m.encode()); err == nil {
+		if _, err := ParseManifest(mustEncode(m)); err == nil {
 			t.Errorf("%s: want rejection", name)
 		}
 	}
@@ -141,7 +150,7 @@ func TestParseManifestAllowsUnsetFiles(t *testing.T) {
 	// Pending chunks carry empty File/PartialFile; filepath.Base("") is "."
 	// and must not trip the path-confinement check.
 	m := validManifest()
-	if _, err := ParseManifest(m.encode()); err != nil {
+	if _, err := ParseManifest(mustEncode(m)); err != nil {
 		t.Fatalf("manifest with unset file fields rejected: %v", err)
 	}
 }
@@ -185,7 +194,7 @@ func TestEncodeCheckpointHeaderLayout(t *testing.T) {
 func TestManifestEncodeIsStable(t *testing.T) {
 	// The manifest is rewritten after every chunk; byte-stable encoding
 	// keeps checkpoint directories diffable across identical runs.
-	a, b := validManifest().encode(), validManifest().encode()
+	a, b := mustEncode(validManifest()), mustEncode(validManifest())
 	if !bytes.Equal(a, b) {
 		t.Fatal("manifest encoding is not deterministic")
 	}

@@ -38,17 +38,17 @@ func FuzzLoadManifest(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("{}"))
 	f.Add([]byte(`{"version":1}`))
-	f.Add(validManifest().encode())
+	f.Add(mustEncode(validManifest()))
 	bad := validManifest()
 	bad.Chunks[0].File = "../escape"
-	f.Add(bad.encode())
+	f.Add(mustEncode(bad))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := ParseManifest(data)
 		if err != nil {
 			return
 		}
-		if _, err := ParseManifest(m.encode()); err != nil {
+		if _, err := ParseManifest(mustEncode(m)); err != nil {
 			t.Fatalf("accepted manifest fails its own roundtrip: %v", err)
 		}
 	})

@@ -578,7 +578,11 @@ func (r *runner) persistManifestLocked() {
 	if r.opts.Dir == "" {
 		return
 	}
-	if err := atomicWrite(r.opts.FS, filepath.Join(r.opts.Dir, ManifestFile), r.man.encode()); err != nil {
+	data, err := r.man.encode()
+	if err == nil {
+		err = atomicWrite(r.opts.FS, filepath.Join(r.opts.Dir, ManifestFile), data)
+	}
+	if err != nil {
 		r.event(Event{Kind: EventCheckpointError, Chunk: -1, Err: err})
 	}
 }

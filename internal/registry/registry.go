@@ -1,0 +1,529 @@
+// Package registry implements the durable model registry behind the
+// train-once/serve-many deployment story (paper §2, Fig. 1): a
+// disk-backed store of named trained models and terminal job records
+// that a restarted service recovers on boot (DESIGN.md §10).
+//
+// On-disk layout under the registry directory:
+//
+//	models/<name>.mdl    container-framed synthesizer bytes (internal/container)
+//	models/<name>.json   model manifest: kind, payload checksum, size, save time
+//	jobs/<id>.json       terminal job manifest, embedding the service's status JSON
+//	jobs/<id>.trace      container-framed canonical trace payload (CSV bytes)
+//
+// Every file is written atomically with fsync (container.AtomicWrite +
+// container.OSFS), so a crash mid-write can leave a stray *.tmp file but
+// never a half-written entry under its final name. Model payloads carry
+// their own container CRC; trace payloads are framed the same way and
+// additionally cross-checked against the checksum recorded in the job
+// manifest. Corrupt entries surface as typed errors on read and are
+// reclaimed by Sweep, never silently served.
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/container"
+)
+
+const (
+	modelsDir = "models"
+	jobsDir   = "jobs"
+
+	modelExt    = ".mdl"
+	manifestExt = ".json"
+	traceExt    = ".trace"
+)
+
+// ModelInfo is a stored model's manifest.
+type ModelInfo struct {
+	Name string `json:"name"`
+	// Kind is "flow" or "packet", derived from the container kind tag.
+	Kind string `json:"kind"`
+	// Checksum is the CRC-32 (IEEE) of the container payload; Size is the
+	// full framed file size in bytes.
+	Checksum uint32 `json:"checksum"`
+	Size     int64  `json:"size"`
+	SavedAt  string `json:"savedAt"`
+}
+
+// JobRecord is a terminal job's durable manifest. Status is the owning
+// service's own status document (webapi.JobStatus for pcapshare); the
+// registry stores it opaquely and round-trips it on recovery.
+type JobRecord struct {
+	ID     string          `json:"id"`
+	State  string          `json:"state"`
+	Status json.RawMessage `json:"status"`
+	// Model names the job's trained model in the model store ("" when the
+	// job failed before training finished).
+	Model string `json:"model,omitempty"`
+	// TraceKind is "netflow" or "pcap" when a trace payload is stored.
+	TraceKind string `json:"traceKind,omitempty"`
+	// TraceChecksum/TraceSize describe the stored trace payload (the
+	// checksum covers the payload inside the container frame).
+	TraceChecksum uint32 `json:"traceChecksum,omitempty"`
+	TraceSize     int64  `json:"traceSize,omitempty"`
+	SavedAt       string `json:"savedAt"`
+}
+
+// SweepReport summarizes one garbage-collection pass.
+type SweepReport struct {
+	// Removed lists registry-relative paths deleted: stray temp files,
+	// orphaned payloads, and entries whose payload failed validation.
+	Removed []string
+	// Corrupt counts entries removed because their payload was corrupt
+	// (CRC mismatch, bad frame) as opposed to merely orphaned.
+	Corrupt int
+}
+
+// Registry is a disk-backed store of named models and job records. All
+// methods are safe for concurrent use.
+type Registry struct {
+	dir string
+	mu  sync.Mutex
+	now func() time.Time // injectable clock for tests
+}
+
+// Open creates (if needed) and returns the registry rooted at dir.
+func Open(dir string) (*Registry, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("registry: directory must not be empty")
+	}
+	for _, sub := range []string{dir, filepath.Join(dir, modelsDir), filepath.Join(dir, jobsDir)} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("registry: create %s: %w", sub, err)
+		}
+	}
+	return &Registry{dir: dir, now: time.Now}, nil
+}
+
+// Dir returns the registry's root directory.
+func (r *Registry) Dir() string { return r.dir }
+
+// validName rejects names that could escape the registry directory or
+// collide with its bookkeeping files.
+func validName(name string) error {
+	if name == "" || len(name) > 128 {
+		return fmt.Errorf("registry: invalid entry name %q", name)
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("registry: invalid entry name %q (allowed: letters, digits, '-', '_', '.')", name)
+		}
+	}
+	if strings.HasPrefix(name, ".") {
+		return fmt.Errorf("registry: entry name %q must not start with '.'", name)
+	}
+	return nil
+}
+
+func kindString(k container.Kind) (string, error) {
+	switch k {
+	case container.KindFlowModel:
+		return "flow", nil
+	case container.KindPacketMdl:
+		return "packet", nil
+	default:
+		return "", fmt.Errorf("registry: container kind %s is not a model", k)
+	}
+}
+
+// PutModel stores container-framed model bytes (the output of a
+// synthesizer's Save) under name, overwriting any previous version. The
+// frame is validated before anything touches disk.
+func (r *Registry) PutModel(name string, framed []byte) (ModelInfo, error) {
+	if err := validName(name); err != nil {
+		return ModelInfo{}, err
+	}
+	kind, payload, err := container.Decode(framed)
+	if err != nil {
+		return ModelInfo{}, fmt.Errorf("registry: refusing to store invalid model %q: %w", name, err)
+	}
+	ks, err := kindString(kind)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	info := ModelInfo{
+		Name:     name,
+		Kind:     ks,
+		Checksum: crc32.ChecksumIEEE(payload),
+		Size:     int64(len(framed)),
+		SavedAt:  r.now().UTC().Format(time.RFC3339),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Payload first, manifest second: a crash between the two leaves an
+	// orphaned payload (reclaimed by Sweep), never a manifest pointing at
+	// missing or stale bytes.
+	if err := container.AtomicWrite(container.OSFS{}, r.modelPath(name), framed); err != nil {
+		return ModelInfo{}, fmt.Errorf("registry: store model %q: %w", name, err)
+	}
+	if err := r.writeManifest(r.modelManifestPath(name), info); err != nil {
+		return ModelInfo{}, err
+	}
+	telModelsSaved.Inc()
+	return info, nil
+}
+
+// ModelBytes returns a stored model's framed bytes after re-validating
+// the container CRC and cross-checking the manifest checksum, plus its
+// manifest. The bytes feed straight into core.LoadFlowSynthesizer /
+// LoadPacketSynthesizer.
+func (r *Registry) ModelBytes(name string) ([]byte, ModelInfo, error) {
+	if err := validName(name); err != nil {
+		return nil, ModelInfo{}, err
+	}
+	var info ModelInfo
+	if err := r.readManifest(r.modelManifestPath(name), &info); err != nil {
+		return nil, ModelInfo{}, err
+	}
+	framed, err := os.ReadFile(r.modelPath(name))
+	if err != nil {
+		return nil, ModelInfo{}, fmt.Errorf("registry: model %q payload: %w", name, err)
+	}
+	_, payload, err := container.Decode(framed)
+	if err != nil {
+		telCorrupt.Inc()
+		return nil, ModelInfo{}, fmt.Errorf("registry: model %q: %w", name, err)
+	}
+	if sum := crc32.ChecksumIEEE(payload); sum != info.Checksum {
+		telCorrupt.Inc()
+		return nil, ModelInfo{}, fmt.Errorf("registry: model %q payload CRC %08x does not match manifest %08x: %w",
+			name, sum, info.Checksum, container.ErrCorrupt)
+	}
+	telModelsLoaded.Inc()
+	return framed, info, nil
+}
+
+// Models lists stored models in name order. Entries with unreadable
+// manifests are skipped (Sweep reclaims them).
+func (r *Registry) Models() []ModelInfo {
+	var out []ModelInfo
+	for _, name := range r.manifestNames(filepath.Join(r.dir, modelsDir)) {
+		var info ModelInfo
+		if err := r.readManifest(r.modelManifestPath(name), &info); err == nil && info.Name == name {
+			out = append(out, info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DeleteModel removes a model and its manifest. Deleting a missing model
+// is not an error (the end state is identical).
+func (r *Registry) DeleteModel(name string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Manifest first: a crash between the two removals leaves an orphaned
+	// payload for Sweep, not a manifest pointing at nothing.
+	if err := removeIfExists(r.modelManifestPath(name)); err != nil {
+		return err
+	}
+	return removeIfExists(r.modelPath(name))
+}
+
+// PutJob stores a terminal job record and, when tracePayload is non-nil,
+// its canonical trace payload (CSV bytes) as a framed container.
+func (r *Registry) PutJob(rec JobRecord, tracePayload []byte) error {
+	if err := validName(rec.ID); err != nil {
+		return err
+	}
+	rec.SavedAt = r.now().UTC().Format(time.RFC3339)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if tracePayload != nil {
+		rec.TraceChecksum = crc32.ChecksumIEEE(tracePayload)
+		rec.TraceSize = int64(len(tracePayload))
+		framed := container.Encode(container.KindTrace, tracePayload)
+		if err := container.AtomicWrite(container.OSFS{}, r.tracePath(rec.ID), framed); err != nil {
+			return fmt.Errorf("registry: store trace for job %q: %w", rec.ID, err)
+		}
+	}
+	if err := r.writeManifest(r.jobManifestPath(rec.ID), rec); err != nil {
+		return err
+	}
+	telJobsSaved.Inc()
+	return nil
+}
+
+// Job returns one stored job record by ID.
+func (r *Registry) Job(id string) (JobRecord, error) {
+	if err := validName(id); err != nil {
+		return JobRecord{}, err
+	}
+	var rec JobRecord
+	if err := r.readManifest(r.jobManifestPath(id), &rec); err != nil {
+		return JobRecord{}, err
+	}
+	return rec, nil
+}
+
+// Jobs lists stored job records in ID order. Unreadable manifests are
+// skipped.
+func (r *Registry) Jobs() []JobRecord {
+	var out []JobRecord
+	for _, id := range r.manifestNames(filepath.Join(r.dir, jobsDir)) {
+		var rec JobRecord
+		if err := r.readManifest(r.jobManifestPath(id), &rec); err == nil && rec.ID == id {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TraceBytes returns a job's full trace payload after verifying both the
+// container CRC and the manifest cross-check.
+func (r *Registry) TraceBytes(id string) ([]byte, error) {
+	if err := validName(id); err != nil {
+		return nil, err
+	}
+	var rec JobRecord
+	if err := r.readManifest(r.jobManifestPath(id), &rec); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(r.tracePath(id))
+	if err != nil {
+		return nil, fmt.Errorf("registry: trace for job %q: %w", id, err)
+	}
+	payload, err := container.DecodeKind(data, container.KindTrace)
+	if err != nil {
+		telCorrupt.Inc()
+		return nil, fmt.Errorf("registry: trace for job %q: %w", id, err)
+	}
+	if sum := crc32.ChecksumIEEE(payload); sum != rec.TraceChecksum {
+		telCorrupt.Inc()
+		return nil, fmt.Errorf("registry: trace for job %q CRC %08x does not match manifest %08x: %w",
+			id, sum, rec.TraceChecksum, container.ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// OpenTrace opens a job's trace payload for streaming: the returned
+// reader yields exactly the payload bytes (the container header is
+// checked and skipped), so HTTP handlers can io.Copy a download straight
+// from disk without re-encoding the trace in memory. The header's
+// declared length is validated against both the file size and the job
+// manifest; full CRC verification happens at store time and in
+// VerifyJob/Sweep, keeping the open path O(1).
+func (r *Registry) OpenTrace(id string) (io.ReadCloser, int64, error) {
+	if err := validName(id); err != nil {
+		return nil, 0, err
+	}
+	var rec JobRecord
+	if err := r.readManifest(r.jobManifestPath(id), &rec); err != nil {
+		return nil, 0, err
+	}
+	f, err := os.Open(r.tracePath(id))
+	if err != nil {
+		return nil, 0, fmt.Errorf("registry: trace for job %q: %w", id, err)
+	}
+	header := make([]byte, container.HeaderLen)
+	if _, err := io.ReadFull(f, header); err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("registry: trace for job %q: %w", id, container.ErrTruncated)
+	}
+	kind, declared, err := container.ParseHeader(header)
+	if err != nil {
+		f.Close()
+		telCorrupt.Inc()
+		return nil, 0, fmt.Errorf("registry: trace for job %q: %w", id, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	payloadLen := st.Size() - int64(container.HeaderLen)
+	if kind != container.KindTrace || int64(declared) != payloadLen || payloadLen != rec.TraceSize {
+		f.Close()
+		telCorrupt.Inc()
+		return nil, 0, fmt.Errorf("registry: trace for job %q: kind %s, %d payload bytes on disk, header declares %d, manifest %d: %w",
+			id, kind, payloadLen, declared, rec.TraceSize, container.ErrCorrupt)
+	}
+	return f, payloadLen, nil
+}
+
+// VerifyJob re-validates a stored job's trace payload end to end
+// (container frame + manifest CRC). Jobs without traces verify trivially.
+func (r *Registry) VerifyJob(id string) error {
+	var rec JobRecord
+	if err := r.readManifest(r.jobManifestPath(id), &rec); err != nil {
+		return err
+	}
+	if rec.TraceSize == 0 && rec.TraceChecksum == 0 {
+		return nil
+	}
+	_, err := r.TraceBytes(id)
+	return err
+}
+
+// DeleteJob removes a job record and its trace payload.
+func (r *Registry) DeleteJob(id string) error {
+	if err := validName(id); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := removeIfExists(r.jobManifestPath(id)); err != nil {
+		return err
+	}
+	return removeIfExists(r.tracePath(id))
+}
+
+// Sweep garbage-collects the registry: stray *.tmp files from
+// interrupted writes, payloads without manifests, manifests without
+// payloads, and entries whose payload fails CRC validation are removed.
+// The registry is valid and fully servable afterwards.
+func (r *Registry) Sweep() (SweepReport, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var rep SweepReport
+
+	remove := func(path string, corrupt bool) error {
+		if err := removeIfExists(path); err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(r.dir, path)
+		rep.Removed = append(rep.Removed, rel)
+		if corrupt {
+			rep.Corrupt++
+			telCorrupt.Inc()
+		}
+		return nil
+	}
+
+	for _, sub := range []string{modelsDir, jobsDir} {
+		entries, err := os.ReadDir(filepath.Join(r.dir, sub))
+		if err != nil {
+			return rep, fmt.Errorf("registry: sweep %s: %w", sub, err)
+		}
+		manifests := map[string]bool{}
+		payloads := map[string]string{} // name -> payload path
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			path := filepath.Join(r.dir, sub, e.Name())
+			switch {
+			case strings.HasSuffix(e.Name(), ".tmp"):
+				if err := remove(path, false); err != nil {
+					return rep, err
+				}
+			case strings.HasSuffix(e.Name(), manifestExt):
+				manifests[strings.TrimSuffix(e.Name(), manifestExt)] = true
+			case strings.HasSuffix(e.Name(), modelExt):
+				payloads[strings.TrimSuffix(e.Name(), modelExt)] = path
+			case strings.HasSuffix(e.Name(), traceExt):
+				payloads[strings.TrimSuffix(e.Name(), traceExt)] = path
+			}
+		}
+		// Orphaned payloads: no manifest claims them.
+		for name, path := range payloads {
+			if !manifests[name] {
+				if err := remove(path, false); err != nil {
+					return rep, err
+				}
+			}
+		}
+		// Manifests whose payload is missing or corrupt.
+		for name := range manifests {
+			var bad, corrupt bool
+			if sub == modelsDir {
+				if _, _, err := r.ModelBytes(name); err != nil {
+					bad, corrupt = true, !errors.Is(err, os.ErrNotExist)
+				}
+			} else {
+				if err := r.VerifyJob(name); err != nil {
+					bad, corrupt = true, !errors.Is(err, os.ErrNotExist)
+				}
+			}
+			if bad {
+				manifestPath := filepath.Join(r.dir, sub, name+manifestExt)
+				if err := remove(manifestPath, corrupt); err != nil {
+					return rep, err
+				}
+				if path, ok := payloads[name]; ok {
+					if err := remove(path, false); err != nil {
+						return rep, err
+					}
+				}
+			}
+		}
+	}
+	telSweeps.Inc()
+	return rep, nil
+}
+
+func (r *Registry) modelPath(name string) string {
+	return filepath.Join(r.dir, modelsDir, name+modelExt)
+}
+func (r *Registry) modelManifestPath(name string) string {
+	return filepath.Join(r.dir, modelsDir, name+manifestExt)
+}
+func (r *Registry) jobManifestPath(id string) string {
+	return filepath.Join(r.dir, jobsDir, id+manifestExt)
+}
+func (r *Registry) tracePath(id string) string {
+	return filepath.Join(r.dir, jobsDir, id+traceExt)
+}
+
+func (r *Registry) writeManifest(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("registry: encode manifest %s: %w", filepath.Base(path), err)
+	}
+	if err := container.AtomicWrite(container.OSFS{}, path, append(data, '\n')); err != nil {
+		return fmt.Errorf("registry: write manifest %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+func (r *Registry) readManifest(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("registry: manifest %s: %w", filepath.Base(path), err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("registry: parse manifest %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// manifestNames returns the entry names (manifest files minus extension)
+// in dir.
+func (r *Registry) manifestNames(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), manifestExt) {
+			names = append(names, strings.TrimSuffix(e.Name(), manifestExt))
+		}
+	}
+	return names
+}
+
+func removeIfExists(path string) error {
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package registry
+
+import "repro/internal/telemetry"
+
+// Pre-registered telemetry handles for registry traffic (DESIGN.md §9,
+// §10): save/load hit counters, corruption detections, and GC passes.
+// webapi adds its own recovery counters on top of these.
+var (
+	telModelsSaved  = telemetry.Default.Counter("registry.models.saved")
+	telModelsLoaded = telemetry.Default.Counter("registry.models.loaded")
+	telJobsSaved    = telemetry.Default.Counter("registry.jobs.saved")
+	telCorrupt      = telemetry.Default.Counter("registry.corrupt")
+	telSweeps       = telemetry.Default.Counter("registry.sweeps")
+)

@@ -42,23 +42,28 @@ func WritePacketCSV(w io.Writer, t *PacketTrace) error {
 }
 
 // ReadPacketCSV parses the packet CSV layout produced by WritePacketCSV.
+// Rows are decoded one at a time as they stream in, so a multi-gigabyte
+// upload never needs a second full copy of the raw CSV in memory, and a
+// malformed row fails fast instead of after buffering the whole file.
 func ReadPacketCSV(r io.Reader) (*PacketTrace, error) {
 	cr := csv.NewReader(r)
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("trace: read packet csv: %w", err)
-	}
-	if len(rows) == 0 {
-		return &PacketTrace{}, nil
-	}
-	out := &PacketTrace{Packets: make([]Packet, 0, len(rows)-1)}
-	for i, row := range rows[1:] {
-		if len(row) != len(packetHeader) {
-			return nil, fmt.Errorf("trace: packet row %d has %d columns, want %d", i+1, len(row), len(packetHeader))
+	cr.FieldsPerRecord = len(packetHeader)
+	cr.ReuseRecord = true
+	out := &PacketTrace{}
+	for i := 0; ; i++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: read packet csv: %w", err)
+		}
+		if i == 0 {
+			continue // header row
 		}
 		var p Packet
 		if p.Time, err = strconv.ParseInt(row[0], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: packet row %d time: %w", i+1, err)
+			return nil, fmt.Errorf("trace: packet row %d time: %w", i, err)
 		}
 		if p.Tuple.SrcIP, err = ParseIPv4(row[1]); err != nil {
 			return nil, err
@@ -68,34 +73,36 @@ func ReadPacketCSV(r io.Reader) (*PacketTrace, error) {
 		}
 		sp, err := strconv.ParseUint(row[3], 10, 16)
 		if err != nil {
-			return nil, fmt.Errorf("trace: packet row %d src port: %w", i+1, err)
+			return nil, fmt.Errorf("trace: packet row %d src port: %w", i, err)
 		}
 		dp, err := strconv.ParseUint(row[4], 10, 16)
 		if err != nil {
-			return nil, fmt.Errorf("trace: packet row %d dst port: %w", i+1, err)
+			return nil, fmt.Errorf("trace: packet row %d dst port: %w", i, err)
 		}
 		proto, err := strconv.ParseUint(row[5], 10, 8)
 		if err != nil {
-			return nil, fmt.Errorf("trace: packet row %d proto: %w", i+1, err)
+			return nil, fmt.Errorf("trace: packet row %d proto: %w", i, err)
 		}
 		size, err := strconv.Atoi(row[6])
 		if err != nil {
-			return nil, fmt.Errorf("trace: packet row %d size: %w", i+1, err)
+			return nil, fmt.Errorf("trace: packet row %d size: %w", i, err)
+		}
+		if size < 0 {
+			return nil, fmt.Errorf("trace: packet row %d has negative size %d", i, size)
 		}
 		ttl, err := strconv.ParseUint(row[7], 10, 8)
 		if err != nil {
-			return nil, fmt.Errorf("trace: packet row %d ttl: %w", i+1, err)
+			return nil, fmt.Errorf("trace: packet row %d ttl: %w", i, err)
 		}
 		flags, err := strconv.ParseUint(row[8], 10, 8)
 		if err != nil {
-			return nil, fmt.Errorf("trace: packet row %d flags: %w", i+1, err)
+			return nil, fmt.Errorf("trace: packet row %d flags: %w", i, err)
 		}
 		p.Tuple.SrcPort, p.Tuple.DstPort = uint16(sp), uint16(dp)
 		p.Tuple.Proto = Protocol(proto)
 		p.Size, p.TTL, p.Flags = size, uint8(ttl), uint8(flags)
 		out.Packets = append(out.Packets, p)
 	}
-	return out, nil
 }
 
 var flowHeader = []string{"start_us", "duration_us", "src_ip", "dst_ip", "src_port", "dst_port", "proto", "packets", "bytes", "label"}
@@ -127,31 +134,40 @@ func WriteFlowCSV(w io.Writer, t *FlowTrace) error {
 	return cw.Error()
 }
 
-// ReadFlowCSV parses the flow CSV layout produced by WriteFlowCSV.
+// ReadFlowCSV parses the flow CSV layout produced by WriteFlowCSV. Like
+// ReadPacketCSV it streams row by row — no full-file buffering — and
+// rejects semantically impossible values (negative duration, packet, or
+// byte counts) so corrupted inputs fail at the parser instead of
+// poisoning training statistics downstream.
 func ReadFlowCSV(r io.Reader) (*FlowTrace, error) {
 	cr := csv.NewReader(r)
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("trace: read flow csv: %w", err)
-	}
-	if len(rows) == 0 {
-		return &FlowTrace{}, nil
-	}
+	cr.FieldsPerRecord = len(flowHeader)
+	cr.ReuseRecord = true
 	labelByName := make(map[string]Label, NumLabels)
 	for l := Benign; l < NumLabels; l++ {
 		labelByName[l.String()] = l
 	}
-	out := &FlowTrace{Records: make([]FlowRecord, 0, len(rows)-1)}
-	for i, row := range rows[1:] {
-		if len(row) != len(flowHeader) {
-			return nil, fmt.Errorf("trace: flow row %d has %d columns, want %d", i+1, len(row), len(flowHeader))
+	out := &FlowTrace{}
+	for i := 0; ; i++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: read flow csv: %w", err)
+		}
+		if i == 0 {
+			continue // header row
 		}
 		var fr FlowRecord
 		if fr.Start, err = strconv.ParseInt(row[0], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: flow row %d start: %w", i+1, err)
+			return nil, fmt.Errorf("trace: flow row %d start: %w", i, err)
 		}
 		if fr.Duration, err = strconv.ParseInt(row[1], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: flow row %d duration: %w", i+1, err)
+			return nil, fmt.Errorf("trace: flow row %d duration: %w", i, err)
+		}
+		if fr.Duration < 0 {
+			return nil, fmt.Errorf("trace: flow row %d has negative duration %d", i, fr.Duration)
 		}
 		if fr.Tuple.SrcIP, err = ParseIPv4(row[2]); err != nil {
 			return nil, err
@@ -161,30 +177,35 @@ func ReadFlowCSV(r io.Reader) (*FlowTrace, error) {
 		}
 		sp, err := strconv.ParseUint(row[4], 10, 16)
 		if err != nil {
-			return nil, fmt.Errorf("trace: flow row %d src port: %w", i+1, err)
+			return nil, fmt.Errorf("trace: flow row %d src port: %w", i, err)
 		}
 		dp, err := strconv.ParseUint(row[5], 10, 16)
 		if err != nil {
-			return nil, fmt.Errorf("trace: flow row %d dst port: %w", i+1, err)
+			return nil, fmt.Errorf("trace: flow row %d dst port: %w", i, err)
 		}
 		proto, err := strconv.ParseUint(row[6], 10, 8)
 		if err != nil {
-			return nil, fmt.Errorf("trace: flow row %d proto: %w", i+1, err)
+			return nil, fmt.Errorf("trace: flow row %d proto: %w", i, err)
 		}
 		if fr.Packets, err = strconv.ParseInt(row[7], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: flow row %d packets: %w", i+1, err)
+			return nil, fmt.Errorf("trace: flow row %d packets: %w", i, err)
+		}
+		if fr.Packets < 0 {
+			return nil, fmt.Errorf("trace: flow row %d has negative packet count %d", i, fr.Packets)
 		}
 		if fr.Bytes, err = strconv.ParseInt(row[8], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: flow row %d bytes: %w", i+1, err)
+			return nil, fmt.Errorf("trace: flow row %d bytes: %w", i, err)
+		}
+		if fr.Bytes < 0 {
+			return nil, fmt.Errorf("trace: flow row %d has negative byte count %d", i, fr.Bytes)
 		}
 		lbl, ok := labelByName[row[9]]
 		if !ok {
-			return nil, fmt.Errorf("trace: flow row %d unknown label %q", i+1, row[9])
+			return nil, fmt.Errorf("trace: flow row %d unknown label %q", i, row[9])
 		}
 		fr.Tuple.SrcPort, fr.Tuple.DstPort = uint16(sp), uint16(dp)
 		fr.Tuple.Proto = Protocol(proto)
 		fr.Label = lbl
 		out.Records = append(out.Records, fr)
 	}
-	return out, nil
 }

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// The CSV readers stream untrusted uploads (webapi inline CSV, registry
+// payloads); semantically impossible values must be rejected at parse
+// time, not propagated into training statistics.
+
+func TestReadFlowCSVRejectsNegativeValues(t *testing.T) {
+	header := "start_us,duration_us,src_ip,dst_ip,src_port,dst_port,proto,packets,bytes,label\n"
+	cases := map[string]string{
+		"negative-duration": "0,-5,10.0.0.1,10.0.0.2,1,2,6,3,400,benign\n",
+		"negative-packets":  "0,5,10.0.0.1,10.0.0.2,1,2,6,-3,400,benign\n",
+		"negative-bytes":    "0,5,10.0.0.1,10.0.0.2,1,2,6,3,-400,benign\n",
+	}
+	for name, row := range cases {
+		if _, err := ReadFlowCSV(strings.NewReader(header + row)); err == nil {
+			t.Errorf("%s: want parse error", name)
+		}
+	}
+	// The same row with the sign removed parses, so the rejections above
+	// are about the sign, not the layout.
+	ok := "0,5,10.0.0.1,10.0.0.2,1,2,6,3,400,benign\n"
+	if _, err := ReadFlowCSV(strings.NewReader(header + ok)); err != nil {
+		t.Fatalf("valid row rejected: %v", err)
+	}
+}
+
+func TestReadPacketCSVRejectsNegativeSize(t *testing.T) {
+	header := "time_us,src_ip,dst_ip,src_port,dst_port,proto,size,ttl,flags\n"
+	if _, err := ReadPacketCSV(strings.NewReader(header + "0,10.0.0.1,10.0.0.2,1,2,6,-40,64,0\n")); err == nil {
+		t.Fatal("negative size must be rejected")
+	}
+	if _, err := ReadPacketCSV(strings.NewReader(header + "0,10.0.0.1,10.0.0.2,1,2,6,40,64,0\n")); err != nil {
+		t.Fatalf("valid row rejected: %v", err)
+	}
+}
+
+func TestReadCSVEmptyInput(t *testing.T) {
+	ft, err := ReadFlowCSV(strings.NewReader(""))
+	if err != nil || len(ft.Records) != 0 {
+		t.Fatalf("empty flow input: %v, %d records", err, len(ft.Records))
+	}
+	pt, err := ReadPacketCSV(strings.NewReader(""))
+	if err != nil || len(pt.Packets) != 0 {
+		t.Fatalf("empty packet input: %v, %d packets", err, len(pt.Packets))
+	}
+}
+
+func TestReadCSVRejectsRaggedRows(t *testing.T) {
+	header := "start_us,duration_us,src_ip,dst_ip,src_port,dst_port,proto,packets,bytes,label\n"
+	if _, err := ReadFlowCSV(strings.NewReader(header + "1,2,3\n")); err == nil {
+		t.Fatal("short flow row must be rejected")
+	}
+	if _, err := ReadPacketCSV(strings.NewReader("time_us,src_ip\n")); err == nil {
+		t.Fatal("short packet header must be rejected")
+	}
+}

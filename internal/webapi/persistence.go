@@ -1,0 +1,353 @@
+package webapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Durable serving (DESIGN.md §10): when a registry is attached, every
+// terminal job is persisted — its status document, its trained model as
+// a checksummed container, and its synthetic trace payload — and a
+// restarted server recovers all of it on boot. Jobs that were still
+// pending or running when the process died were never persisted and are
+// simply absent after recovery; clients resubmit them.
+
+// Pre-registered telemetry handles for registry traffic through the API.
+var (
+	telJobsRecovered  = telemetry.Default.Counter("webapi.registry.jobs.recovered")
+	telModelsServed   = telemetry.Default.Counter("webapi.registry.model.generations")
+	telTracesStreamed = telemetry.Default.Counter("webapi.registry.trace.streamed")
+	telRegistryErrors = telemetry.Default.Counter("webapi.registry.errors")
+)
+
+// maxRequestBody caps training-endpoint upload bodies: large enough for
+// the 100k-record prototype cap with room to spare, small enough that a
+// hostile client cannot balloon the heap.
+const maxRequestBody = 64 << 20
+
+// RecoveryStats reports what UseRegistry found on boot.
+type RecoveryStats struct {
+	// Jobs is the number of terminal job records recovered into the
+	// server's job table; Models counts stored models now servable.
+	Jobs   int
+	Models int
+	// Swept counts files the boot-time GC pass removed (stray temp files,
+	// orphans, corrupt entries); Corrupt how many of those were corrupt.
+	Swept   int
+	Corrupt int
+}
+
+// UseRegistry attaches a durable registry to the server and recovers its
+// persisted state: a garbage-collection sweep first (so recovery only
+// trusts validated entries), then every terminal job record is loaded
+// back into the job table. Call it once, before Handler is serving
+// traffic. Models remain on disk and are loaded per generation request.
+func (s *Server) UseRegistry(reg *registry.Registry) (RecoveryStats, error) {
+	var stats RecoveryStats
+	rep, err := reg.Sweep()
+	if err != nil {
+		return stats, fmt.Errorf("webapi: registry sweep: %w", err)
+	}
+	stats.Swept, stats.Corrupt = len(rep.Removed), rep.Corrupt
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg = reg
+	for _, rec := range reg.Jobs() {
+		var st JobStatus
+		if err := json.Unmarshal(rec.Status, &st); err != nil || st.ID != rec.ID {
+			telRegistryErrors.Inc()
+			continue
+		}
+		if st.State != StateDone && st.State != StateFailed {
+			// Only terminal states are ever persisted; anything else is a
+			// foreign or future record we do not understand.
+			continue
+		}
+		s.jobs[st.ID] = &job{status: st}
+		// Keep new job IDs monotonic across restarts.
+		if n, err := strconv.Atoi(strings.TrimPrefix(st.ID, "job-")); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+		telJobsRecovered.Inc()
+		stats.Jobs++
+	}
+	stats.Models = len(reg.Models())
+	return stats, nil
+}
+
+// registry returns the attached registry (nil when running memory-only).
+func (s *Server) registry() *registry.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reg
+}
+
+// persistFlowResult durably stores a finished netflow job: model
+// container, canonical CSV trace payload, and the status document.
+func (s *Server) persistFlowResult(id string, syn *core.FlowSynthesizer, gen *trace.FlowTrace) {
+	var model, csv bytes.Buffer
+	if err := syn.Save(&model); err != nil {
+		s.registryError(id, fmt.Errorf("save model: %w", err))
+		return
+	}
+	if err := trace.WriteFlowCSV(&csv, gen); err != nil {
+		s.registryError(id, fmt.Errorf("encode trace: %w", err))
+		return
+	}
+	s.persistResult(id, "netflow", model.Bytes(), csv.Bytes())
+}
+
+// persistPacketResult durably stores a finished pcap job.
+func (s *Server) persistPacketResult(id string, syn *core.PacketSynthesizer, gen *trace.PacketTrace) {
+	var model, csv bytes.Buffer
+	if err := syn.Save(&model); err != nil {
+		s.registryError(id, fmt.Errorf("save model: %w", err))
+		return
+	}
+	if err := trace.WritePacketCSV(&csv, gen); err != nil {
+		s.registryError(id, fmt.Errorf("encode trace: %w", err))
+		return
+	}
+	s.persistResult(id, "pcap", model.Bytes(), csv.Bytes())
+}
+
+func (s *Server) persistResult(id, kind string, model, csv []byte) {
+	reg := s.registry()
+	if reg == nil {
+		return
+	}
+	if _, err := reg.PutModel(id, model); err != nil {
+		s.registryError(id, err)
+		return
+	}
+	st, ok := s.statusSnapshot(id)
+	if !ok {
+		return
+	}
+	statusJSON, err := json.Marshal(st)
+	if err != nil {
+		s.registryError(id, err)
+		return
+	}
+	rec := registry.JobRecord{
+		ID: id, State: string(st.State), Status: statusJSON,
+		Model: id, TraceKind: kind,
+	}
+	if err := reg.PutJob(rec, csv); err != nil {
+		s.registryError(id, err)
+	}
+}
+
+// persistFailed durably records a terminal failure (no model, no trace),
+// so a restarted server still reports the job and its error.
+func (s *Server) persistFailed(id string) {
+	reg := s.registry()
+	if reg == nil {
+		return
+	}
+	st, ok := s.statusSnapshot(id)
+	if !ok {
+		return
+	}
+	statusJSON, err := json.Marshal(st)
+	if err != nil {
+		s.registryError(id, err)
+		return
+	}
+	if err := reg.PutJob(registry.JobRecord{ID: id, State: string(st.State), Status: statusJSON}, nil); err != nil {
+		s.registryError(id, err)
+	}
+}
+
+// registryError counts and logs-by-telemetry a persistence failure.
+// Durability is best-effort relative to the job itself: the job already
+// finished in memory, so a full registry disk must not fail it.
+func (s *Server) registryError(id string, err error) {
+	_ = id
+	_ = err
+	telRegistryErrors.Inc()
+}
+
+// handleModels lists the registry's stored models.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	reg := s.registry()
+	if reg == nil {
+		writeError(w, http.StatusServiceUnavailable, "no registry configured (start the server with -registry)")
+		return
+	}
+	models := reg.Models()
+	if models == nil {
+		models = []registry.ModelInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": models})
+}
+
+// GenerateRequest is the POST /api/v1/models/{name}/generate body.
+type GenerateRequest struct {
+	// Count is the synthetic record/packet count (default 1000, capped at
+	// 100000 like job submissions).
+	Count int `json:"count,omitempty"`
+	// Format is csv (default), netflow5 (flow models), or pcap (packet
+	// models).
+	Format string `json:"format,omitempty"`
+}
+
+// handleModelGenerate serves generation straight from a stored model:
+// the container is loaded and validated from disk and a fresh
+// synthesizer generates the requested count. Loading fresh per request
+// makes serving stateless and deterministic — the same model and count
+// always produce bitwise-identical output, before and after a restart.
+func (s *Server) handleModelGenerate(w http.ResponseWriter, r *http.Request) {
+	reg := s.registry()
+	if reg == nil {
+		writeError(w, http.StatusServiceUnavailable, "no registry configured (start the server with -registry)")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	var req GenerateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if req.Count <= 0 {
+		req.Count = 1000
+	}
+	if req.Count > 100_000 {
+		writeError(w, http.StatusBadRequest, "count capped at 100000 for the prototype")
+		return
+	}
+	if req.Format == "" {
+		req.Format = "csv"
+	}
+
+	name := r.PathValue("name")
+	framed, info, err := reg.ModelBytes(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "model %q: %v", name, err)
+		return
+	}
+
+	var buf bytes.Buffer
+	var contentType, ext string
+	switch info.Kind {
+	case "flow":
+		syn, err := core.LoadFlowSynthesizer(bytes.NewReader(framed))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "load model %q: %v", name, err)
+			return
+		}
+		gen := syn.Generate(req.Count)
+		switch req.Format {
+		case "csv":
+			contentType, ext = "text/csv", "csv"
+			err = trace.WriteFlowCSV(&buf, gen)
+		case "netflow5":
+			contentType, ext = "application/octet-stream", "nf5"
+			err = trace.WriteNetFlowV5(&buf, gen)
+		default:
+			writeError(w, http.StatusBadRequest, "format %q not available for flow models", req.Format)
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "encode trace: %v", err)
+			return
+		}
+	case "packet":
+		syn, err := core.LoadPacketSynthesizer(bytes.NewReader(framed))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "load model %q: %v", name, err)
+			return
+		}
+		gen := syn.Generate(req.Count)
+		switch req.Format {
+		case "csv":
+			contentType, ext = "text/csv", "csv"
+			err = trace.WritePacketCSV(&buf, gen)
+		case "pcap":
+			contentType, ext = "application/vnd.tcpdump.pcap", "pcap"
+			err = trace.WritePCAP(&buf, gen)
+		default:
+			writeError(w, http.StatusBadRequest, "format %q not available for packet models", req.Format)
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "encode trace: %v", err)
+			return
+		}
+	default:
+		writeError(w, http.StatusInternalServerError, "model %q has unknown kind %q", name, info.Kind)
+		return
+	}
+	telModelsServed.Inc()
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.%s", name, ext))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// streamStoredTrace serves a job's CSV download straight from the
+// registry file on disk — no re-encoding, no trace copy in memory.
+// Returns false when the registry has no servable payload (caller falls
+// back to the in-memory path).
+func (s *Server) streamStoredTrace(w http.ResponseWriter, id string) bool {
+	reg := s.registry()
+	if reg == nil {
+		return false
+	}
+	rec, err := reg.Job(id)
+	if err != nil || rec.TraceSize == 0 {
+		return false
+	}
+	rc, n, err := reg.OpenTrace(id)
+	if err != nil {
+		telRegistryErrors.Inc()
+		return false
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "text/csv")
+	w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.csv", id))
+	w.WriteHeader(http.StatusOK)
+	if _, err := io.CopyN(w, rc, n); err == nil {
+		telTracesStreamed.Inc()
+	}
+	return true
+}
+
+// reloadTrace rebuilds a recovered job's trace from its persisted CSV
+// payload, for download formats that need re-encoding (pcap, netflow5).
+func (s *Server) reloadTrace(id string) (*trace.FlowTrace, *trace.PacketTrace, error) {
+	reg := s.registry()
+	if reg == nil {
+		return nil, nil, fmt.Errorf("no registry configured")
+	}
+	rec, err := reg.Job(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	payload, err := reg.TraceBytes(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch rec.TraceKind {
+	case "netflow":
+		t, err := trace.ReadFlowCSV(bytes.NewReader(payload))
+		return t, nil, err
+	case "pcap":
+		t, err := trace.ReadPacketCSV(bytes.NewReader(payload))
+		return nil, t, err
+	default:
+		return nil, nil, fmt.Errorf("job %q has no stored trace", id)
+	}
+}

@@ -9,7 +9,13 @@
 //	GET  /api/v1/jobs/{id}         job status
 //	GET  /api/v1/jobs/{id}/trace   download the synthetic trace
 //	GET  /api/v1/datasets          list built-in datasets
+//	GET  /api/v1/models            list durably stored models
+//	POST /api/v1/models/{name}/generate  generate from a stored model
 //	GET  /healthz                  liveness
+//
+// With a registry attached (UseRegistry), trained models and terminal
+// jobs survive restarts: a rebooted server recovers them and serves
+// generation output bitwise-identical to the pre-restart process.
 package webapi
 
 import (
@@ -25,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/orchestrator"
+	"repro/internal/registry"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -180,6 +187,10 @@ type Server struct {
 	// runHook, when non-nil, runs at the start of every job body — the
 	// test seam for the panic-containment tests.
 	runHook func(id string)
+
+	// reg is the durable model/job registry; nil means memory-only
+	// operation. Attach with UseRegistry before serving traffic.
+	reg *registry.Registry
 }
 
 // NewServer returns an API server allowing up to maxInflight concurrent
@@ -220,6 +231,8 @@ func (s *Server) Handler() http.Handler {
 				"GET /api/v1/jobs",
 				"GET /api/v1/jobs/{id}",
 				"GET /api/v1/jobs/{id}/trace?format=csv|pcap|netflow5",
+				"GET /api/v1/models",
+				"POST /api/v1/models/{name}/generate",
 			},
 		})
 	})
@@ -231,6 +244,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleDownload)
+	mux.HandleFunc("GET /api/v1/models", s.handleModels)
+	mux.HandleFunc("POST /api/v1/models/{name}/generate", s.handleModelGenerate)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.Debug {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -275,6 +290,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 	var req JobRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
@@ -389,6 +405,7 @@ func (s *Server) run(id string, req JobRequest) {
 		if r := recover(); r != nil {
 			telJobsFailed.Inc()
 			s.setState(id, StateFailed, fmt.Errorf("job panicked: %v", r))
+			s.persistFailed(id)
 		}
 	}()
 
@@ -420,6 +437,7 @@ func (s *Server) run(id string, req JobRequest) {
 		genStart := time.Now()
 		gen := syn.Generate(req.Generate)
 		s.finishFlow(id, gen, syn.Stats(), time.Since(genStart))
+		s.persistFlowResult(id, syn, gen)
 	case "pcap":
 		real, err := loadPacketInput(req)
 		if err != nil {
@@ -434,10 +452,12 @@ func (s *Server) run(id string, req JobRequest) {
 		genStart := time.Now()
 		gen := syn.Generate(req.Generate)
 		s.finishPacket(id, gen, syn.Stats(), time.Since(genStart))
+		s.persistPacketResult(id, syn, gen)
 	}
 	if fail != nil {
 		telJobsFailed.Inc()
 		s.setState(id, StateFailed, fail)
+		s.persistFailed(id)
 	} else {
 		telJobsDone.Inc()
 	}
@@ -637,6 +657,22 @@ func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
 	format := r.URL.Query().Get("format")
 	if format == "" {
 		format = "csv"
+	}
+	// CSV downloads stream the persisted canonical payload straight from
+	// the registry file when one exists — no re-encoding, no full trace
+	// copy in memory — and fall back to the in-memory trace otherwise.
+	if format == "csv" && s.streamStoredTrace(w, st.ID) {
+		return
+	}
+	// A job recovered after a restart has no in-memory trace; rebuild it
+	// from the persisted payload for the formats that need re-encoding.
+	if flow == nil && packet == nil {
+		var err error
+		flow, packet, err = s.reloadTrace(st.ID)
+		if err != nil {
+			writeError(w, http.StatusNotFound, "trace unavailable for job %s: %v", st.ID, err)
+			return
+		}
 	}
 
 	var buf bytes.Buffer
