@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build vet test test-race test-crash test-telemetry fuzz bench bench-parallel bench-generate staticcheck govulncheck ci clean
+.PHONY: all build vet test test-race test-crash test-telemetry test-conformance fuzz bench bench-parallel bench-generate staticcheck govulncheck ci clean
 
 all: build
 
@@ -18,12 +18,15 @@ test:
 # fault-tolerant training fan-out, and the lot-parallel generation
 # pipeline: the matmul worker pool, the per-sample DP-SGD fan-out, the
 # chunked fine-tune fan-out, the checkpoint/resume orchestrator, the
-# generation scratch pool, the shared decode cache, and the durable
-# model registry (DESIGN.md §6–8, §10).
+# generation scratch pool, the shared decode cache, the durable model
+# registry (DESIGN.md §6–8, §10), and the serving fast path — the
+# snapshot LRU, the cross-request batch scheduler, and the lot-parallel
+# float32 sampler (DESIGN.md §11).
 test-race:
 	$(GO) test -race ./internal/mat/... ./internal/dgan/... ./internal/core/... \
 		./internal/orchestrator/... ./internal/privacy/... ./internal/ip2vec/... \
-		./internal/container/... ./internal/registry/...
+		./internal/container/... ./internal/registry/... ./internal/webapi/... \
+		./internal/conformance/...
 
 # Crash/fault matrix: the checkpoint/resume/retry tests that simulate
 # process death, torn writes, and exhausted retry budgets (DESIGN.md §7).
@@ -52,6 +55,13 @@ fuzz:
 	$(GO) test ./internal/orchestrator -run '^$$' -fuzz FuzzLoadCheckpoint -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/orchestrator -run '^$$' -fuzz FuzzLoadManifest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/container -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dgan -run '^$$' -fuzz FuzzDecodeInferWeights -fuzztime $(FUZZTIME)
+
+# Distributional conformance gate for the serving fast path (DESIGN.md
+# §11): per-field JSD/EMD of fast-path output vs the float64 reference
+# path under calibrated thresholds, plus trace validity properties.
+test-conformance:
+	$(GO) test ./internal/conformance/...
 
 # Full paper-evaluation benchmark suite (slow).
 bench:
@@ -83,7 +93,7 @@ govulncheck:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-ci: vet staticcheck govulncheck build test test-race test-crash test-telemetry fuzz bench-generate
+ci: vet staticcheck govulncheck build test test-race test-crash test-telemetry test-conformance fuzz bench-generate
 
 clean:
 	$(GO) clean ./...

@@ -26,6 +26,13 @@ func BenchmarkGenerateDGANBaseline(b *testing.B) {
 	b.Run("serial", benchpar.GenerateBaseline())
 }
 
+// BenchmarkGenerateDGANFast times the float32 inference snapshot (the
+// serving fast path) on the same weights and sample count; unlike the
+// float64 pairs its output is distributionally pinned, not bitwise.
+func BenchmarkGenerateDGANFast(b *testing.B) {
+	serialAndParallel(b, benchpar.GenerateFast)
+}
+
 // BenchmarkGenerateDecode times 256 nearest-word lookups via the original
 // per-row scan and via the single-matmul batch path.
 func BenchmarkGenerateDecode(b *testing.B) {

@@ -85,6 +85,22 @@ func GenerateBaseline() func(b *testing.B) {
 	}
 }
 
+// GenerateFast benchmarks the float32 inference snapshot (fused GRU
+// steps, compact weights, polynomial activations) of the same generation
+// model at the given worker count. Compared against Generate(1), this is
+// the serving fast path's speedup over the float64 reference sampler.
+func GenerateFast(parallelism int) func(b *testing.B) {
+	return func(b *testing.B) {
+		im := genModel(b, 1).Infer()
+		im.SetParallelism(parallelism)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			im.Generate(GenBatch)
+		}
+	}
+}
+
 func decodeSetup(b *testing.B) (*ip2vec.Model, *mat.Matrix, [][]float64) {
 	m, err := ip2vec.Train(ip2vec.PacketSentences(datasets.CAIDAChicago(2000, 7)), ip2vec.DefaultConfig())
 	if err != nil {

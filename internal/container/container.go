@@ -41,6 +41,11 @@ const (
 	KindPacketMdl  Kind = 2
 	KindCheckpoint Kind = 3
 	KindTrace      Kind = 4
+	// Fast kinds carry float32 inference-only snapshots (DESIGN.md §11):
+	// generator weights in the compact dgan wire format, no critics and no
+	// optimizer state, decodable without gob.
+	KindFlowFast   Kind = 5
+	KindPacketFast Kind = 6
 )
 
 func (k Kind) String() string {
@@ -53,12 +58,16 @@ func (k Kind) String() string {
 		return "checkpoint"
 	case KindTrace:
 		return "trace"
+	case KindFlowFast:
+		return "flow-fast"
+	case KindPacketFast:
+		return "packet-fast"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
 }
 
-func (k Kind) valid() bool { return k >= KindFlowModel && k <= KindTrace }
+func (k Kind) valid() bool { return k >= KindFlowModel && k <= KindPacketFast }
 
 // Version is the current container format version. Loaders accept any
 // version up to this one and reject newer ones with ErrFutureVersion.

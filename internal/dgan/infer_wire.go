@@ -1,0 +1,388 @@
+package dgan
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+)
+
+// Compact binary wire format for InferModel (the payload of the
+// container.KindFlowFast / KindPacketFast frames). Unlike the gob-based
+// full-model encoding this format is explicit and fully validated: every
+// dimension is bounded, every tensor's shape is cross-checked against the
+// architecture the header declares, and DecodeInferWeights returns typed
+// errors (ErrInferTruncated, ErrInferInvalid) on every failure path — it
+// never panics on untrusted bytes, a property enforced by
+// FuzzDecodeInferWeights.
+//
+// Layout (all integers little-endian, all tensors float32 bit patterns):
+//
+//	u16 version
+//	u16 maxLen, u16 noiseDim, u16 hidden, u16 lot
+//	schema meta:    u16 nFields, then per field u8 kind, u16 size,
+//	                u8 nameLen, name bytes
+//	schema feature: same encoding (presence flag excluded)
+//	mlp:  u8 nLayers, then per layer u8 actKind, matrix W, vector B
+//	gru:  matrix Wg (in×3H), matrix Uzr (H×2H), matrix Uh (H×H),
+//	      vectors Bz, Br, Bh (H each)
+//	proj: matrix W (H×featW), vector B (featW)
+//	matrix: u32 rows, u32 cols, rows*cols f32 — dims must equal the
+//	        architecture-implied shape, so a hostile length cannot force
+//	        a large allocation.
+
+// Typed decode failures, matchable with errors.Is.
+var (
+	// ErrInferTruncated marks input shorter than its declared content.
+	ErrInferTruncated = errors.New("dgan: infer weights truncated")
+	// ErrInferInvalid marks structurally invalid content: bad version,
+	// out-of-range dimensions, mismatched tensor shapes, non-finite bias.
+	ErrInferInvalid = errors.New("dgan: infer weights invalid")
+)
+
+const (
+	inferWireVersion = 1
+	// maxInferDim bounds every declared dimension; real models are orders
+	// of magnitude smaller, and the bound caps what a hostile header can
+	// make the decoder allocate.
+	maxInferDim    = 1 << 14
+	maxInferFields = 256
+	maxInferLayers = 16
+)
+
+// EncodeInfer serializes the snapshot in the compact wire format.
+func (im *InferModel) EncodeInfer() []byte {
+	var b []byte
+	b = appendU16(b, inferWireVersion)
+	b = appendU16(b, uint16(im.MaxLen))
+	b = appendU16(b, uint16(im.NoiseDim))
+	b = appendU16(b, uint16(im.Hidden))
+	b = appendU16(b, uint16(im.Lot))
+	b = appendSchema(b, im.MetaSchema)
+	b = appendSchema(b, im.FeatureSchema)
+	b = append(b, byte(len(im.meta.Layers)))
+	for i, l := range im.meta.Layers {
+		b = append(b, byte(im.meta.Acts[i]))
+		b = appendMat32(b, l.W)
+		b = appendVec32(b, l.B)
+	}
+	b = appendMat32(b, im.gru.Wg)
+	b = appendMat32(b, im.gru.Uzr)
+	b = appendMat32(b, im.gru.Uh)
+	b = appendVec32(b, im.gru.Bz)
+	b = appendVec32(b, im.gru.Br)
+	b = appendVec32(b, im.gru.Bh)
+	b = appendMat32(b, im.proj.W)
+	b = appendVec32(b, im.proj.B)
+	return b
+}
+
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+
+func appendSchema(b []byte, schema []nn.FieldSpec) []byte {
+	b = appendU16(b, uint16(len(schema)))
+	for _, f := range schema {
+		b = append(b, byte(f.Kind))
+		b = appendU16(b, uint16(f.Size))
+		name := f.Name
+		if len(name) > 255 {
+			name = name[:255]
+		}
+		b = append(b, byte(len(name)))
+		b = append(b, name...)
+	}
+	return b
+}
+
+func appendMat32(b []byte, m *mat.Matrix32) []byte {
+	b = appendU32(b, uint32(m.Rows))
+	b = appendU32(b, uint32(m.Cols))
+	for _, v := range m.Data {
+		b = appendU32(b, math.Float32bits(v))
+	}
+	return b
+}
+
+func appendVec32(b []byte, v []float32) []byte {
+	b = appendU32(b, uint32(len(v)))
+	for _, x := range v {
+		b = appendU32(b, math.Float32bits(x))
+	}
+	return b
+}
+
+// wireReader is a bounds-checked cursor over untrusted bytes.
+type wireReader struct {
+	b   []byte
+	off int
+}
+
+func (r *wireReader) need(n int) error {
+	if n < 0 || len(r.b)-r.off < n {
+		return fmt.Errorf("%w: need %d bytes at offset %d, have %d", ErrInferTruncated, n, r.off, len(r.b)-r.off)
+	}
+	return nil
+}
+
+func (r *wireReader) u8() (byte, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *wireReader) u16() (int, error) {
+	if err := r.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return int(v), nil
+}
+
+func (r *wireReader) u32() (int, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return int(v), nil
+}
+
+func (r *wireReader) skip(n int) error {
+	if err := r.need(n); err != nil {
+		return err
+	}
+	r.off += n
+	return nil
+}
+
+// f32s reads exactly n float32 values; n has already been validated
+// against an architecture-implied shape, never a wire-declared one.
+func (r *wireReader) f32s(n int) ([]float32, error) {
+	if err := r.need(4 * n); err != nil {
+		return nil, err
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(r.b[r.off:]))
+		r.off += 4
+	}
+	return out, nil
+}
+
+// mat32 reads a matrix whose dimensions must equal rows×cols.
+func (r *wireReader) mat32(rows, cols int, what string) (*mat.Matrix32, error) {
+	gr, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	gc, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if gr != rows || gc != cols {
+		return nil, fmt.Errorf("%w: %s is %dx%d, want %dx%d", ErrInferInvalid, what, gr, gc, rows, cols)
+	}
+	data, err := r.f32s(rows * cols)
+	if err != nil {
+		return nil, err
+	}
+	return &mat.Matrix32{Rows: rows, Cols: cols, Data: data}, nil
+}
+
+// vec32 reads a vector whose length must equal n.
+func (r *wireReader) vec32(n int, what string) ([]float32, error) {
+	got, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if got != n {
+		return nil, fmt.Errorf("%w: %s has %d entries, want %d", ErrInferInvalid, what, got, n)
+	}
+	return r.f32s(n)
+}
+
+func (r *wireReader) schema(what string) ([]nn.FieldSpec, error) {
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > maxInferFields {
+		return nil, fmt.Errorf("%w: %s schema has %d fields", ErrInferInvalid, what, n)
+	}
+	out := make([]nn.FieldSpec, 0, n)
+	for i := 0; i < n; i++ {
+		kind, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		size, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		nameLen, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		nameStart := r.off
+		if err := r.skip(int(nameLen)); err != nil {
+			return nil, err
+		}
+		fk := nn.FieldKind(kind)
+		switch fk {
+		case nn.FieldContinuous:
+			if size < 1 || size > maxInferDim {
+				return nil, fmt.Errorf("%w: %s field %d size %d", ErrInferInvalid, what, i, size)
+			}
+		case nn.FieldCategorical:
+			if size < 2 || size > maxInferDim {
+				return nil, fmt.Errorf("%w: %s categorical field %d size %d", ErrInferInvalid, what, i, size)
+			}
+		default:
+			return nil, fmt.Errorf("%w: %s field %d has kind %d", ErrInferInvalid, what, i, kind)
+		}
+		out = append(out, nn.FieldSpec{
+			Name: string(r.b[nameStart : nameStart+int(nameLen)]),
+			Kind: fk,
+			Size: size,
+		})
+	}
+	return out, nil
+}
+
+func dimOK(v int) bool { return v >= 1 && v <= maxInferDim }
+
+// DecodeInferWeights deserializes a compact snapshot produced by
+// EncodeInfer. All failures are typed; untrusted bytes can never panic.
+func DecodeInferWeights(b []byte) (*InferModel, error) {
+	r := &wireReader{b: b}
+	version, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if version == 0 || version > inferWireVersion {
+		return nil, fmt.Errorf("%w: wire version %d (this build reads <= %d)", ErrInferInvalid, version, inferWireVersion)
+	}
+	im := &InferModel{}
+	if im.MaxLen, err = r.u16(); err != nil {
+		return nil, err
+	}
+	if im.NoiseDim, err = r.u16(); err != nil {
+		return nil, err
+	}
+	if im.Hidden, err = r.u16(); err != nil {
+		return nil, err
+	}
+	if im.Lot, err = r.u16(); err != nil {
+		return nil, err
+	}
+	if !dimOK(im.MaxLen) || !dimOK(im.NoiseDim) || !dimOK(im.Hidden) || !dimOK(im.Lot) {
+		return nil, fmt.Errorf("%w: dimensions maxLen=%d noiseDim=%d hidden=%d lot=%d",
+			ErrInferInvalid, im.MaxLen, im.NoiseDim, im.Hidden, im.Lot)
+	}
+	if im.MetaSchema, err = r.schema("meta"); err != nil {
+		return nil, err
+	}
+	if im.FeatureSchema, err = r.schema("feature"); err != nil {
+		return nil, err
+	}
+	im.finish()
+	if im.metaW > maxInferDim || im.featW > maxInferDim {
+		return nil, fmt.Errorf("%w: schema widths meta=%d feat=%d", ErrInferInvalid, im.metaW, im.featW)
+	}
+
+	nLayers, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if nLayers == 0 || nLayers > maxInferLayers {
+		return nil, fmt.Errorf("%w: MLP has %d layers", ErrInferInvalid, nLayers)
+	}
+	im.meta = &nn.MLP32{}
+	in := im.NoiseDim
+	for i := 0; i < int(nLayers); i++ {
+		act, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if nn.ActKind(act) < nn.ReLU || nn.ActKind(act) > nn.Identity {
+			return nil, fmt.Errorf("%w: MLP layer %d activation %d", ErrInferInvalid, i, act)
+		}
+		// The layer's output width comes off the wire but is bounded, and
+		// the final layer must land exactly on the activated meta width.
+		rows, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		cols, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if rows != in || !dimOK(cols) {
+			return nil, fmt.Errorf("%w: MLP layer %d is %dx%d, want %d input columns", ErrInferInvalid, i, rows, cols, in)
+		}
+		if i == int(nLayers)-1 && cols != im.metaW {
+			return nil, fmt.Errorf("%w: MLP output width %d, schema wants %d", ErrInferInvalid, cols, im.metaW)
+		}
+		data, err := r.f32s(rows * cols)
+		if err != nil {
+			return nil, err
+		}
+		bias, err := r.vec32(cols, fmt.Sprintf("MLP layer %d bias", i))
+		if err != nil {
+			return nil, err
+		}
+		im.meta.Layers = append(im.meta.Layers, &nn.Dense32{
+			In: rows, Out: cols,
+			W: &mat.Matrix32{Rows: rows, Cols: cols, Data: data},
+			B: bias,
+		})
+		im.meta.Acts = append(im.meta.Acts, nn.ActKind(act))
+		in = cols
+	}
+
+	gruIn := im.NoiseDim + im.metaW
+	hid := im.Hidden
+	im.gru = &nn.FusedGRU32{In: gruIn, Hidden: hid}
+	if im.gru.Wg, err = r.mat32(gruIn, 3*hid, "GRU Wg"); err != nil {
+		return nil, err
+	}
+	if im.gru.Uzr, err = r.mat32(hid, 2*hid, "GRU Uzr"); err != nil {
+		return nil, err
+	}
+	if im.gru.Uh, err = r.mat32(hid, hid, "GRU Uh"); err != nil {
+		return nil, err
+	}
+	if im.gru.Bz, err = r.vec32(hid, "GRU Bz"); err != nil {
+		return nil, err
+	}
+	if im.gru.Br, err = r.vec32(hid, "GRU Br"); err != nil {
+		return nil, err
+	}
+	if im.gru.Bh, err = r.vec32(hid, "GRU Bh"); err != nil {
+		return nil, err
+	}
+
+	projW, err := r.mat32(hid, im.featW, "projection")
+	if err != nil {
+		return nil, err
+	}
+	projB, err := r.vec32(im.featW, "projection bias")
+	if err != nil {
+		return nil, err
+	}
+	im.proj = &nn.Dense32{In: hid, Out: im.featW, W: projW, B: projB}
+
+	if r.off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrInferInvalid, len(b)-r.off)
+	}
+	im.Reseed(1)
+	return im, nil
+}

@@ -1,0 +1,53 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMulInto32MatchesFloat64(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a := New(5, 9)
+	b := New(9, 4)
+	a.RandNorm(r, 1)
+	b.RandNorm(r, 1)
+	want := Mul(a, b)
+
+	a32, b32 := Compress32(a), Compress32(b)
+	dst := New32(5, 4)
+	MulInto32(dst, a32, b32)
+	for i, v := range dst.Data {
+		if math.Abs(float64(v)-want.Data[i]) > 1e-4 {
+			t.Fatalf("element %d: float32 %v vs float64 %v", i, v, want.Data[i])
+		}
+	}
+}
+
+func TestMatrix32ViewsAndBias(t *testing.T) {
+	m := New32(4, 3)
+	for i := range m.Data {
+		m.Data[i] = float32(i)
+	}
+	v := m.RowsView(1, 3)
+	if v.Rows != 2 || v.Cols != 3 || v.Data[0] != 3 {
+		t.Fatalf("view = %dx%d starting %v", v.Rows, v.Cols, v.Data[0])
+	}
+	v.AddRowVec([]float32{1, 1, 1})
+	if m.Data[3] != 4 || m.Data[0] != 0 {
+		t.Fatal("view writes must alias rows [1,3) only")
+	}
+	v.Zero()
+	if m.Data[3] != 0 || m.Data[11] != 11 {
+		t.Fatal("Zero through a view must stay inside the view")
+	}
+}
+
+func TestMulInto32ShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch must panic")
+		}
+	}()
+	MulInto32(New32(2, 2), New32(2, 3), New32(2, 2))
+}

@@ -1,0 +1,318 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Float32 inference modules (DESIGN.md §11). These are one-way snapshots
+// compressed from trained float64 modules: weights are narrowed once, gate
+// matrices are packed so a GRU step runs three matmuls instead of six, and
+// the saturating activations use a polynomial approximation instead of
+// math.Tanh. Nothing here participates in training or in the bitwise-
+// deterministic generation contract — the fast path's correctness is pinned
+// distributionally by internal/conformance, not by golden bytes.
+
+// Tanh32 approximates tanh with the 7th-order Lambert continued-fraction
+// expansion, accurate to ~1e-6 over the unclamped range. Beyond |x| > 4.97
+// it saturates to ±1 (true tanh is within 1e-4 of ±1 there), which also
+// keeps the rational form from diverging for large inputs.
+func Tanh32(x float32) float32 {
+	if x > 4.97 {
+		return 1
+	}
+	if x < -4.97 {
+		return -1
+	}
+	x2 := x * x
+	p := x * (135135 + x2*(17325+x2*(378+x2)))
+	q := 135135 + x2*(62370+x2*(3150+28*x2))
+	return p / q
+}
+
+// Sigmoid32 is the logistic function via its tanh identity, inheriting
+// Tanh32's accuracy.
+func Sigmoid32(x float32) float32 {
+	return 0.5 + 0.5*Tanh32(0.5*x)
+}
+
+func applyActKind32(kind ActKind, x *mat.Matrix32) {
+	switch kind {
+	case ReLU:
+		for i, v := range x.Data {
+			if v < 0 {
+				x.Data[i] = 0
+			}
+		}
+	case LeakyReLU:
+		for i, v := range x.Data {
+			if v < 0 {
+				x.Data[i] = leakySlope * v
+			}
+		}
+	case Tanh:
+		for i, v := range x.Data {
+			x.Data[i] = Tanh32(v)
+		}
+	case Sigmoid:
+		for i, v := range x.Data {
+			x.Data[i] = Sigmoid32(v)
+		}
+	case Identity:
+		// no-op
+	}
+}
+
+// Dense32 is a float32 affine layer, Y = X·W + b.
+type Dense32 struct {
+	In, Out int
+	W       *mat.Matrix32
+	B       []float32
+}
+
+// NewDense32 narrows a float64 weight matrix and bias vector.
+func NewDense32(w *mat.Matrix, b []float64) *Dense32 {
+	d := &Dense32{In: w.Rows, Out: w.Cols, W: mat.Compress32(w), B: make([]float32, len(b))}
+	for i, v := range b {
+		d.B[i] = float32(v)
+	}
+	return d
+}
+
+// InferInto computes dst = x·W + b; dst must be x.Rows×Out.
+func (d *Dense32) InferInto(x, dst *mat.Matrix32) {
+	mat.MulInto32(dst, x, d.W)
+	dst.AddRowVec(d.B)
+}
+
+// CompressTimeDense snapshots a TimeDense projection as a Dense32 (the
+// projection is the same affine map at every timestep).
+func CompressTimeDense(d *TimeDense) *Dense32 {
+	return NewDense32(d.Weight.W, d.Bias.W.Data)
+}
+
+// MLP32 is a float32 snapshot of an MLP for inference.
+type MLP32 struct {
+	Layers []*Dense32
+	Acts   []ActKind
+}
+
+// CompressMLP narrows every layer of a trained MLP.
+func CompressMLP(m *MLP) *MLP32 {
+	out := &MLP32{}
+	for i, l := range m.layers {
+		out.Layers = append(out.Layers, NewDense32(l.Weight.W, l.Bias.W.Data))
+		out.Acts = append(out.Acts, m.acts[i].Kind)
+	}
+	return out
+}
+
+// MLP32Scratch holds per-layer output buffers for MLP32.InferInto; the
+// zero value is ready to use.
+type MLP32Scratch struct {
+	bufs []*mat.Matrix32
+}
+
+func (sc *MLP32Scratch) buf(i, rows, cols int) *mat.Matrix32 {
+	for len(sc.bufs) <= i {
+		sc.bufs = append(sc.bufs, nil)
+	}
+	b := sc.bufs[i]
+	if b == nil || b.Cols != cols || b.Rows < rows {
+		b = mat.New32(rows, cols)
+		sc.bufs[i] = b
+	}
+	return b.RowsView(0, rows)
+}
+
+// InferInto runs the batch through the MLP using sc's buffers, returning a
+// view of the last one (valid until the next call with the same scratch).
+func (m *MLP32) InferInto(x *mat.Matrix32, sc *MLP32Scratch) *mat.Matrix32 {
+	h := x
+	for i, l := range m.Layers {
+		y := sc.buf(i, h.Rows, l.Out)
+		l.InferInto(h, y)
+		applyActKind32(m.Acts[i], y)
+		h = y
+	}
+	return h
+}
+
+// FusedGRU32 is a float32 GRU snapshot with packed gate weights: the three
+// input projections share one In×3H matrix (column blocks z|r|ĥ) and the z/r
+// recurrent projections share one H×2H matrix, so a step costs three matmuls
+// — x·Wg, h·Uzr, (r⊙h)·Uh — instead of the reference path's six, and the
+// per-gate matrices are never materialized.
+type FusedGRU32 struct {
+	In, Hidden int
+	Wg         *mat.Matrix32 // In × 3H, columns [Wz | Wr | Wh]
+	Uzr        *mat.Matrix32 // H × 2H, columns [Uz | Ur]
+	Uh         *mat.Matrix32 // H × H
+	Bz, Br, Bh []float32
+}
+
+// CompressGRU packs and narrows a trained GRU's weights.
+func CompressGRU(g *GRU) *FusedGRU32 {
+	in, hid := g.In, g.Hidden
+	f := &FusedGRU32{
+		In: in, Hidden: hid,
+		Wg:  mat.New32(in, 3*hid),
+		Uzr: mat.New32(hid, 2*hid),
+		Uh:  mat.Compress32(g.Uh.W),
+		Bz:  narrow32(g.Bz.W.Data),
+		Br:  narrow32(g.Br.W.Data),
+		Bh:  narrow32(g.Bh.W.Data),
+	}
+	packCols(f.Wg, 0, g.Wz.W)
+	packCols(f.Wg, hid, g.Wr.W)
+	packCols(f.Wg, 2*hid, g.Wh.W)
+	packCols(f.Uzr, 0, g.Uz.W)
+	packCols(f.Uzr, hid, g.Ur.W)
+	return f
+}
+
+func narrow32(xs []float64) []float32 {
+	out := make([]float32, len(xs))
+	for i, v := range xs {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// packCols copies src into dst starting at column off.
+func packCols(dst *mat.Matrix32, off int, src *mat.Matrix) {
+	for i := 0; i < src.Rows; i++ {
+		drow := dst.Row(i)
+		for j, v := range src.Row(i) {
+			drow[off+j] = float32(v)
+		}
+	}
+}
+
+// FusedGRU32Scratch holds the fused step's intermediates; the zero value is
+// ready to use.
+type FusedGRU32Scratch struct {
+	g, hu, rh, hc *mat.Matrix32
+}
+
+func (sc *FusedGRU32Scratch) ensure(rows, hidden int) (g, hu, rh, hc *mat.Matrix32) {
+	grow := func(b *mat.Matrix32, cols int) *mat.Matrix32 {
+		if b == nil || b.Cols != cols || b.Rows < rows {
+			b = mat.New32(rows, cols)
+		}
+		return b
+	}
+	sc.g = grow(sc.g, 3*hidden)
+	sc.hu = grow(sc.hu, 2*hidden)
+	sc.rh = grow(sc.rh, hidden)
+	sc.hc = grow(sc.hc, hidden)
+	return sc.g.RowsView(0, rows), sc.hu.RowsView(0, rows),
+		sc.rh.RowsView(0, rows), sc.hc.RowsView(0, rows)
+}
+
+// StepInfer advances the GRU one timestep: reads x and h, writes hNext.
+// hNext must not alias x or h. The gate math matches GRU.StepInfer up to
+// float32 rounding and the Tanh32/Sigmoid32 approximations.
+func (f *FusedGRU32) StepInfer(x, h, hNext *mat.Matrix32, sc *FusedGRU32Scratch) {
+	if x.Rows != h.Rows || hNext.Rows != h.Rows || h.Cols != f.Hidden || hNext.Cols != f.Hidden {
+		panic(fmt.Sprintf("nn: StepInfer32 shapes x=%dx%d h=%dx%d hNext=%dx%d",
+			x.Rows, x.Cols, h.Rows, h.Cols, hNext.Rows, hNext.Cols))
+	}
+	rows, hid := h.Rows, f.Hidden
+	g, hu, rh, hc := sc.ensure(rows, hid)
+	mat.MulInto32(g, x, f.Wg)
+	mat.MulInto32(hu, h, f.Uzr)
+	for i := 0; i < rows; i++ {
+		gr, hr, hrow, rhr := g.Row(i), hu.Row(i), h.Row(i), rh.Row(i)
+		for j := 0; j < hid; j++ {
+			// z is stored back into the g buffer's z block for the blend below.
+			gr[j] = Sigmoid32(gr[j] + hr[j] + f.Bz[j])
+			r := Sigmoid32(gr[hid+j] + hr[hid+j] + f.Br[j])
+			rhr[j] = r * hrow[j]
+		}
+	}
+	mat.MulInto32(hc, rh, f.Uh)
+	for i := 0; i < rows; i++ {
+		gr, hcr, hrow, next := g.Row(i), hc.Row(i), h.Row(i), hNext.Row(i)
+		for j := 0; j < hid; j++ {
+			z := gr[j]
+			cand := Tanh32(gr[2*hid+j] + hcr[j] + f.Bh[j])
+			next[j] = (1-z)*hrow[j] + z*cand
+		}
+	}
+}
+
+// ActivateRows32 applies a schema's per-field activations in place:
+// Sigmoid32 on continuous columns, softmax within each categorical group.
+func ActivateRows32(schema []FieldSpec, x *mat.Matrix32) {
+	if x.Cols != Width(schema) {
+		panic(fmt.Sprintf("nn: head input width %d, want %d", x.Cols, Width(schema)))
+	}
+	col := 0
+	for _, f := range schema {
+		switch f.Kind {
+		case FieldContinuous:
+			for i := 0; i < x.Rows; i++ {
+				row := x.Row(i)
+				for j := col; j < col+f.Size; j++ {
+					row[j] = Sigmoid32(row[j])
+				}
+			}
+		case FieldCategorical:
+			for i := 0; i < x.Rows; i++ {
+				seg := x.Row(i)[col : col+f.Size]
+				mx := seg[0]
+				for _, v := range seg[1:] {
+					if v > mx {
+						mx = v
+					}
+				}
+				var sum float32
+				for j, v := range seg {
+					e := float32(math.Exp(float64(v - mx)))
+					seg[j] = e
+					sum += e
+				}
+				inv := 1 / sum
+				for j := range seg {
+					seg[j] *= inv
+				}
+			}
+		}
+		col += f.Size
+	}
+}
+
+// SampleRow32 converts one activated float32 row into a concrete sample,
+// widening to float64 so fast-path samples flow through the same decode
+// pipeline as reference samples. One uniform variate is consumed per
+// categorical group, in schema order, exactly like SampleRow.
+func SampleRow32(schema []FieldSpec, row []float32, u func() float64) []float64 {
+	out := make([]float64, len(row))
+	col := 0
+	for _, f := range schema {
+		switch f.Kind {
+		case FieldContinuous:
+			for j := col; j < col+f.Size; j++ {
+				out[j] = float64(row[j])
+			}
+		case FieldCategorical:
+			probs := row[col : col+f.Size]
+			target := u()
+			var acc float64
+			pick := len(probs) - 1
+			for j, p := range probs {
+				acc += float64(p)
+				if target <= acc {
+					pick = j
+					break
+				}
+			}
+			out[col+pick] = 1
+		}
+		col += f.Size
+	}
+	return out
+}

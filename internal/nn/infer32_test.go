@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestTanh32Accuracy(t *testing.T) {
+	for x := -8.0; x <= 8.0; x += 0.01 {
+		got := float64(Tanh32(float32(x)))
+		want := math.Tanh(x)
+		if math.Abs(got-want) > 2e-4 {
+			t.Fatalf("Tanh32(%v) = %v, want %v", x, got, want)
+		}
+	}
+	for x := -8.0; x <= 8.0; x += 0.01 {
+		got := float64(Sigmoid32(float32(x)))
+		want := 1 / (1 + math.Exp(-x))
+		if math.Abs(got-want) > 2e-4 {
+			t.Fatalf("Sigmoid32(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+// TestFusedGRU32MatchesReference drives the packed float32 GRU and the
+// float64 reference with identical inputs over several steps and bounds
+// the hidden-state drift.
+func TestFusedGRU32MatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	const in, hid, batch, steps = 7, 13, 5, 6
+	g := NewGRU("t.gru", in, hid)
+	InitXavier(g, r)
+	fused := CompressGRU(g)
+
+	x := mat.New(batch, in)
+	h := mat.New(batch, hid)
+	hNext := mat.New(batch, hid)
+	var sc GRUScratch
+
+	x32 := mat.New32(batch, in)
+	h32 := mat.New32(batch, hid)
+	hNext32 := mat.New32(batch, hid)
+	var sc32 FusedGRU32Scratch
+
+	for s := 0; s < steps; s++ {
+		x.RandNorm(r, 1)
+		for i, v := range x.Data {
+			x32.Data[i] = float32(v)
+		}
+		g.StepInfer(x, h, hNext, &sc)
+		fused.StepInfer(x32, h32, hNext32, &sc32)
+		h, hNext = hNext, h
+		h32, hNext32 = hNext32, h32
+		for i, v := range h32.Data {
+			if math.Abs(float64(v)-h.Data[i]) > 1e-3 {
+				t.Fatalf("step %d hidden[%d]: fused %v vs reference %v", s, i, v, h.Data[i])
+			}
+		}
+	}
+}
+
+func TestMLP32MatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	m := NewMLP("t.mlp", []int{6, 16, 16, 5}, ReLU, Identity, r)
+	m32 := CompressMLP(m)
+
+	x := mat.New(4, 6)
+	x.RandNorm(r, 1)
+	var sc MLPScratch
+	want := m.InferInto(x, &sc)
+
+	x32 := mat.Compress32(x)
+	var sc32 MLP32Scratch
+	got := m32.InferInto(x32, &sc32)
+	for i, v := range got.Data {
+		if math.Abs(float64(v)-want.Data[i]) > 1e-3 {
+			t.Fatalf("output %d: %v vs %v", i, v, want.Data[i])
+		}
+	}
+}
+
+func TestActivateRows32MatchesReference(t *testing.T) {
+	schema := []FieldSpec{
+		{Name: "c", Kind: FieldContinuous, Size: 2},
+		{Name: "k", Kind: FieldCategorical, Size: 4},
+	}
+	r := rand.New(rand.NewSource(13))
+	x := mat.New(3, Width(schema))
+	x.RandNorm(r, 2)
+	x32 := mat.Compress32(x)
+	ActivateRows(schema, x)
+	ActivateRows32(schema, x32)
+	for i, v := range x32.Data {
+		if math.Abs(float64(v)-x.Data[i]) > 1e-3 {
+			t.Fatalf("element %d: %v vs %v", i, v, x.Data[i])
+		}
+	}
+	// Softmax groups must remain proper distributions.
+	for i := 0; i < 3; i++ {
+		var sum float32
+		for _, p := range x32.Row(i)[2:6] {
+			if p < 0 {
+				t.Fatal("negative probability")
+			}
+			sum += p
+		}
+		if math.Abs(float64(sum)-1) > 1e-5 {
+			t.Fatalf("row %d softmax sums to %v", i, sum)
+		}
+	}
+}
+
+// TestSampleRow32MatchesSampleRow checks both samplers pick the same
+// category for the same uniform draw on the same distribution.
+func TestSampleRow32MatchesSampleRow(t *testing.T) {
+	schema := []FieldSpec{
+		{Name: "c", Kind: FieldContinuous, Size: 1},
+		{Name: "k", Kind: FieldCategorical, Size: 3},
+	}
+	row := []float64{0.25, 0.2, 0.5, 0.3}
+	row32 := []float32{0.25, 0.2, 0.5, 0.3}
+	for _, u := range []float64{0.05, 0.3, 0.69, 0.71, 0.99} {
+		a := SampleRow(schema, row, false, func() float64 { return u })
+		b := SampleRow32(schema, row32, func() float64 { return u })
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-6 {
+				t.Fatalf("u=%v: SampleRow %v vs SampleRow32 %v", u, a, b)
+			}
+		}
+	}
+}

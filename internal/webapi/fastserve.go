@@ -1,0 +1,355 @@
+package webapi
+
+import (
+	"bytes"
+	"container/list"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Fast serving (DESIGN.md §11): POST /api/v1/models/{name}/generate with
+// "fast": true routes through a float32 inference snapshot instead of
+// loading a fresh float64 synthesizer per request. Two mechanisms make it
+// fast under load:
+//
+//   - an LRU cache of decoded snapshots in front of the registry, so the
+//     container is read and decoded once per model, not once per request;
+//   - a cross-request batch scheduler: concurrent generate calls for the
+//     same model coalesce into ONE batched forward fan-out
+//     (core.Fast*Synthesizer.GenerateBatch), each request receiving its
+//     proportional per-chunk share.
+//
+// The default (non-fast) path is untouched and keeps its contract: a fresh
+// synthesizer per request, bitwise-deterministic output. The fast path
+// trades that for throughput — a cached snapshot's RNG advances across
+// requests, so responses depend on request ordering; only the output
+// DISTRIBUTION is pinned (internal/conformance). Models stored as fast
+// containers (flow-fast / packet-fast kinds) always serve via this path:
+// they carry no float64 weights to be deterministic with.
+
+// Pre-registered telemetry handles for the fast path.
+var (
+	telFastBatches   = telemetry.Default.Counter("webapi.fast.batches")
+	telFastRequests  = telemetry.Default.Counter("webapi.fast.requests")
+	telFastCacheHits = telemetry.Default.Counter("webapi.fast.cache.hits")
+	telFastCacheMiss = telemetry.Default.Counter("webapi.fast.cache.misses")
+	telFastPanics    = telemetry.Default.Counter("webapi.fast.panics")
+)
+
+// defaultFastCacheCap bounds the decoded-snapshot LRU when the server
+// does not override FastCacheCap.
+const defaultFastCacheCap = 8
+
+// fastWait is one request's slot in a coalesced batch.
+type fastWait struct {
+	count int
+	flow  *trace.FlowTrace
+	pkt   *trace.PacketTrace
+	err   error
+	done  chan struct{}
+}
+
+// fastEntry is one model's cached snapshot plus its batch scheduler state.
+// Exactly one of flow/pkt is set.
+type fastEntry struct {
+	name string
+	flow *core.FastFlowSynthesizer
+	pkt  *core.FastPacketSynthesizer
+
+	mu      sync.Mutex
+	pending []*fastWait
+	running bool
+	// dead marks an entry poisoned by a generation panic: it accepts no new
+	// waiters and has been evicted, so the next request decodes a fresh
+	// snapshot instead of reusing corrupt in-memory state.
+	dead bool
+}
+
+// fastState initializes the LRU lazily under s.fastMu.
+func (s *Server) fastState() {
+	if s.fastCache == nil {
+		s.fastCache = make(map[string]*list.Element)
+		s.fastLRU = list.New()
+	}
+}
+
+// fastCap resolves the effective cache capacity.
+func (s *Server) fastCap() int {
+	if s.FastCacheCap > 0 {
+		return s.FastCacheCap
+	}
+	return defaultFastCacheCap
+}
+
+// lookupFast returns the cached entry for name, refreshing its LRU
+// position, or nil on miss.
+func (s *Server) lookupFast(name string) *fastEntry {
+	s.fastMu.Lock()
+	defer s.fastMu.Unlock()
+	s.fastState()
+	el, ok := s.fastCache[name]
+	if !ok {
+		return nil
+	}
+	s.fastLRU.MoveToFront(el)
+	return el.Value.(*fastEntry)
+}
+
+// insertFast caches entry, evicting the least-recently-used snapshot past
+// capacity. If another goroutine inserted the same name first, that entry
+// wins and is returned — both requests then coalesce on one scheduler.
+func (s *Server) insertFast(entry *fastEntry) *fastEntry {
+	s.fastMu.Lock()
+	defer s.fastMu.Unlock()
+	s.fastState()
+	if el, ok := s.fastCache[entry.name]; ok {
+		s.fastLRU.MoveToFront(el)
+		return el.Value.(*fastEntry)
+	}
+	s.fastCache[entry.name] = s.fastLRU.PushFront(entry)
+	for s.fastLRU.Len() > s.fastCap() {
+		oldest := s.fastLRU.Back()
+		delete(s.fastCache, oldest.Value.(*fastEntry).name)
+		s.fastLRU.Remove(oldest)
+	}
+	return entry
+}
+
+// evictFast drops name from the cache (no-op when absent or already
+// replaced by a newer entry for the same name).
+func (s *Server) evictFast(entry *fastEntry) {
+	s.fastMu.Lock()
+	defer s.fastMu.Unlock()
+	s.fastState()
+	if el, ok := s.fastCache[entry.name]; ok && el.Value.(*fastEntry) == entry {
+		delete(s.fastCache, entry.name)
+		s.fastLRU.Remove(el)
+	}
+}
+
+// loadFastEntry decodes a snapshot for name from the registry's stored
+// container: fast containers decode directly; reference containers load
+// the float64 synthesizer and snapshot it.
+func (s *Server) loadFastEntry(name string) (*fastEntry, int, error) {
+	reg := s.registry()
+	framed, info, err := reg.ModelBytes(name)
+	if err != nil {
+		return nil, http.StatusNotFound, fmt.Errorf("model %q: %w", name, err)
+	}
+	entry := &fastEntry{name: name}
+	switch info.Kind {
+	case "flow":
+		syn, err := core.LoadFlowSynthesizer(bytes.NewReader(framed))
+		if err != nil {
+			return nil, http.StatusInternalServerError, fmt.Errorf("load model %q: %w", name, err)
+		}
+		entry.flow = syn.Fast()
+	case "flow-fast":
+		if entry.flow, err = core.LoadFastFlowSynthesizer(bytes.NewReader(framed)); err != nil {
+			return nil, http.StatusInternalServerError, fmt.Errorf("load model %q: %w", name, err)
+		}
+	case "packet":
+		syn, err := core.LoadPacketSynthesizer(bytes.NewReader(framed))
+		if err != nil {
+			return nil, http.StatusInternalServerError, fmt.Errorf("load model %q: %w", name, err)
+		}
+		entry.pkt = syn.Fast()
+	case "packet-fast":
+		if entry.pkt, err = core.LoadFastPacketSynthesizer(bytes.NewReader(framed)); err != nil {
+			return nil, http.StatusInternalServerError, fmt.Errorf("load model %q: %w", name, err)
+		}
+	default:
+		return nil, http.StatusInternalServerError, fmt.Errorf("model %q has unknown kind %q", name, info.Kind)
+	}
+	return entry, 0, nil
+}
+
+// serveFastGenerate handles one fast-path generate request end to end:
+// snapshot lookup/decode, batch enqueue, wait, encode.
+func (s *Server) serveFastGenerate(w http.ResponseWriter, name string, req GenerateRequest) {
+	telFastRequests.Inc()
+	for {
+		entry := s.lookupFast(name)
+		if entry == nil {
+			telFastCacheMiss.Inc()
+			loaded, code, err := s.loadFastEntry(name)
+			if err != nil {
+				writeError(w, code, "%v", err)
+				return
+			}
+			entry = s.insertFast(loaded)
+		} else {
+			telFastCacheHits.Inc()
+		}
+
+		wait := &fastWait{count: req.Count, done: make(chan struct{})}
+		entry.mu.Lock()
+		if entry.dead {
+			// Poisoned between lookup and enqueue; retry with a fresh
+			// snapshot (the panicking runner already evicted this one).
+			entry.mu.Unlock()
+			continue
+		}
+		entry.pending = append(entry.pending, wait)
+		runner := !entry.running
+		if runner {
+			entry.running = true
+		}
+		entry.mu.Unlock()
+
+		// First arriver becomes the runner and drains the queue; requests
+		// landing while a batch is in flight are picked up by the next
+		// drain and coalesce into one forward fan-out.
+		if runner {
+			s.runFastBatches(entry)
+		}
+		<-wait.done
+		if wait.err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", wait.err)
+			return
+		}
+		served := false
+		if wait.flow != nil {
+			served = writeFlowResult(w, name, req.Format, wait.flow)
+		} else {
+			served = writePacketResult(w, name, req.Format, wait.pkt)
+		}
+		if served {
+			telModelsServed.Inc()
+		}
+		return
+	}
+}
+
+// runFastBatches drains the entry's pending queue, one coalesced
+// GenerateBatch per drain, until the queue is empty.
+func (s *Server) runFastBatches(entry *fastEntry) {
+	for {
+		entry.mu.Lock()
+		batch := entry.pending
+		entry.pending = nil
+		if len(batch) == 0 {
+			entry.running = false
+			entry.mu.Unlock()
+			return
+		}
+		entry.mu.Unlock()
+		if !s.serveFastBatch(entry, batch) {
+			return
+		}
+	}
+}
+
+// serveFastBatch runs one coalesced forward fan-out. A panic anywhere in
+// generation is contained the same way job panics are (run's recover →
+// StateFailed): every waiter in this batch AND any that queued meanwhile
+// fails with an error response, the entry is marked dead and evicted so
+// its (possibly corrupt) state is never reused, and the scheduler slot is
+// released. Returns false when the entry died and draining must stop.
+func (s *Server) serveFastBatch(entry *fastEntry, batch []*fastWait) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			telFastPanics.Inc()
+			err := fmt.Errorf("fast generation for model %q panicked: %v", entry.name, r)
+			// Refuse new waiters first, then fail everyone already queued.
+			// Waiters in `batch` were never completed (the panic aborted
+			// GenerateBatch before any done channel closed).
+			entry.mu.Lock()
+			entry.dead = true
+			entry.running = false
+			stranded := entry.pending
+			entry.pending = nil
+			entry.mu.Unlock()
+			for _, w := range append(batch, stranded...) {
+				w.err = err
+				close(w.done)
+			}
+			s.evictFast(entry)
+			ok = false
+		}
+	}()
+	if s.fastHook != nil {
+		s.fastHook(entry.name, len(batch))
+	}
+	counts := make([]int, len(batch))
+	for i, w := range batch {
+		counts[i] = w.count
+	}
+	if entry.flow != nil {
+		outs := entry.flow.GenerateBatch(counts)
+		for i, w := range batch {
+			w.flow = outs[i]
+			close(w.done)
+		}
+	} else {
+		outs := entry.pkt.GenerateBatch(counts)
+		for i, w := range batch {
+			w.pkt = outs[i]
+			close(w.done)
+		}
+	}
+	telFastBatches.Inc()
+	return true
+}
+
+// writeFlowResult encodes a generated flow trace in the requested format
+// and writes the HTTP response (including format/encoding errors),
+// reporting whether a success response was written.
+func writeFlowResult(w http.ResponseWriter, name, format string, gen *trace.FlowTrace) bool {
+	var buf bytes.Buffer
+	var contentType, ext string
+	var err error
+	switch format {
+	case "csv":
+		contentType, ext = "text/csv", "csv"
+		err = trace.WriteFlowCSV(&buf, gen)
+	case "netflow5":
+		contentType, ext = "application/octet-stream", "nf5"
+		err = trace.WriteNetFlowV5(&buf, gen)
+	default:
+		writeError(w, http.StatusBadRequest, "format %q not available for flow models", format)
+		return false
+	}
+	return writeAttachment(w, name, contentType, ext, buf.Bytes(), err)
+}
+
+// writePacketResult is writeFlowResult for packet traces.
+func writePacketResult(w http.ResponseWriter, name, format string, gen *trace.PacketTrace) bool {
+	var buf bytes.Buffer
+	var contentType, ext string
+	var err error
+	switch format {
+	case "csv":
+		contentType, ext = "text/csv", "csv"
+		err = trace.WritePacketCSV(&buf, gen)
+	case "pcap":
+		contentType, ext = "application/vnd.tcpdump.pcap", "pcap"
+		err = trace.WritePCAP(&buf, gen)
+	default:
+		writeError(w, http.StatusBadRequest, "format %q not available for packet models", format)
+		return false
+	}
+	return writeAttachment(w, name, contentType, ext, buf.Bytes(), err)
+}
+
+func writeAttachment(w http.ResponseWriter, name, contentType, ext string, body []byte, err error) bool {
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode trace: %v", err)
+		return false
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.%s", name, ext))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+	return true
+}
+
+// isFastKind reports whether a stored model kind is a fast container
+// (which carries no float64 weights and can only serve via the fast path).
+func isFastKind(kind string) bool { return strings.HasSuffix(kind, "-fast") }

@@ -35,6 +35,10 @@ var (
 // hostile client cannot balloon the heap.
 const maxRequestBody = 64 << 20
 
+// maxGenerateBody caps generate-endpoint bodies: the request is a small
+// JSON document (count/format/fast), so anything past 1 MiB is hostile.
+const maxGenerateBody = 1 << 20
+
 // RecoveryStats reports what UseRegistry found on boot.
 type RecoveryStats struct {
 	// Jobs is the number of terminal job records recovered into the
@@ -201,6 +205,12 @@ type GenerateRequest struct {
 	// Format is csv (default), netflow5 (flow models), or pcap (packet
 	// models).
 	Format string `json:"format,omitempty"`
+	// Fast opts into the float32 serving fast path (fastserve.go): cached
+	// snapshot, coalesced batched generation. Higher throughput, but output
+	// depends on request ordering — only its distribution is pinned. The
+	// default path stays per-request deterministic. Models stored as fast
+	// containers always serve fast regardless of this flag.
+	Fast bool `json:"fast,omitempty"`
 }
 
 // handleModelGenerate serves generation straight from a stored model:
@@ -214,7 +224,7 @@ func (s *Server) handleModelGenerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "no registry configured (start the server with -registry)")
 		return
 	}
-	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	r.Body = http.MaxBytesReader(w, r.Body, maxGenerateBody)
 	var req GenerateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
 		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
@@ -237,9 +247,12 @@ func (s *Server) handleModelGenerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "model %q: %v", name, err)
 		return
 	}
+	if req.Fast || isFastKind(info.Kind) {
+		s.serveFastGenerate(w, name, req)
+		return
+	}
 
-	var buf bytes.Buffer
-	var contentType, ext string
+	served := false
 	switch info.Kind {
 	case "flow":
 		syn, err := core.LoadFlowSynthesizer(bytes.NewReader(framed))
@@ -247,53 +260,21 @@ func (s *Server) handleModelGenerate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "load model %q: %v", name, err)
 			return
 		}
-		gen := syn.Generate(req.Count)
-		switch req.Format {
-		case "csv":
-			contentType, ext = "text/csv", "csv"
-			err = trace.WriteFlowCSV(&buf, gen)
-		case "netflow5":
-			contentType, ext = "application/octet-stream", "nf5"
-			err = trace.WriteNetFlowV5(&buf, gen)
-		default:
-			writeError(w, http.StatusBadRequest, "format %q not available for flow models", req.Format)
-			return
-		}
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "encode trace: %v", err)
-			return
-		}
+		served = writeFlowResult(w, name, req.Format, syn.Generate(req.Count))
 	case "packet":
 		syn, err := core.LoadPacketSynthesizer(bytes.NewReader(framed))
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "load model %q: %v", name, err)
 			return
 		}
-		gen := syn.Generate(req.Count)
-		switch req.Format {
-		case "csv":
-			contentType, ext = "text/csv", "csv"
-			err = trace.WritePacketCSV(&buf, gen)
-		case "pcap":
-			contentType, ext = "application/vnd.tcpdump.pcap", "pcap"
-			err = trace.WritePCAP(&buf, gen)
-		default:
-			writeError(w, http.StatusBadRequest, "format %q not available for packet models", req.Format)
-			return
-		}
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "encode trace: %v", err)
-			return
-		}
+		served = writePacketResult(w, name, req.Format, syn.Generate(req.Count))
 	default:
 		writeError(w, http.StatusInternalServerError, "model %q has unknown kind %q", name, info.Kind)
 		return
 	}
-	telModelsServed.Inc()
-	w.Header().Set("Content-Type", contentType)
-	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.%s", name, ext))
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(buf.Bytes())
+	if served {
+		telModelsServed.Inc()
+	}
 }
 
 // streamStoredTrace serves a job's CSV download straight from the

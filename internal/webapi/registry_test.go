@@ -210,6 +210,9 @@ func TestNewJobIDsStayMonotonicAfterRecovery(t *testing.T) {
 		t.Fatalf("restarted server reused job ID %s", st.ID)
 	}
 	waitDone(t, apiB, tsB, st2.ID)
+	// Persistence completes after the status flips to done; without this
+	// wait, TempDir cleanup races the registry write still in flight.
+	waitPersisted(t, apiB, st2.ID)
 }
 
 // TestModelsEndpoint covers the registry-backed model listing and its

@@ -20,6 +20,7 @@ package webapi
 
 import (
 	"bytes"
+	"container/list"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -191,6 +192,16 @@ type Server struct {
 	// reg is the durable model/job registry; nil means memory-only
 	// operation. Attach with UseRegistry before serving traffic.
 	reg *registry.Registry
+
+	// FastCacheCap bounds the fast path's decoded-snapshot LRU
+	// (fastserve.go); 0 selects the default. Set before serving traffic.
+	FastCacheCap int
+	fastMu       sync.Mutex
+	fastCache    map[string]*list.Element
+	fastLRU      *list.List
+	// fastHook, when non-nil, runs inside each coalesced fast batch just
+	// before generation — the test seam for coalescing and panic tests.
+	fastHook func(name string, batchSize int)
 }
 
 // NewServer returns an API server allowing up to maxInflight concurrent
