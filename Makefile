@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build vet test test-race test-crash test-telemetry test-conformance fuzz bench bench-parallel bench-generate staticcheck govulncheck ci clean
+.PHONY: all build vet test test-race test-crash test-telemetry test-conformance test-ingest fuzz bench bench-parallel bench-generate staticcheck govulncheck ci clean
 
 all: build
 
@@ -26,7 +26,7 @@ test-race:
 	$(GO) test -race ./internal/mat/... ./internal/dgan/... ./internal/core/... \
 		./internal/orchestrator/... ./internal/privacy/... ./internal/ip2vec/... \
 		./internal/container/... ./internal/registry/... ./internal/webapi/... \
-		./internal/conformance/...
+		./internal/conformance/... ./internal/ingest/... ./internal/trace/...
 
 # Crash/fault matrix: the checkpoint/resume/retry tests that simulate
 # process death, torn writes, and exhausted retry budgets (DESIGN.md §7).
@@ -43,15 +43,24 @@ test-telemetry:
 	$(GO) test ./internal/telemetry -run TestHotPathZeroAllocs
 	$(GO) test ./internal/core -run 'TestTelemetryStrictlyObservational|TestFlowGenerateGolden'
 
-# Short fuzz pass over every fuzz target (trace parsers and checkpoint/
-# manifest loaders). Each target needs its own invocation: `go test -fuzz`
-# accepts exactly one target per run.
+# Live-ingestion subsystem (DESIGN.md §12): the streaming pcap reader's
+# golden round-trip and framing-variant fixtures, the flow table's
+# property tests (hard memory bounds, packet conservation, deterministic
+# eviction incl. the 1M-packet capture), and the watcher/webapi wiring.
+test-ingest:
+	$(GO) test ./internal/ingest/... ./internal/trace/...
+	$(GO) test ./internal/webapi -run TestIngestEndpoint
+
+# Short fuzz pass over every fuzz target (trace parsers, flow assembly,
+# and checkpoint/manifest loaders). Each target needs its own
+# invocation: `go test -fuzz` accepts exactly one target per run.
 fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadPCAP -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadNetFlowV5 -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadFlowCSV -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadPacketCSV -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzParseIPv4 -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ingest -run '^$$' -fuzz FuzzFlowAssemble -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/orchestrator -run '^$$' -fuzz FuzzLoadCheckpoint -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/orchestrator -run '^$$' -fuzz FuzzLoadManifest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/container -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
@@ -93,7 +102,7 @@ govulncheck:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-ci: vet staticcheck govulncheck build test test-race test-crash test-telemetry test-conformance fuzz bench-generate
+ci: vet staticcheck govulncheck build test test-race test-crash test-telemetry test-conformance test-ingest fuzz bench-generate
 
 clean:
 	$(GO) clean ./...

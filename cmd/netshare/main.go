@@ -11,10 +11,13 @@
 //	netshare -kind netflow -dataset ugr16 -out synthetic.csv -metrics-out metrics.json
 //	netshare -kind netflow -dataset ugr16 -registry reg -save-model ugr16-v1 -out synthetic.csv
 //	netshare -kind netflow -registry reg -load-model ugr16-v1 -gen 5000 -out more.csv
+//	netshare -kind pcap -ingest-pcap capture.pcap -out synthetic.csv
+//	netshare -kind netflow -ingest-watch /var/spool/captures -registry reg -save-model live-v1 -out synthetic.csv
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,10 +26,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/ingest"
 	"repro/internal/mat"
 	"repro/internal/orchestrator"
 	"repro/internal/registry"
@@ -75,6 +80,15 @@ func run() error {
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this path on exit")
 		metricsJS = flag.String("metrics-out", "", "write the run's telemetry snapshot (counters, phase timers, per-chunk loss curves) to this JSON path on exit")
+
+		ingestPCAP  = flag.String("ingest-pcap", "", "train on a pcap capture: stream it through the flow assembler instead of -in/-dataset")
+		ingestWatch = flag.String("ingest-watch", "", "train on a rotating-capture directory: watch it, ingest completed pcap files, stop after -ingest-quiet of silence")
+		ingestQuiet = flag.Duration("ingest-quiet", 2*time.Second, "with -ingest-watch, stop watching after this long without a new completed file")
+		ingMaxFlows = flag.Int("ingest-max-flows", 0, "flow-table bound on live flows (0 = default)")
+		ingMaxPkts  = flag.Int("ingest-max-flow-packets", 0, "flow-table bound on stored packets per flow (0 = default)")
+		ingMaxBuf   = flag.Int("ingest-max-buffered", 0, "flow-table hard bound on total buffered packet records (0 = default)")
+		ingIdle     = flag.Duration("ingest-idle-timeout", 0, "flow idle timeout on the capture clock (0 = default 60s)")
+		ingShards   = flag.Int("ingest-shards", 0, "flow-table shard count for parallel feeding (0 = 1)")
 	)
 	flag.Parse()
 
@@ -89,6 +103,13 @@ func run() error {
 	}
 	if (*saveName != "" || *loadName != "") && *regDir == "" {
 		return fmt.Errorf("-save-model/-load-model require -registry")
+	}
+	if *ingestPCAP != "" && *ingestWatch != "" {
+		return fmt.Errorf("-ingest-pcap and -ingest-watch are mutually exclusive")
+	}
+	ingesting := *ingestPCAP != "" || *ingestWatch != ""
+	if ingesting && (*inPath != "" || *dataset != "") {
+		return fmt.Errorf("-ingest-pcap/-ingest-watch replace -in/-dataset")
 	}
 	if *loadName != "" && *loadPath != "" {
 		return fmt.Errorf("-load and -load-model are mutually exclusive")
@@ -168,6 +189,47 @@ func run() error {
 	public := datasets.CAIDAChicago(4000, *seed+500)
 	opts := trainOptions(*ckptDir, *resume, *maxRetry)
 
+	// Live ingestion: assemble flows from a capture (or a rotating
+	// capture directory) before training, replacing the CSV readers.
+	var asm *ingest.Assembler
+	if ingesting {
+		asm = ingest.New(ingest.Config{
+			MaxFlows:           *ingMaxFlows,
+			MaxFlowPackets:     *ingMaxPkts,
+			MaxBufferedPackets: *ingMaxBuf,
+			IdleTimeout:        ingIdle.Microseconds(),
+			Shards:             *ingShards,
+		})
+		if *ingestPCAP != "" {
+			if err := asm.IngestFile(*ingestPCAP); err != nil {
+				return err
+			}
+		} else {
+			files, err := asm.Watch(context.Background(), ingest.WatchConfig{
+				Dir:   *ingestWatch,
+				Quiet: *ingestQuiet,
+				OnFile: func(path string, err error) {
+					if err != nil {
+						log.Printf("ingest %s: %v", path, err)
+					} else {
+						log.Printf("ingested %s", path)
+					}
+				},
+			})
+			if err != nil {
+				return err
+			}
+			if files == 0 {
+				return fmt.Errorf("-ingest-watch: no completed capture files appeared in %s", *ingestWatch)
+			}
+		}
+		asm.Flush()
+		st := asm.Stats()
+		log.Printf("ingest: %d packets (%d v4, %d v6, %d non-IP, %d parse errors) -> %d flows (%d idle, %d teardown, %d capacity, %d flush; %d truncated)",
+			st.PacketsParsed+st.PacketsNonIP+st.ParseErrors, st.PacketsIPv4, st.PacketsIPv6, st.PacketsNonIP, st.ParseErrors,
+			st.FlowsEmitted, st.EvictedIdle, st.EvictedTeardown, st.EvictedCapacity, st.Flushed, st.FlowsTruncated)
+	}
+
 	switch *kind {
 	case "netflow":
 		var syn *core.FlowSynthesizer
@@ -192,7 +254,7 @@ func run() error {
 			syn.SetParallelism(*par)
 			log.Printf("loaded model from %s", *loadPath)
 		} else {
-			real, err := loadFlow(*inPath, *dataset, *records, *seed)
+			real, err := loadFlow(asm, *inPath, *dataset, *records, *seed)
 			if err != nil {
 				return err
 			}
@@ -249,7 +311,7 @@ func run() error {
 			syn.SetParallelism(*par)
 			log.Printf("loaded model from %s", *loadPath)
 		} else {
-			real, err := loadPacket(*inPath, *dataset, *records, *seed)
+			real, err := loadPacket(asm, *inPath, *dataset, *records, *seed)
 			if err != nil {
 				return err
 			}
@@ -325,7 +387,14 @@ func reportStats(st core.Stats) {
 	}
 }
 
-func loadFlow(inPath, dataset string, records int, seed int64) (*trace.FlowTrace, error) {
+func loadFlow(asm *ingest.Assembler, inPath, dataset string, records int, seed int64) (*trace.FlowTrace, error) {
+	if asm != nil {
+		t := asm.FlowTrace()
+		if len(t.Records) == 0 {
+			return nil, fmt.Errorf("ingest produced no IPv4 flow records to train on")
+		}
+		return t, nil
+	}
 	if inPath != "" {
 		f, err := os.Open(inPath)
 		if err != nil {
@@ -344,7 +413,14 @@ func loadFlow(inPath, dataset string, records int, seed int64) (*trace.FlowTrace
 	return t, nil
 }
 
-func loadPacket(inPath, dataset string, packets int, seed int64) (*trace.PacketTrace, error) {
+func loadPacket(asm *ingest.Assembler, inPath, dataset string, packets int, seed int64) (*trace.PacketTrace, error) {
+	if asm != nil {
+		t := asm.PacketTrace()
+		if len(t.Packets) == 0 {
+			return nil, fmt.Errorf("ingest produced no IPv4 packets to train on")
+		}
+		return t, nil
+	}
 	if inPath != "" {
 		f, err := os.Open(inPath)
 		if err != nil {

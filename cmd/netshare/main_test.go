@@ -60,13 +60,13 @@ func TestWritePacketFormats(t *testing.T) {
 }
 
 func TestLoadFlowInputs(t *testing.T) {
-	if _, err := loadFlow("", "", 10, 1); err == nil {
+	if _, err := loadFlow(nil, "", "", 10, 1); err == nil {
 		t.Fatal("missing source must fail")
 	}
-	if _, err := loadFlow("", "nope", 10, 1); err == nil {
+	if _, err := loadFlow(nil, "", "nope", 10, 1); err == nil {
 		t.Fatal("unknown dataset must fail")
 	}
-	tr, err := loadFlow("", "ugr16", 25, 1)
+	tr, err := loadFlow(nil, "", "ugr16", 25, 1)
 	if err != nil || len(tr.Records) != 25 {
 		t.Fatalf("builtin load: %v, %d records", err, len(tr.Records))
 	}
@@ -76,7 +76,7 @@ func TestLoadFlowInputs(t *testing.T) {
 	if err := writeFlow(path, tr, "csv"); err != nil {
 		t.Fatal(err)
 	}
-	back, err := loadFlow(path, "", 0, 0)
+	back, err := loadFlow(nil, path, "", 0, 0)
 	if err != nil || len(back.Records) != 25 {
 		t.Fatalf("csv load: %v, %d records", err, len(back.Records))
 	}

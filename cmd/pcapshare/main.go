@@ -14,11 +14,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/registry"
 	"repro/internal/webapi"
 )
@@ -28,15 +30,41 @@ func main() {
 	log.SetPrefix("pcapshare: ")
 
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		jobs   = flag.Int("jobs", 1, "max concurrent training jobs")
-		debug  = flag.Bool("debug", false, "mount /debug/pprof profiling endpoints")
-		regDir = flag.String("registry", "", "durable model/job registry directory (empty = memory-only)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		jobs    = flag.Int("jobs", 1, "max concurrent training jobs")
+		debug   = flag.Bool("debug", false, "mount /debug/pprof profiling endpoints")
+		regDir  = flag.String("registry", "", "durable model/job registry directory (empty = memory-only)")
+		watch   = flag.String("ingest-watch", "", "rotating-capture directory to ingest continuously; stats at GET /api/v1/ingest")
+		ingIdle = flag.Duration("ingest-idle-timeout", 0, "flow idle timeout on the capture clock (0 = default 60s)")
+		ingMax  = flag.Int("ingest-max-flows", 0, "flow-table bound on live flows (0 = default)")
 	)
 	flag.Parse()
 
 	api := webapi.NewServer(*jobs)
 	api.Debug = *debug
+	if *watch != "" {
+		asm := ingest.New(ingest.Config{
+			MaxFlows:    *ingMax,
+			IdleTimeout: ingIdle.Microseconds(),
+		})
+		api.AttachIngest(asm)
+		go func() {
+			_, err := asm.Watch(context.Background(), ingest.WatchConfig{
+				Dir: *watch,
+				OnFile: func(path string, err error) {
+					if err != nil {
+						log.Printf("ingest %s: %v", path, err)
+					} else {
+						log.Printf("ingested %s", path)
+					}
+				},
+			})
+			if err != nil {
+				log.Printf("ingest watch stopped: %v", err)
+			}
+		}()
+		log.Printf("watching %s for capture files", *watch)
+	}
 	if *regDir != "" {
 		reg, err := registry.Open(*regDir)
 		if err != nil {

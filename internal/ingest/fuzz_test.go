@@ -1,0 +1,46 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// FuzzFlowAssemble drives arbitrary bytes through the full ingestion
+// path — pcap framing, link decode, keying, sharded flow tables with
+// tiny bounds — and asserts the invariants that must survive any input:
+// no panic, bounds hold, and every parsed packet is conserved into
+// exactly one emitted flow.
+func FuzzFlowAssemble(f *testing.F) {
+	var buf bytes.Buffer
+	if err := trace.WritePCAP(&buf, samplePackets()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(fixtureBytes(f, "v4_raw_be_micro.pcap"))
+	f.Add(fixtureBytes(f, "v4_raw_le_nano.pcap"))
+	f.Add(fixtureBytes(f, "mixed_eth_le_micro.pcap"))
+	f.Add([]byte{})
+	f.Add([]byte("\xd4\xc3\xb2\xa1"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := Config{MaxFlows: 4, MaxFlowPackets: 4, MaxBufferedPackets: 16, Shards: 2}
+		a := New(cfg)
+		_ = a.IngestBytes(data) // stream errors are fine; panics are not
+		if live := a.Live(); live > cfg.MaxFlows {
+			t.Fatalf("%d live flows > bound %d", live, cfg.MaxFlows)
+		}
+		if buffered := a.Buffered(); buffered > cfg.MaxBufferedPackets {
+			t.Fatalf("%d buffered packets > bound %d", buffered, cfg.MaxBufferedPackets)
+		}
+		a.Flush()
+		var total int64
+		for _, fl := range a.Flows() {
+			total += fl.PacketCount
+		}
+		if parsed := a.Stats().PacketsParsed; total != parsed {
+			t.Fatalf("conserved %d of %d parsed packets", total, parsed)
+		}
+	})
+}

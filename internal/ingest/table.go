@@ -1,0 +1,379 @@
+// Package ingest turns raw packet captures into the flow-keyed inputs
+// the training pipeline consumes: a streaming pcap source, canonical
+// five-tuple keying for IPv4 and IPv6, and an incremental flow table
+// with hard memory bounds and deterministic eviction. It is the
+// storage-to-training on-ramp — "train on a trace" becomes "train on
+// the wire" (ROADMAP item 1), following the assembler → ingestor shape
+// of tulip's pipeline and goProbe's compact byte-key idiom.
+package ingest
+
+import (
+	"repro/internal/trace"
+)
+
+// Config tunes the flow table's memory bounds and eviction policy.
+// Zero values select the defaults.
+type Config struct {
+	// MaxFlows bounds live (unemitted) flows across the table. When a
+	// new flow would exceed it, the least-recently-seen flow is evicted
+	// first. Default 65536.
+	MaxFlows int
+	// MaxFlowPackets bounds the per-flow stored packet records. Packets
+	// past the bound still count toward PacketCount/ByteCount but their
+	// per-packet details are dropped and the flow is marked Truncated.
+	// Default 8192.
+	MaxFlowPackets int
+	// MaxBufferedPackets bounds the total stored packet records across
+	// all live flows — the table's hard memory bound. Exceeding it
+	// evicts least-recently-seen flows until back under. Default 1<<20.
+	MaxBufferedPackets int
+	// IdleTimeout evicts a flow once the capture clock has advanced this
+	// many microseconds past its last packet. Default 60 seconds.
+	IdleTimeout int64
+	// Shards splits the keyspace into independent tables (by key hash)
+	// so feeders can run in parallel; each shard receives an equal share
+	// of the flow and packet bounds. Default 1.
+	Shards int
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultMaxFlows           = 65536
+	DefaultMaxFlowPackets     = 8192
+	DefaultMaxBufferedPackets = 1 << 20
+	DefaultIdleTimeout        = 60_000_000 // 60s in µs
+)
+
+func (c Config) withDefaults() Config {
+	if c.MaxFlows <= 0 {
+		c.MaxFlows = DefaultMaxFlows
+	}
+	if c.MaxFlowPackets <= 0 {
+		c.MaxFlowPackets = DefaultMaxFlowPackets
+	}
+	if c.MaxBufferedPackets <= 0 {
+		c.MaxBufferedPackets = DefaultMaxBufferedPackets
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = DefaultIdleTimeout
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	return c
+}
+
+// shardConfig divides the global bounds across shards (each at least 1
+// flow / 1 packet so a shard is never born full).
+func (c Config) shardConfig() Config {
+	s := c
+	s.MaxFlows = maxInt(c.MaxFlows/c.Shards, 1)
+	s.MaxBufferedPackets = maxInt(c.MaxBufferedPackets/c.Shards, 1)
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EvictReason says why a flow left the table.
+type EvictReason uint8
+
+// Eviction reasons, in the order the table applies them.
+const (
+	EvictFlush    EvictReason = iota // explicit Flush at end of stream
+	EvictIdle                        // IdleTimeout elapsed on the capture clock
+	EvictTeardown                    // TCP FIN or RST observed
+	EvictCapacity                    // MaxFlows or MaxBufferedPackets pressure
+)
+
+var evictNames = [...]string{"flush", "idle", "teardown", "capacity"}
+
+// String names the reason.
+func (r EvictReason) String() string {
+	if int(r) < len(evictNames) {
+		return evictNames[r]
+	}
+	return "unknown"
+}
+
+// Flow is one assembled flow as emitted by the table. Family selects
+// which tuple and packet views are populated (4 or 6). PacketCount and
+// ByteCount always cover the whole flow, including any packets whose
+// per-packet details were dropped under MaxFlowPackets truncation.
+type Flow struct {
+	Family uint8
+	Tuple4 trace.FiveTuple
+	Tuple6 trace.FiveTuple6
+
+	Packets  []trace.Packet  // Family 4: stored packet records, time order
+	Packets6 []trace.Packet6 // Family 6: stored packet records, time order
+
+	PacketCount int64
+	ByteCount   int64
+	FirstTime   int64 // first packet timestamp, µs
+	LastTime    int64 // last packet timestamp, µs
+	Truncated   bool
+	Reason      EvictReason
+}
+
+// PacketFlow converts a v4 flow into the trace model's flow sample.
+func (f *Flow) PacketFlow() *trace.PacketFlow {
+	return &trace.PacketFlow{Tuple: f.Tuple4, Packets: f.Packets}
+}
+
+// Record converts a v4 flow into a NetFlow-style record: the ingest
+// path for flow-header training.
+func (f *Flow) Record() trace.FlowRecord {
+	return trace.FlowRecord{
+		Tuple:    f.Tuple4,
+		Start:    f.FirstTime,
+		Duration: f.LastTime - f.FirstTime,
+		Packets:  f.PacketCount,
+		Bytes:    f.ByteCount,
+		Label:    trace.Benign,
+	}
+}
+
+// TableStats counts one table's activity. All counters are cumulative.
+type TableStats struct {
+	FlowsEmitted    int64 `json:"flows_emitted"`
+	EvictedIdle     int64 `json:"evicted_idle"`
+	EvictedTeardown int64 `json:"evicted_teardown"`
+	EvictedCapacity int64 `json:"evicted_capacity"`
+	Flushed         int64 `json:"flushed"`
+	FlowsTruncated  int64 `json:"flows_truncated"`
+}
+
+func (s *TableStats) add(o TableStats) {
+	s.FlowsEmitted += o.FlowsEmitted
+	s.EvictedIdle += o.EvictedIdle
+	s.EvictedTeardown += o.EvictedTeardown
+	s.EvictedCapacity += o.EvictedCapacity
+	s.Flushed += o.Flushed
+	s.FlowsTruncated += o.FlowsTruncated
+}
+
+// entry is one live flow plus its position in the table's recency list.
+type entry struct {
+	flow       Flow
+	lastSeen   int64
+	prev, next *entry
+}
+
+// tcpFin and tcpRst are the TCP flag bits driving teardown eviction.
+const (
+	tcpFin = 0x01
+	tcpRst = 0x04
+)
+
+// Table assembles packets into flows under hard memory bounds. It is
+// single-goroutine (Assembler shards and serializes access): all state
+// transitions are driven purely by the packet stream — the recency list
+// is touch-ordered and the idle clock is the capture timestamps, never
+// wall time — so identical input streams always yield identical flow
+// sets and eviction order, the determinism contract the property tests
+// pin. The idle sweep is lazy: it stops at the first non-expired flow
+// in recency order, so an out-of-order timestamp can park an expired
+// flow behind a fresh one until capacity pressure or Flush reaches it;
+// the bounds still hold.
+type Table struct {
+	cfg      Config
+	v4       map[trace.Key4]*entry
+	v6       map[trace.Key6]*entry
+	lru, mru *entry // least / most recently seen live flow
+	buffered int    // stored packet records across live flows
+	now      int64  // capture clock: max packet timestamp seen
+	emit     func(*Flow)
+	stats    TableStats
+}
+
+// NewTable returns a table that hands evicted flows to emit. emit runs
+// synchronously inside Add/Flush.
+func NewTable(cfg Config, emit func(*Flow)) *Table {
+	cfg = cfg.withDefaults()
+	return &Table{
+		cfg:  cfg,
+		v4:   make(map[trace.Key4]*entry),
+		v6:   make(map[trace.Key6]*entry),
+		emit: emit,
+	}
+}
+
+// Live returns the number of live (unemitted) flows.
+func (t *Table) Live() int { return len(t.v4) + len(t.v6) }
+
+// Buffered returns the stored packet records across live flows.
+func (t *Table) Buffered() int { return t.buffered }
+
+// Stats returns the table's cumulative counters.
+func (t *Table) Stats() TableStats { return t.stats }
+
+// Add routes one decoded packet into the table, advancing the capture
+// clock and applying idle, teardown, and capacity eviction. Non-IP
+// records (Family 0) are ignored.
+func (t *Table) Add(rp trace.RawPacket) {
+	switch rp.Family {
+	case 4, 6:
+	default:
+		return
+	}
+	ts := rp.Time()
+	if ts > t.now {
+		t.now = ts
+	}
+	// Idle sweep first: flows whose silence the incoming timestamp
+	// proves get emitted before the new packet can claim table space.
+	for t.lru != nil && t.lru.lastSeen+t.cfg.IdleTimeout <= t.now {
+		t.evict(t.lru, EvictIdle)
+	}
+
+	e := t.lookup(rp)
+	if e == nil {
+		// Capacity: make room before inserting so Live never exceeds
+		// MaxFlows even transiently.
+		for t.Live() >= t.cfg.MaxFlows && t.lru != nil {
+			t.evict(t.lru, EvictCapacity)
+		}
+		e = t.insert(rp, ts)
+	}
+	t.append(e, rp, ts)
+
+	// Hard memory bound on buffered packet records.
+	for t.buffered > t.cfg.MaxBufferedPackets && t.lru != nil {
+		t.evict(t.lru, EvictCapacity)
+	}
+
+	// TCP teardown: FIN or RST ends the flow record immediately, the
+	// NetFlow-style semantics — a reused tuple starts a fresh flow.
+	proto := e.flow.Tuple4.Proto
+	if rp.Family == 6 {
+		proto = e.flow.Tuple6.Proto
+	}
+	if proto == trace.TCP && rp.HasTCPFlags && rp.TCPFlags&(tcpFin|tcpRst) != 0 {
+		t.evict(e, EvictTeardown)
+	}
+}
+
+// Flush evicts every live flow in recency order (least recently seen
+// first), emptying the table deterministically.
+func (t *Table) Flush() {
+	for t.lru != nil {
+		t.evict(t.lru, EvictFlush)
+	}
+}
+
+// lookup finds the packet's live flow, if any.
+func (t *Table) lookup(rp trace.RawPacket) *entry {
+	if rp.Family == 4 {
+		return t.v4[rp.V4.Tuple.Key()]
+	}
+	return t.v6[rp.V6.Tuple.Key()]
+}
+
+// insert creates a fresh entry for the packet's tuple at the MRU end.
+func (t *Table) insert(rp trace.RawPacket, ts int64) *entry {
+	e := &entry{lastSeen: ts}
+	if rp.Family == 4 {
+		e.flow = Flow{Family: 4, Tuple4: rp.V4.Tuple, FirstTime: ts}
+		t.v4[rp.V4.Tuple.Key()] = e
+	} else {
+		e.flow = Flow{Family: 6, Tuple6: rp.V6.Tuple, FirstTime: ts}
+		t.v6[rp.V6.Tuple.Key()] = e
+	}
+	t.pushMRU(e)
+	return e
+}
+
+// append accounts the packet into its flow, storing per-packet details
+// up to MaxFlowPackets, and refreshes recency.
+func (t *Table) append(e *entry, rp trace.RawPacket, ts int64) {
+	f := &e.flow
+	f.PacketCount++
+	if rp.Family == 4 {
+		f.ByteCount += int64(rp.V4.Size)
+	} else {
+		f.ByteCount += int64(rp.V6.Size)
+	}
+	if ts > f.LastTime {
+		f.LastTime = ts
+	}
+	stored := len(f.Packets) + len(f.Packets6)
+	if stored < t.cfg.MaxFlowPackets {
+		if rp.Family == 4 {
+			f.Packets = append(f.Packets, rp.V4)
+		} else {
+			f.Packets6 = append(f.Packets6, rp.V6)
+		}
+		t.buffered++
+	} else if !f.Truncated {
+		f.Truncated = true
+		t.stats.FlowsTruncated++
+	}
+	e.lastSeen = ts
+	t.moveMRU(e)
+}
+
+// evict removes e from the table and emits its flow with the reason.
+func (t *Table) evict(e *entry, reason EvictReason) {
+	if e.flow.Family == 4 {
+		delete(t.v4, e.flow.Tuple4.Key())
+	} else {
+		delete(t.v6, e.flow.Tuple6.Key())
+	}
+	t.unlink(e)
+	t.buffered -= len(e.flow.Packets) + len(e.flow.Packets6)
+	e.flow.Reason = reason
+	t.stats.FlowsEmitted++
+	switch reason {
+	case EvictIdle:
+		t.stats.EvictedIdle++
+	case EvictTeardown:
+		t.stats.EvictedTeardown++
+	case EvictCapacity:
+		t.stats.EvictedCapacity++
+	case EvictFlush:
+		t.stats.Flushed++
+	}
+	if t.emit != nil {
+		t.emit(&e.flow)
+	}
+}
+
+// Recency list plumbing. lru is the head (evict first), mru the tail.
+// Ties in lastSeen keep arrival order because moveMRU always appends.
+
+func (t *Table) pushMRU(e *entry) {
+	e.prev, e.next = t.mru, nil
+	if t.mru != nil {
+		t.mru.next = e
+	} else {
+		t.lru = e
+	}
+	t.mru = e
+}
+
+func (t *Table) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		t.lru = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		t.mru = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (t *Table) moveMRU(e *entry) {
+	if t.mru == e {
+		return
+	}
+	t.unlink(e)
+	t.pushMRU(e)
+}

@@ -1,0 +1,376 @@
+package ingest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// Property tests for the flow table's three contracts: the memory
+// bounds are never exceeded (not even transiently), every ingested
+// packet lands in exactly one emitted flow, and identical inputs yield
+// identical flow sets in identical order.
+
+// v4pkt builds a decoded IPv4 packet for table tests.
+func v4pkt(ts int64, host byte, sport uint16, proto trace.Protocol, size int) trace.RawPacket {
+	return trace.RawPacket{Family: 4, V4: trace.Packet{
+		Time: ts,
+		Tuple: trace.FiveTuple{
+			SrcIP: trace.IPv4FromBytes(10, 0, 0, host), DstIP: trace.IPv4FromBytes(10, 0, 1, host),
+			SrcPort: sport, DstPort: 80, Proto: proto,
+		},
+		Size: size, TTL: 64,
+	}}
+}
+
+// v6pkt builds a decoded IPv6 packet for table tests.
+func v6pkt(ts int64, host byte, sport uint16, proto trace.Protocol, size int) trace.RawPacket {
+	var src, dst trace.IPv6
+	src[0], src[15] = 0x20, host
+	dst[0], dst[15] = 0x20, host+1
+	return trace.RawPacket{Family: 6, V6: trace.Packet6{
+		Time:  ts,
+		Tuple: trace.FiveTuple6{SrcIP: src, DstIP: dst, SrcPort: sport, DstPort: 443, Proto: proto},
+		Size:  size, HopLimit: 64,
+	}}
+}
+
+func withTCPFlags(rp trace.RawPacket, flags uint8) trace.RawPacket {
+	rp.TCPFlags, rp.HasTCPFlags = flags, true
+	return rp
+}
+
+// randomStream generates a deterministic pseudo-random packet stream
+// over a bounded tuple population with a mostly-advancing clock.
+func randomStream(seed int64, n, hosts int) []trace.RawPacket {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]trace.RawPacket, 0, n)
+	ts := int64(0)
+	for i := 0; i < n; i++ {
+		ts += rng.Int63n(2000) - 20 // occasionally steps backwards
+		host := byte(rng.Intn(hosts))
+		sport := uint16(1024 + rng.Intn(16))
+		proto := trace.UDP
+		if rng.Intn(2) == 0 {
+			proto = trace.TCP
+		}
+		var rp trace.RawPacket
+		if rng.Intn(8) == 0 {
+			rp = v6pkt(ts, host, sport, proto, 40+rng.Intn(1000))
+		} else {
+			rp = v4pkt(ts, host, sport, proto, 20+rng.Intn(1400))
+		}
+		if proto == trace.TCP {
+			flags := uint8(0x10) // ACK
+			if rng.Intn(50) == 0 {
+				flags |= tcpFin
+			}
+			if rng.Intn(200) == 0 {
+				flags |= tcpRst
+			}
+			rp = withTCPFlags(rp, flags)
+		}
+		out = append(out, rp)
+	}
+	return out
+}
+
+// TestTableBoundsInvariant drives a random stream through a tightly
+// bounded table and checks Live/Buffered after every single Add.
+func TestTableBoundsInvariant(t *testing.T) {
+	cfg := Config{MaxFlows: 16, MaxFlowPackets: 8, MaxBufferedPackets: 64, IdleTimeout: 50_000}
+	var emitted int64
+	tbl := NewTable(cfg, func(f *Flow) { emitted += f.PacketCount })
+	for i, rp := range randomStream(42, 20_000, 40) {
+		tbl.Add(rp)
+		if tbl.Live() > cfg.MaxFlows {
+			t.Fatalf("after add %d: %d live flows > bound %d", i, tbl.Live(), cfg.MaxFlows)
+		}
+		if tbl.Buffered() > cfg.MaxBufferedPackets {
+			t.Fatalf("after add %d: %d buffered > bound %d", i, tbl.Buffered(), cfg.MaxBufferedPackets)
+		}
+	}
+	tbl.Flush()
+	if tbl.Live() != 0 || tbl.Buffered() != 0 {
+		t.Fatalf("after flush: live=%d buffered=%d", tbl.Live(), tbl.Buffered())
+	}
+	if emitted != 20_000 {
+		t.Fatalf("emitted %d packets, ingested 20000", emitted)
+	}
+}
+
+// TestTableConservation checks that with truncation effectively off,
+// the stored packets across emitted flows are exactly the input
+// multiset — every packet in exactly one flow.
+func TestTableConservation(t *testing.T) {
+	stream := randomStream(7, 5000, 12)
+	var got []trace.Packet
+	var got6 []trace.Packet6
+	tbl := NewTable(Config{MaxFlows: 8, MaxBufferedPackets: 1 << 20, IdleTimeout: 30_000}, func(f *Flow) {
+		if f.Truncated {
+			t.Fatal("flow truncated with MaxFlowPackets at default")
+		}
+		got = append(got, f.Packets...)
+		got6 = append(got6, f.Packets6...)
+	})
+	for _, rp := range stream {
+		tbl.Add(rp)
+	}
+	tbl.Flush()
+
+	count := func(ps []trace.Packet, p6s []trace.Packet6) map[string]int {
+		m := make(map[string]int)
+		for _, p := range ps {
+			m[fmt.Sprintf("4|%v", p)]++
+		}
+		for _, p := range p6s {
+			m[fmt.Sprintf("6|%v", p)]++
+		}
+		return m
+	}
+	var in []trace.Packet
+	var in6 []trace.Packet6
+	for _, rp := range stream {
+		if rp.Family == 4 {
+			in = append(in, rp.V4)
+		} else {
+			in6 = append(in6, rp.V6)
+		}
+	}
+	want, have := count(in, in6), count(got, got6)
+	if len(want) != len(have) {
+		t.Fatalf("distinct packets: emitted %d, ingested %d", len(have), len(want))
+	}
+	for k, n := range want {
+		if have[k] != n {
+			t.Fatalf("packet %s: emitted %d times, ingested %d", k, have[k], n)
+		}
+	}
+}
+
+// flowSig is a full-fidelity signature of an emitted flow for
+// determinism comparisons.
+func flowSig(f *Flow) string {
+	id := f.Tuple4.String()
+	if f.Family == 6 {
+		id = f.Tuple6.String()
+	}
+	return fmt.Sprintf("%d|%s|n=%d|b=%d|t=%d..%d|stored=%d|trunc=%v|%s",
+		f.Family, id, f.PacketCount, f.ByteCount, f.FirstTime, f.LastTime,
+		len(f.Packets)+len(f.Packets6), f.Truncated, f.Reason)
+}
+
+func flowSigs(flows []*Flow) []string {
+	out := make([]string, len(flows))
+	for i, f := range flows {
+		out[i] = flowSig(f)
+	}
+	return out
+}
+
+// TestEvictionDeterministic replays the same stream through fresh
+// tables and requires the emitted flow sequence — including eviction
+// reasons and order — to be bitwise identical.
+func TestEvictionDeterministic(t *testing.T) {
+	stream := randomStream(99, 8000, 30)
+	run := func() []string {
+		var flows []*Flow
+		tbl := NewTable(Config{MaxFlows: 10, MaxFlowPackets: 6, MaxBufferedPackets: 40, IdleTimeout: 40_000},
+			func(f *Flow) { flows = append(flows, f) })
+		for _, rp := range stream {
+			tbl.Add(rp)
+		}
+		tbl.Flush()
+		return flowSigs(flows)
+	}
+	first := run()
+	if len(first) == 0 {
+		t.Fatal("stream produced no flows")
+	}
+	for trial := 0; trial < 3; trial++ {
+		if got := run(); strings.Join(got, "\n") != strings.Join(first, "\n") {
+			t.Fatalf("trial %d diverged from first run", trial)
+		}
+	}
+}
+
+// TestIdleEviction pins the idle-timeout semantics: the capture clock,
+// not wall time, drives eviction, and the flow is emitted before the
+// advancing packet is processed.
+func TestIdleEviction(t *testing.T) {
+	var flows []*Flow
+	tbl := NewTable(Config{IdleTimeout: 1000}, func(f *Flow) { flows = append(flows, f) })
+	tbl.Add(v4pkt(100, 1, 1111, trace.UDP, 50))
+	tbl.Add(v4pkt(200, 1, 1111, trace.UDP, 60))
+	// 999µs after the flow's last packet: not yet idle.
+	tbl.Add(v4pkt(1199, 2, 2222, trace.UDP, 70))
+	if len(flows) != 0 {
+		t.Fatalf("flow evicted %d µs before timeout", 1200-flows[0].LastTime)
+	}
+	// 1000µs after: idle exactly at the bound.
+	tbl.Add(v4pkt(1200, 3, 3333, trace.UDP, 80))
+	if len(flows) != 1 || flows[0].Reason != EvictIdle {
+		t.Fatalf("flows = %v", flowSigs(flows))
+	}
+	f := flows[0]
+	if f.PacketCount != 2 || f.ByteCount != 110 || f.FirstTime != 100 || f.LastTime != 200 {
+		t.Fatalf("idle flow = %s", flowSig(f))
+	}
+}
+
+// TestTeardownEviction pins FIN/RST semantics: the segment carrying the
+// flag is included in the flow, the flow ends immediately, and a reused
+// tuple starts a fresh flow.
+func TestTeardownEviction(t *testing.T) {
+	var flows []*Flow
+	tbl := NewTable(Config{}, func(f *Flow) { flows = append(flows, f) })
+	syn := withTCPFlags(v4pkt(10, 1, 5555, trace.TCP, 40), 0x02)
+	fin := withTCPFlags(v4pkt(20, 1, 5555, trace.TCP, 40), 0x11)
+	tbl.Add(syn)
+	tbl.Add(fin)
+	if len(flows) != 1 || flows[0].Reason != EvictTeardown || flows[0].PacketCount != 2 {
+		t.Fatalf("after FIN: %v", flowSigs(flows))
+	}
+	// Same tuple again: a fresh flow, torn down by RST this time.
+	tbl.Add(withTCPFlags(v4pkt(30, 1, 5555, trace.TCP, 40), 0x10))
+	tbl.Add(withTCPFlags(v4pkt(40, 1, 5555, trace.TCP, 40), tcpRst))
+	if len(flows) != 2 || flows[1].Reason != EvictTeardown || flows[1].PacketCount != 2 {
+		t.Fatalf("after RST: %v", flowSigs(flows))
+	}
+	// RST on UDP-shaped flags is impossible, and flags without a TCP
+	// proto must not tear down.
+	tbl.Add(withTCPFlags(v4pkt(50, 2, 6666, trace.UDP, 40), tcpFin))
+	if tbl.Live() != 1 {
+		t.Fatalf("UDP flow torn down by stray flags; live=%d", tbl.Live())
+	}
+}
+
+// TestCapacityEviction pins LRU order under MaxFlows pressure.
+func TestCapacityEviction(t *testing.T) {
+	var flows []*Flow
+	tbl := NewTable(Config{MaxFlows: 2}, func(f *Flow) { flows = append(flows, f) })
+	tbl.Add(v4pkt(10, 1, 1111, trace.UDP, 50)) // flow A
+	tbl.Add(v4pkt(20, 2, 2222, trace.UDP, 50)) // flow B
+	tbl.Add(v4pkt(30, 1, 1111, trace.UDP, 50)) // touch A: B is now LRU
+	tbl.Add(v4pkt(40, 3, 3333, trace.UDP, 50)) // flow C evicts B
+	if len(flows) != 1 || flows[0].Reason != EvictCapacity || flows[0].Tuple4.SrcPort != 2222 {
+		t.Fatalf("capacity eviction picked %v", flowSigs(flows))
+	}
+	if tbl.Live() != 2 {
+		t.Fatalf("live = %d, want 2", tbl.Live())
+	}
+}
+
+// TestFlowTruncation pins the MaxFlowPackets contract: counts keep
+// accumulating, stored details stop, Truncated is set once.
+func TestFlowTruncation(t *testing.T) {
+	var flows []*Flow
+	tbl := NewTable(Config{MaxFlowPackets: 2}, func(f *Flow) { flows = append(flows, f) })
+	for i := int64(0); i < 5; i++ {
+		tbl.Add(v4pkt(10+i, 1, 1111, trace.UDP, 100))
+	}
+	if tbl.Buffered() != 2 {
+		t.Fatalf("buffered = %d, want 2 (truncated)", tbl.Buffered())
+	}
+	tbl.Flush()
+	f := flows[0]
+	if !f.Truncated || f.PacketCount != 5 || f.ByteCount != 500 || len(f.Packets) != 2 {
+		t.Fatalf("truncated flow = %s", flowSig(f))
+	}
+	if st := tbl.Stats(); st.FlowsTruncated != 1 {
+		t.Fatalf("FlowsTruncated = %d, want 1", st.FlowsTruncated)
+	}
+}
+
+// TestMillionPacketBound is the acceptance check: a 1M-packet synthetic
+// capture through a small table, bounds verified throughout, every
+// packet accounted for at the end.
+func TestMillionPacketBound(t *testing.T) {
+	const n = 1_000_000
+	cfg := Config{MaxFlows: 512, MaxFlowPackets: 32, MaxBufferedPackets: 4096, IdleTimeout: 100_000}
+	var emitted int64
+	tbl := NewTable(cfg, func(f *Flow) { emitted += f.PacketCount })
+	rng := rand.New(rand.NewSource(1))
+	ts := int64(0)
+	for i := 0; i < n; i++ {
+		ts += rng.Int63n(100)
+		host := byte(rng.Intn(200))
+		tbl.Add(v4pkt(ts, host, uint16(1024+rng.Intn(64)), trace.UDP, 100))
+		if i%4096 == 0 {
+			if tbl.Live() > cfg.MaxFlows || tbl.Buffered() > cfg.MaxBufferedPackets {
+				t.Fatalf("at packet %d: live=%d buffered=%d exceed bounds", i, tbl.Live(), tbl.Buffered())
+			}
+		}
+	}
+	if tbl.Live() > cfg.MaxFlows || tbl.Buffered() > cfg.MaxBufferedPackets {
+		t.Fatalf("end: live=%d buffered=%d exceed bounds", tbl.Live(), tbl.Buffered())
+	}
+	tbl.Flush()
+	if emitted != n {
+		t.Fatalf("emitted %d packets, ingested %d", emitted, n)
+	}
+}
+
+// TestAddAllWorkerDeterminism requires the assembler's canonical flow
+// order to be identical for any worker count, the concurrency half of
+// the determinism contract. Run under -race this also exercises the
+// shard-ownership fan-out for data races.
+func TestAddAllWorkerDeterminism(t *testing.T) {
+	stream := randomStream(5, 12_000, 50)
+	run := func(workers int) []string {
+		a := New(Config{MaxFlows: 64, MaxFlowPackets: 16, MaxBufferedPackets: 512,
+			IdleTimeout: 30_000, Shards: 8})
+		a.AddAll(stream, workers)
+		a.Flush()
+		return flowSigs(a.Flows())
+	}
+	want := run(1)
+	if len(want) == 0 {
+		t.Fatal("no flows emitted")
+	}
+	for _, workers := range []int{2, 3, 4, 8, 16} {
+		if got := run(workers); strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Fatalf("workers=%d diverged from sequential run (%d vs %d flows)",
+				workers, len(got), len(want))
+		}
+	}
+}
+
+// TestConcurrentFeedersSafe hammers the assembler from concurrent
+// goroutines mixing Add, Stats, and Flows. Order is not deterministic
+// here — conservation and bounds still must hold. Meaningful under -race.
+func TestConcurrentFeedersSafe(t *testing.T) {
+	a := New(Config{MaxFlows: 32, MaxBufferedPackets: 256, Shards: 4})
+	stream := randomStream(13, 4000, 20)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := w; i < len(stream); i += 4 {
+				a.Add(stream[i])
+				if i%512 == 0 {
+					a.Stats()
+					a.Flows()
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	a.Flush()
+	var total int64
+	for _, f := range a.Flows() {
+		total += f.PacketCount
+	}
+	if total != int64(len(stream)) {
+		t.Fatalf("conserved %d of %d packets", total, len(stream))
+	}
+	st := a.Stats()
+	if st.PacketsParsed != int64(len(stream)) || st.FlowsLive != 0 || st.BufferedPackets != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

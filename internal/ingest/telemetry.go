@@ -1,0 +1,53 @@
+package ingest
+
+import "repro/internal/telemetry"
+
+// Pre-registered telemetry handles for the ingestion pipeline
+// (DESIGN.md §9 conventions: observational only — atomic increments on
+// values the assembler already computes, gauges refreshed on Stats
+// snapshots).
+var (
+	telPacketsIPv4   = telemetry.Default.Counter("ingest.packets.ipv4")
+	telPacketsIPv6   = telemetry.Default.Counter("ingest.packets.ipv6")
+	telPacketsNonIP  = telemetry.Default.Counter("ingest.packets.non_ip")
+	telParseErrors   = telemetry.Default.Counter("ingest.packets.parse_errors")
+	telFilesIngested = telemetry.Default.Counter("ingest.files.ingested")
+	telFileErrors    = telemetry.Default.Counter("ingest.files.errors")
+
+	telFlowsEmitted    = telemetry.Default.Counter("ingest.flows.emitted")
+	telEvictedIdle     = telemetry.Default.Counter("ingest.flows.evicted_idle")
+	telEvictedTeardown = telemetry.Default.Counter("ingest.flows.evicted_teardown")
+	telEvictedCapacity = telemetry.Default.Counter("ingest.flows.evicted_capacity")
+	telFlushed         = telemetry.Default.Counter("ingest.flows.flushed")
+	telTruncated       = telemetry.Default.Counter("ingest.flows.truncated")
+
+	telFlowsLive = telemetry.Default.Gauge("ingest.flows.live")
+	telBuffered  = telemetry.Default.Gauge("ingest.packets.buffered")
+)
+
+// observePacket counts one keyed packet by family.
+func observePacket(family uint8) {
+	if family == 4 {
+		telPacketsIPv4.Inc()
+	} else {
+		telPacketsIPv6.Inc()
+	}
+}
+
+// observeEmit counts one emitted flow by eviction reason.
+func observeEmit(f *Flow) {
+	telFlowsEmitted.Inc()
+	switch f.Reason {
+	case EvictIdle:
+		telEvictedIdle.Inc()
+	case EvictTeardown:
+		telEvictedTeardown.Inc()
+	case EvictCapacity:
+		telEvictedCapacity.Inc()
+	case EvictFlush:
+		telFlushed.Inc()
+	}
+	if f.Truncated {
+		telTruncated.Inc()
+	}
+}

@@ -1,0 +1,129 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Rotating-capture directory watcher: the live-ingestion mode. A
+// capture process (tcpdump -G, tulip-style rotating writers) drops
+// finished pcap files into a directory; the watcher polls, waits for
+// each file's size to go quiet (the rotation signal — the file being
+// appended is still growing), and ingests completed files in
+// lexicographic name order, which is chronological for every common
+// rotation naming scheme.
+
+// WatchConfig tunes the directory watcher.
+type WatchConfig struct {
+	// Dir is the directory to poll.
+	Dir string
+	// Pattern is a filepath.Match glob applied to base names.
+	// Default "*.pcap".
+	Pattern string
+	// Poll is the scan interval. Default 500ms.
+	Poll time.Duration
+	// Quiet stops the watch after this long without ingesting a new
+	// file. Zero means run until ctx is done.
+	Quiet time.Duration
+	// OnFile, when non-nil, is called after each ingest attempt with
+	// the file path and its error (nil on success). Errors are
+	// per-file: the watch continues.
+	OnFile func(path string, err error)
+}
+
+func (wc WatchConfig) withDefaults() WatchConfig {
+	if wc.Pattern == "" {
+		wc.Pattern = "*.pcap"
+	}
+	if wc.Poll <= 0 {
+		wc.Poll = 500 * time.Millisecond
+	}
+	return wc
+}
+
+// Watch ingests rotating capture files from a directory until ctx is
+// done or the quiet period elapses, returning how many files were
+// ingested successfully. Files are ingested exactly once each, in name
+// order, only after their size is unchanged across two consecutive
+// polls (a writer still appending keeps its file out of the table).
+func (a *Assembler) Watch(ctx context.Context, wc WatchConfig) (int, error) {
+	wc = wc.withDefaults()
+	if _, err := os.Stat(wc.Dir); err != nil {
+		return 0, fmt.Errorf("ingest: watch dir: %w", err)
+	}
+	done := make(map[string]bool)
+	lastSize := make(map[string]int64)
+	ingested := 0
+	lastProgress := time.Now()
+	ticker := time.NewTicker(wc.Poll)
+	defer ticker.Stop()
+	for {
+		names, sizes, err := scanDir(wc.Dir, wc.Pattern)
+		if err != nil {
+			return ingested, err
+		}
+		for _, name := range names {
+			if done[name] {
+				continue
+			}
+			size := sizes[name]
+			stable := size > 0 && lastSize[name] == size
+			lastSize[name] = size
+			if !stable {
+				continue
+			}
+			path := filepath.Join(wc.Dir, name)
+			err := a.IngestFile(path)
+			done[name] = true
+			if err == nil {
+				ingested++
+			}
+			lastProgress = time.Now()
+			if wc.OnFile != nil {
+				wc.OnFile(path, err)
+			}
+		}
+		if wc.Quiet > 0 && time.Since(lastProgress) >= wc.Quiet {
+			return ingested, nil
+		}
+		select {
+		case <-ctx.Done():
+			return ingested, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// scanDir lists matching files and their sizes, name-sorted.
+func scanDir(dir, pattern string) ([]string, map[string]int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ingest: scan %s: %w", dir, err)
+	}
+	var names []string
+	sizes := make(map[string]int64)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		ok, err := filepath.Match(pattern, e.Name())
+		if err != nil {
+			return nil, nil, fmt.Errorf("ingest: pattern %q: %w", pattern, err)
+		}
+		if !ok {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // raced with deletion; next poll settles it
+		}
+		names = append(names, e.Name())
+		sizes[e.Name()] = info.Size()
+	}
+	sort.Strings(names)
+	return names, sizes, nil
+}

@@ -1,0 +1,81 @@
+package ingest
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestWatchRotatingDir simulates a rotating capture writer: one file
+// complete before the watch starts, one growing across polls, one
+// non-matching name. The watcher must ingest exactly the two pcaps,
+// each exactly once, and stop after the quiet period.
+func TestWatchRotatingDir(t *testing.T) {
+	dir := t.TempDir()
+	capture := fixtureBytes(t, "v4_raw_be_micro.pcap")
+	if err := os.WriteFile(filepath.Join(dir, "cap-000.pcap"), capture, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("ignore me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the still-growing rotation target: the file exists but is
+	// empty (a writer that just rotated onto it), and fills in while the
+	// watch is polling. An empty file is never size-stable, and after the
+	// fill the watcher needs one more unchanged poll, so only the
+	// complete capture can ever be ingested.
+	grow := filepath.Join(dir, "cap-001.pcap")
+	if err := os.WriteFile(grow, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		if err := os.WriteFile(grow, capture, 0o644); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	a := New(Config{})
+	var seen []string
+	n, err := a.Watch(context.Background(), WatchConfig{
+		Dir:   dir,
+		Poll:  20 * time.Millisecond,
+		Quiet: 400 * time.Millisecond,
+		OnFile: func(path string, err error) {
+			if err != nil {
+				t.Errorf("ingest %s: %v", path, err)
+			}
+			seen = append(seen, filepath.Base(path))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(seen) != 2 {
+		t.Fatalf("ingested %d files (%v), want 2", n, seen)
+	}
+	st := a.Stats()
+	if st.FilesIngested != 2 || st.PacketsParsed != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWatchMissingDir(t *testing.T) {
+	a := New(Config{})
+	if _, err := a.Watch(context.Background(), WatchConfig{Dir: filepath.Join(t.TempDir(), "nope")}); err == nil {
+		t.Fatal("missing dir must error")
+	}
+}
+
+func TestWatchContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := New(Config{})
+	_, err := a.Watch(ctx, WatchConfig{Dir: t.TempDir(), Poll: 10 * time.Millisecond})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -100,7 +100,7 @@ func TestReadPCAPRejectsGarbage(t *testing.T) {
 		t.Fatal("wrong magic must fail")
 	}
 	binary.LittleEndian.PutUint32(hdr[0:], 0xa1b2c3d4)
-	binary.LittleEndian.PutUint32(hdr[20:], 1) // ethernet, unsupported
+	binary.LittleEndian.PutUint32(hdr[20:], 113) // LINKTYPE_LINUX_SLL, unsupported
 	if _, err := ReadPCAP(bytes.NewReader(hdr[:])); err == nil {
 		t.Fatal("wrong link type must fail")
 	}

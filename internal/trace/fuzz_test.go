@@ -2,6 +2,9 @@ package trace
 
 import (
 	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -17,10 +20,29 @@ func FuzzReadPCAP(f *testing.F) {
 	f.Add(buf.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte("\xd4\xc3\xb2\xa1 short"))
+	// The checked-in framing-variant fixtures seed the corpus with
+	// big-endian, nanosecond, Ethernet/VLAN, and IPv6 shapes.
+	for _, name := range []string{"v4_raw_be_micro.pcap", "v4_raw_le_nano.pcap", "mixed_eth_le_micro.pcap"} {
+		if b, err := os.ReadFile(filepath.Join("testdata", name)); err == nil {
+			f.Add(b)
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := ReadPCAP(bytes.NewReader(data))
 		if err == nil && tr == nil {
 			t.Fatal("nil trace without error")
+		}
+		// The tolerant streaming reader must never panic either, and
+		// per-record errors must leave the stream consumable.
+		pr, err := NewPCAPReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1<<16; i++ {
+			if _, err := pr.Next(); err != nil &&
+				!errors.Is(err, ErrPacketParse) && !errors.Is(err, ErrNonIP) {
+				return
+			}
 		}
 	})
 }

@@ -65,11 +65,14 @@ func ReadPacketCSV(r io.Reader) (*PacketTrace, error) {
 		if p.Time, err = strconv.ParseInt(row[0], 10, 64); err != nil {
 			return nil, fmt.Errorf("trace: packet row %d time: %w", i, err)
 		}
+		// ParseIPv4 wraps ErrIPv6Unsupported for valid v6 input, so a
+		// caller can distinguish "this CSV carries IPv6" (re-ingest via
+		// the pcap path) from a malformed row.
 		if p.Tuple.SrcIP, err = ParseIPv4(row[1]); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("trace: packet row %d src ip: %w", i, err)
 		}
 		if p.Tuple.DstIP, err = ParseIPv4(row[2]); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("trace: packet row %d dst ip: %w", i, err)
 		}
 		sp, err := strconv.ParseUint(row[3], 10, 16)
 		if err != nil {
@@ -170,10 +173,10 @@ func ReadFlowCSV(r io.Reader) (*FlowTrace, error) {
 			return nil, fmt.Errorf("trace: flow row %d has negative duration %d", i, fr.Duration)
 		}
 		if fr.Tuple.SrcIP, err = ParseIPv4(row[2]); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("trace: flow row %d src ip: %w", i, err)
 		}
 		if fr.Tuple.DstIP, err = ParseIPv4(row[3]); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("trace: flow row %d dst ip: %w", i, err)
 		}
 		sp, err := strconv.ParseUint(row[4], 10, 16)
 		if err != nil {

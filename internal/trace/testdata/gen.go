@@ -1,0 +1,182 @@
+//go:build ignore
+
+// gen regenerates the pcap fixtures in this directory. Run from here:
+//
+//	go run gen.go
+//
+// The fixtures pin the reader against capture variants our own writer
+// never produces: big-endian framing, the nanosecond magic, and
+// Ethernet link-layer encapsulation (plain, VLAN-tagged, IPv6, ARP).
+// The raw-IP fixtures carry the same two logical packets so tests can
+// assert that every framing decodes to identical records.
+package main
+
+import (
+	"encoding/binary"
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	writeFile("v4_raw_be_micro.pcap", rawFile(binary.BigEndian, false))
+	writeFile("v4_raw_le_nano.pcap", rawFile(binary.LittleEndian, true))
+	writeFile("mixed_eth_le_micro.pcap", ethFile())
+}
+
+func writeFile(name string, b []byte) {
+	if err := os.WriteFile(name, b, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d bytes)", name, len(b))
+}
+
+const (
+	magicMicro = 0xa1b2c3d4
+	magicNano  = 0xa1b23c4d
+	ltRaw      = 101
+	ltEther    = 1
+)
+
+func fileHeader(order binary.ByteOrder, nano bool, linkType uint32) []byte {
+	magic := uint32(magicMicro)
+	if nano {
+		magic = magicNano
+	}
+	hdr := make([]byte, 24)
+	order.PutUint32(hdr[0:], magic)
+	order.PutUint16(hdr[4:], 2)
+	order.PutUint16(hdr[6:], 4)
+	order.PutUint32(hdr[16:], 65535)
+	order.PutUint32(hdr[20:], linkType)
+	return hdr
+}
+
+func record(order binary.ByteOrder, nano bool, usec int64, body []byte, origLen int) []byte {
+	rec := make([]byte, 16)
+	order.PutUint32(rec[0:], uint32(usec/1_000_000))
+	frac := uint32(usec % 1_000_000)
+	if nano {
+		frac *= 1000
+	}
+	order.PutUint32(rec[4:], frac)
+	order.PutUint32(rec[8:], uint32(len(body)))
+	order.PutUint32(rec[12:], uint32(origLen))
+	return append(rec, body...)
+}
+
+// ipv4 builds a 20-byte header (valid checksum) + payload.
+func ipv4(totalLen int, flags, ttl, proto byte, src, dst [4]byte, payload []byte) []byte {
+	b := make([]byte, 20)
+	b[0] = 0x45
+	binary.BigEndian.PutUint16(b[2:], uint16(totalLen))
+	binary.BigEndian.PutUint16(b[6:], uint16(flags)<<13)
+	b[8] = ttl
+	b[9] = proto
+	copy(b[12:], src[:])
+	copy(b[16:], dst[:])
+	binary.BigEndian.PutUint16(b[10:], checksum(b))
+	return append(b, payload...)
+}
+
+func checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		if i == 10 {
+			continue
+		}
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+func ports(src, dst uint16) []byte {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint16(b[0:], src)
+	binary.BigEndian.PutUint16(b[2:], dst)
+	return b
+}
+
+// udp builds a full 8-byte UDP header.
+func udp(src, dst, length uint16) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint16(b[0:], src)
+	binary.BigEndian.PutUint16(b[2:], dst)
+	binary.BigEndian.PutUint16(b[4:], length)
+	return b
+}
+
+// tcp builds a minimal 20-byte TCP header with the given flag byte.
+func tcp(src, dst uint16, flags byte) []byte {
+	b := make([]byte, 20)
+	binary.BigEndian.PutUint16(b[0:], src)
+	binary.BigEndian.PutUint16(b[2:], dst)
+	b[12] = 5 << 4 // data offset 5 words
+	b[13] = flags
+	return b
+}
+
+// rawFile: two IPv4 packets over LINKTYPE_RAW. Golden twins of the
+// packets asserted in pcap_roundtrip_test.go.
+func rawFile(order binary.ByteOrder, nano bool) []byte {
+	out := fileHeader(order, nano, ltRaw)
+	// 10.0.0.1:1234 > 192.168.1.2:80/TCP, size 60, ttl 64, DF.
+	p1 := ipv4(60, 2, 64, 6, [4]byte{10, 0, 0, 1}, [4]byte{192, 168, 1, 2}, ports(1234, 80))
+	out = append(out, record(order, nano, 1_000_500, p1, 60)...)
+	// 172.16.5.9:5353 > 224.0.0.251:5353/UDP, size 120, ttl 1.
+	p2 := ipv4(120, 0, 1, 17, [4]byte{172, 16, 5, 9}, [4]byte{224, 0, 0, 251}, ports(5353, 5353))
+	out = append(out, record(order, nano, 2_000_000, p2, 120)...)
+	return out
+}
+
+// ethFile: an Ethernet capture mixing plain IPv4 TCP (FIN|ACK), a
+// VLAN-tagged IPv4 UDP datagram, an IPv6 TCP segment, and an ARP frame.
+func ethFile() []byte {
+	order, nano := binary.ByteOrder(binary.LittleEndian), false
+	out := fileHeader(order, nano, ltEther)
+	mac := []byte{0x02, 0, 0, 0, 0, 1, 0x02, 0, 0, 0, 0, 2}
+
+	eth := func(etherType uint16, payload []byte) []byte {
+		b := append([]byte{}, mac...)
+		b = binary.BigEndian.AppendUint16(b, etherType)
+		return append(b, payload...)
+	}
+
+	// 10.1.1.1:4000 > 10.2.2.2:443/TCP with a real TCP header, FIN|ACK.
+	f1 := eth(0x0800, ipv4(40, 2, 63, 6, [4]byte{10, 1, 1, 1}, [4]byte{10, 2, 2, 2}, tcp(4000, 443, 0x11)))
+	out = append(out, record(order, nano, 3_000_000, f1, len(f1))...)
+
+	// VLAN 100 tag, then 10.3.3.3:53 > 10.4.4.4:5353/UDP, size 28.
+	vlan := append([]byte{0x00, 0x64, 0x08, 0x00},
+		ipv4(28, 0, 64, 17, [4]byte{10, 3, 3, 3}, [4]byte{10, 4, 4, 4}, udp(53, 5353, 8))...)
+	f2 := eth(0x8100, vlan)
+	out = append(out, record(order, nano, 3_100_000, f2, len(f2))...)
+
+	// [2001:db8::1]:6000 > [2001:db8::2]:443/TCP, payload = 20-byte TCP
+	// header, hop limit 61.
+	v6 := make([]byte, 40)
+	v6[0] = 0x60
+	binary.BigEndian.PutUint16(v6[4:], 20) // payload length
+	v6[6] = 6                              // next header TCP
+	v6[7] = 61                             // hop limit
+	src6 := [16]byte{0x20, 0x01, 0x0d, 0xb8}
+	dst6 := [16]byte{0x20, 0x01, 0x0d, 0xb8}
+	src6[15], dst6[15] = 1, 2
+	copy(v6[8:24], src6[:])
+	copy(v6[24:40], dst6[:])
+	f3 := eth(0x86dd, append(v6, tcp(6000, 443, 0x02)...))
+	out = append(out, record(order, nano, 3_200_000, f3, len(f3))...)
+
+	// ARP request, the canonical non-IP frame.
+	arp := make([]byte, 28)
+	binary.BigEndian.PutUint16(arp[0:], 1)      // ethernet
+	binary.BigEndian.PutUint16(arp[2:], 0x0800) // IPv4
+	arp[4], arp[5] = 6, 4
+	binary.BigEndian.PutUint16(arp[6:], 1) // request
+	f4 := eth(0x0806, arp)
+	out = append(out, record(order, nano, 3_300_000, f4, len(f4))...)
+	return out
+}

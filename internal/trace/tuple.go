@@ -10,6 +10,8 @@
 package trace
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"net/netip"
 )
@@ -17,19 +19,32 @@ import (
 // IPv4 is an IPv4 address in host byte order.
 type IPv4 uint32
 
-// IPv4FromBytes builds an address from its four octets.
-func IPv4FromBytes(a, b, c, d byte) IPv4 {
-	return IPv4(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
-}
+// ErrIPv6Unsupported is the typed rejection for IPv6 addresses arriving
+// in a context that can only model IPv4 (CSV trace columns, the trained
+// embedding space, NetFlow v5 export). Callers that *can* handle IPv6 —
+// the ingest flow table keys both families — never see it; everything
+// else wraps it so errors.Is can distinguish "this was real IPv6 input"
+// from garbage.
+var ErrIPv6Unsupported = errors.New("trace: IPv6 address in IPv4-only context")
 
-// ParseIPv4 parses dotted-quad notation.
+// ParseIPv4 parses dotted-quad notation. A syntactically valid IPv6
+// address is rejected with an error wrapping ErrIPv6Unsupported so
+// callers can tell real v6 input apart from malformed text.
 func ParseIPv4(s string) (IPv4, error) {
 	addr, err := netip.ParseAddr(s)
-	if err != nil || !addr.Is4() {
+	if err != nil {
 		return 0, fmt.Errorf("trace: invalid IPv4 address %q", s)
+	}
+	if !addr.Is4() {
+		return 0, fmt.Errorf("trace: address %q: %w", s, ErrIPv6Unsupported)
 	}
 	b := addr.As4()
 	return IPv4FromBytes(b[0], b[1], b[2], b[3]), nil
+}
+
+// IPv4FromBytes builds an address from its four octets.
+func IPv4FromBytes(a, b, c, d byte) IPv4 {
+	return IPv4(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
 }
 
 // Octets returns the address's four octets.
@@ -120,6 +135,53 @@ func (ft FiveTuple) FastHash() uint64 {
 	mix(uint64(ft.SrcPort), 2)
 	mix(uint64(ft.DstPort), 2)
 	mix(uint64(ft.Proto), 1)
+	return h
+}
+
+// Key4 is the compact comparable byte-key of an IPv4 five-tuple, usable
+// directly as a map key and hashable without allocation. Layout (13
+// bytes, all multi-byte fields big-endian, following go-flows'
+// fiveTuple4): src IP 4 | dst IP 4 | proto 1 | src port 2 | dst port 2.
+type Key4 [13]byte
+
+// Key returns the tuple's compact byte-key.
+func (ft FiveTuple) Key() Key4 {
+	var k Key4
+	binary.BigEndian.PutUint32(k[0:], uint32(ft.SrcIP))
+	binary.BigEndian.PutUint32(k[4:], uint32(ft.DstIP))
+	k[8] = byte(ft.Proto)
+	binary.BigEndian.PutUint16(k[9:], ft.SrcPort)
+	binary.BigEndian.PutUint16(k[11:], ft.DstPort)
+	return k
+}
+
+// Tuple reconstructs the five-tuple the key encodes.
+func (k Key4) Tuple() FiveTuple {
+	return FiveTuple{
+		SrcIP:   IPv4(binary.BigEndian.Uint32(k[0:])),
+		DstIP:   IPv4(binary.BigEndian.Uint32(k[4:])),
+		Proto:   Protocol(k[8]),
+		SrcPort: binary.BigEndian.Uint16(k[9:]),
+		DstPort: binary.BigEndian.Uint16(k[11:]),
+	}
+}
+
+// Hash returns the FNV-1a hash of the key bytes. Key4 and Key6 hashes
+// share one keyspace (fnvHash over the raw layouts), so a mixed-family
+// flow table can shard on Hash alone.
+func (k Key4) Hash() uint64 { return fnvHash(k[:]) }
+
+// fnvHash is 64-bit FNV-1a over b.
+func fnvHash(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
 	return h
 }
 

@@ -1,0 +1,71 @@
+package webapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/ingest"
+)
+
+// fakeIngest is a canned IngestSource.
+type fakeIngest struct{ st ingest.Stats }
+
+func (f fakeIngest) Stats() ingest.Stats { return f.st }
+
+func TestIngestEndpoint(t *testing.T) {
+	ts, api := startServer(t)
+
+	// No source attached: typed 404, not an empty snapshot.
+	resp, err := http.Get(ts.URL + "/api/v1/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unattached: %d, want 404", resp.StatusCode)
+	}
+
+	st := ingest.Stats{PacketsParsed: 42, PacketsIPv4: 40, PacketsIPv6: 2, FlowsLive: 7}
+	st.FlowsEmitted = 5
+	api.AttachIngest(fakeIngest{st: st})
+	resp, err = http.Get(ts.URL + "/api/v1/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("attached: %d %s", resp.StatusCode, body)
+	}
+	var got ingest.Stats
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("decode %s: %v", body, err)
+	}
+	if got != st {
+		t.Fatalf("stats = %+v, want %+v", got, st)
+	}
+
+	// A live assembler works through the same interface.
+	api.AttachIngest(ingest.New(ingest.Config{}))
+	resp, err = http.Get(ts.URL + "/api/v1/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live assembler: %d", resp.StatusCode)
+	}
+
+	// Detach restores the 404.
+	api.AttachIngest(nil)
+	resp, err = http.Get(ts.URL + "/api/v1/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("detached: %d, want 404", resp.StatusCode)
+	}
+}

@@ -11,6 +11,7 @@
 //	GET  /api/v1/datasets          list built-in datasets
 //	GET  /api/v1/models            list durably stored models
 //	POST /api/v1/models/{name}/generate  generate from a stored model
+//	GET  /api/v1/ingest            live-ingestion stats (when attached)
 //	GET  /healthz                  liveness
 //
 // With a registry attached (UseRegistry), trained models and terminal
@@ -31,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/ingest"
 	"repro/internal/orchestrator"
 	"repro/internal/registry"
 	"repro/internal/telemetry"
@@ -202,6 +204,25 @@ type Server struct {
 	// fastHook, when non-nil, runs inside each coalesced fast batch just
 	// before generation — the test seam for coalescing and panic tests.
 	fastHook func(name string, batchSize int)
+
+	// ingestSrc, when attached, backs GET /api/v1/ingest with live
+	// flow-assembly statistics.
+	ingestSrc IngestSource
+}
+
+// IngestSource is anything that can snapshot ingestion statistics —
+// in practice *ingest.Assembler, kept behind an interface so the API
+// layer stays decoupled from the assembler and tests can fake it.
+type IngestSource interface {
+	Stats() ingest.Stats
+}
+
+// AttachIngest exposes src's statistics at GET /api/v1/ingest. Safe to
+// call before or while serving; pass nil to detach.
+func (s *Server) AttachIngest(src IngestSource) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ingestSrc = src
 }
 
 // NewServer returns an API server allowing up to maxInflight concurrent
@@ -257,6 +278,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleDownload)
 	mux.HandleFunc("GET /api/v1/models", s.handleModels)
 	mux.HandleFunc("POST /api/v1/models/{name}/generate", s.handleModelGenerate)
+	mux.HandleFunc("GET /api/v1/ingest", s.handleIngest)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.Debug {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -266,6 +288,18 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// handleIngest serves the attached ingest source's statistics.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	src := s.ingestSrc
+	s.mu.Unlock()
+	if src == nil {
+		writeError(w, http.StatusNotFound, "no ingest source attached")
+		return
+	}
+	writeJSON(w, http.StatusOK, src.Stats())
 }
 
 // handleMetrics serves the process-wide telemetry snapshot: JSON by
