@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build vet test test-race test-crash test-telemetry test-conformance test-ingest fuzz bench bench-parallel bench-generate staticcheck govulncheck ci clean
+.PHONY: all build vet test test-race test-crash test-telemetry test-conformance test-ingest test-store fuzz bench bench-parallel bench-generate bench-store staticcheck govulncheck ci clean
 
 all: build
 
@@ -21,12 +21,14 @@ test:
 # generation scratch pool, the shared decode cache, the durable model
 # registry (DESIGN.md §6–8, §10), and the serving fast path — the
 # snapshot LRU, the cross-request batch scheduler, and the lot-parallel
-# float32 sampler (DESIGN.md §11).
+# float32 sampler (DESIGN.md §11) — plus the columnar trace store and
+# the webapi artifact cache layered on it (DESIGN.md §13).
 test-race:
 	$(GO) test -race ./internal/mat/... ./internal/dgan/... ./internal/core/... \
 		./internal/orchestrator/... ./internal/privacy/... ./internal/ip2vec/... \
 		./internal/container/... ./internal/registry/... ./internal/webapi/... \
-		./internal/conformance/... ./internal/ingest/... ./internal/trace/...
+		./internal/conformance/... ./internal/ingest/... ./internal/trace/... \
+		./internal/store/...
 
 # Crash/fault matrix: the checkpoint/resume/retry tests that simulate
 # process death, torn writes, and exhausted retry budgets (DESIGN.md §7).
@@ -65,12 +67,23 @@ fuzz:
 	$(GO) test ./internal/orchestrator -run '^$$' -fuzz FuzzLoadManifest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/container -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/dgan -run '^$$' -fuzz FuzzDecodeInferWeights -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/store -run '^$$' -fuzz FuzzBlockDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/store -run '^$$' -fuzz FuzzQueryFilter -fuzztime $(FUZZTIME)
 
 # Distributional conformance gate for the serving fast path (DESIGN.md
 # §11): per-field JSD/EMD of fast-path output vs the float64 reference
 # path under calibrated thresholds, plus trace validity properties.
 test-conformance:
 	$(GO) test ./internal/conformance/...
+
+# Columnar trace store (DESIGN.md §13): the block/column codecs, the
+# golden CSV round-trip, the corruption matrix, time-partition pruning,
+# and the query layer, plus the registry/webapi/ingest integrations.
+test-store:
+	$(GO) test ./internal/store/...
+	$(GO) test ./internal/registry -run 'Store|Sweep'
+	$(GO) test ./internal/webapi -run 'TraceQuery|ColumnarStore|EncodedDownload|ArtifactLRU|QueryWithout'
+	$(GO) test ./internal/ingest -run TestWriteStore
 
 # Full paper-evaluation benchmark suite (slow).
 bench:
@@ -84,6 +97,11 @@ bench-parallel:
 # end-to-end flow generation), recorded to BENCH_generate.json.
 bench-generate:
 	$(GO) run ./cmd/benchpar -suite generate -out BENCH_generate.json
+
+# Columnar-store size and query timings vs the flat-CSV baseline,
+# recorded to BENCH_store.json.
+bench-store:
+	$(GO) run ./cmd/benchpar -suite store -out BENCH_store.json
 
 # Static analysis and vulnerability scanning. Both tools are optional:
 # the targets run them when installed and skip with a notice otherwise,
@@ -102,7 +120,7 @@ govulncheck:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-ci: vet staticcheck govulncheck build test test-race test-crash test-telemetry test-conformance test-ingest fuzz bench-generate
+ci: vet staticcheck govulncheck build test test-race test-crash test-telemetry test-conformance test-ingest test-store fuzz bench-generate
 
 clean:
 	$(GO) clean ./...

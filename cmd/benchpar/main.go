@@ -3,18 +3,22 @@
 // readers can judge the speedups in context (on a 1-CPU runner serial and
 // parallel are expected to tie).
 //
-// Two suites are available:
+// Three suites are available:
 //
 //   - parallel (default): training kernels at serial vs all-CPU worker
 //     counts, written to BENCH_parallel.json
 //   - generate: the generation pipeline — old-vs-new dgan sampler,
 //     scan-vs-batched embedding decode, and the end-to-end flow
 //     synthesizer — written to BENCH_generate.json
+//   - store: the columnar trace store vs the flat CSV payload — on-disk
+//     size and filtered-query/full-decode timings — written to
+//     BENCH_store.json
 //
 // Usage:
 //
 //	benchpar -out BENCH_parallel.json
 //	benchpar -suite generate -out BENCH_generate.json
+//	benchpar -suite store -out BENCH_store.json
 package main
 
 import (
@@ -64,14 +68,23 @@ type telemetryOverhead struct {
 	OverheadPct float64 `json:"overhead_pct"`
 }
 
+// sizeComparison records one payload stored two ways.
+type sizeComparison struct {
+	Rows          int64   `json:"rows"`
+	BaselineBytes int64   `json:"baseline_bytes"`
+	StoreBytes    int64   `json:"store_bytes"`
+	Reduction     float64 `json:"reduction"` // baseline ÷ store
+}
+
 type report struct {
-	CPUs        int                   `json:"cpus"`
-	GoMaxProcs  int                   `json:"gomaxprocs"`
-	GoVersion   string                `json:"go_version"`
-	Note        string                `json:"note"`
-	Benchmarks  map[string]pair       `json:"benchmarks,omitempty"`
-	Comparisons map[string]comparison `json:"comparisons,omitempty"`
-	Telemetry   *telemetryOverhead    `json:"telemetry,omitempty"`
+	CPUs        int                       `json:"cpus"`
+	GoMaxProcs  int                       `json:"gomaxprocs"`
+	GoVersion   string                    `json:"go_version"`
+	Note        string                    `json:"note"`
+	Benchmarks  map[string]pair           `json:"benchmarks,omitempty"`
+	Comparisons map[string]comparison     `json:"comparisons,omitempty"`
+	Sizes       map[string]sizeComparison `json:"sizes,omitempty"`
+	Telemetry   *telemetryOverhead        `json:"telemetry,omitempty"`
 }
 
 // bench runs work several times and keeps the fastest rep: the minimum
@@ -246,10 +259,52 @@ func generateReport() report {
 	}
 }
 
+// storeReport measures the columnar trace store (DESIGN.md §13) against
+// the flat-CSV payload it replaces: on-disk size, the filtered-query
+// path (full parse + scan vs predicate pushdown), and the full decode.
+func storeReport() report {
+	sb, err := benchpar.NewStoreBench(benchpar.StoreRows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sb.Close()
+	storeBytes, err := sb.StoreSize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	size := sizeComparison{
+		Rows:          sb.Rows(),
+		BaselineBytes: sb.CSVSize(),
+		StoreBytes:    storeBytes,
+	}
+	if storeBytes > 0 {
+		size.Reduction = float64(size.BaselineBytes) / float64(storeBytes)
+	}
+	log.Printf("flow_trace_%d: csv %d bytes, store %d bytes, %.2fx smaller (%d rows match the benchmark filter)",
+		sb.Rows(), size.BaselineBytes, size.StoreBytes, size.Reduction, sb.Matched())
+	return report{
+		Note: "columnar trace store vs flat CSV payload on the same " +
+			"synthetic flow trace; the filtered query is a dst_port " +
+			"predicate inside a ~5% time window, so the store prunes " +
+			"partitions and decodes two columns while the baseline parses " +
+			"everything. Ratios are size- and algorithm-bound and hold at " +
+			"any cpu count.",
+		Sizes: map[string]sizeComparison{
+			"flow_trace_100k": size,
+		},
+		Comparisons: map[string]comparison{
+			"filtered_query_100k": compare("filtered_query_100k",
+				sb.BaselineFilteredScan(), sb.StoreFilteredQuery()),
+			"full_decode_100k": compare("full_decode_100k",
+				sb.BaselineFullDecode(), sb.StoreFullDecode()),
+		},
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchpar: ")
-	suite := flag.String("suite", "parallel", "benchmark suite: parallel or generate")
+	suite := flag.String("suite", "parallel", "benchmark suite: parallel, generate, or store")
 	out := flag.String("out", "", "output JSON path (default BENCH_<suite>.json)")
 	flag.Parse()
 
@@ -259,8 +314,10 @@ func main() {
 		rep = parallelReport()
 	case "generate":
 		rep = generateReport()
+	case "store":
+		rep = storeReport()
 	default:
-		log.Fatalf("unknown -suite %q (want parallel or generate)", *suite)
+		log.Fatalf("unknown -suite %q (want parallel, generate, or store)", *suite)
 	}
 	rep.CPUs = runtime.NumCPU()
 	rep.GoMaxProcs = runtime.GOMAXPROCS(0)

@@ -13,6 +13,9 @@
 //	netshare -kind netflow -registry reg -load-model ugr16-v1 -gen 5000 -out more.csv
 //	netshare -kind pcap -ingest-pcap capture.pcap -out synthetic.csv
 //	netshare -kind netflow -ingest-watch /var/spool/captures -registry reg -save-model live-v1 -out synthetic.csv
+//	netshare -kind netflow -dataset ugr16 -out synthetic.csv -store-out synthetic.store
+//	netshare -kind netflow -store-in synthetic.store -out more.csv
+//	netshare -kind pcap -ingest-pcap capture.pcap -ingest-store real.store -out synthetic.csv
 package main
 
 import (
@@ -35,6 +38,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/orchestrator"
 	"repro/internal/registry"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -63,6 +67,8 @@ func run() error {
 		maxLen    = flag.Int("maxlen", 6, "max sequence length per flow sample")
 		seed      = flag.Int64("seed", 1, "random seed")
 		format    = flag.String("format", "csv", "output format: csv, pcap (packet traces), or netflow5 (flow traces)")
+		storeIn   = flag.String("store-in", "", "input columnar trace store directory (mutually exclusive with -in/-dataset)")
+		storeOut  = flag.String("store-out", "", "also write the generated trace as a columnar trace store at this directory")
 		savePath  = flag.String("save", "", "save the trained model to this path")
 		loadPath  = flag.String("load", "", "skip training; load a model saved with -save")
 		regDir    = flag.String("registry", "", "durable model registry directory for -save-model/-load-model")
@@ -89,6 +95,7 @@ func run() error {
 		ingMaxBuf   = flag.Int("ingest-max-buffered", 0, "flow-table hard bound on total buffered packet records (0 = default)")
 		ingIdle     = flag.Duration("ingest-idle-timeout", 0, "flow idle timeout on the capture clock (0 = default 60s)")
 		ingShards   = flag.Int("ingest-shards", 0, "flow-table shard count for parallel feeding (0 = 1)")
+		ingStore    = flag.String("ingest-store", "", "with -ingest-pcap/-ingest-watch, also persist the assembled real trace as a columnar store at this directory")
 	)
 	flag.Parse()
 
@@ -110,6 +117,12 @@ func run() error {
 	ingesting := *ingestPCAP != "" || *ingestWatch != ""
 	if ingesting && (*inPath != "" || *dataset != "") {
 		return fmt.Errorf("-ingest-pcap/-ingest-watch replace -in/-dataset")
+	}
+	if *storeIn != "" && (*inPath != "" || *dataset != "" || ingesting) {
+		return fmt.Errorf("-store-in replaces -in/-dataset/-ingest-*")
+	}
+	if *ingStore != "" && !ingesting {
+		return fmt.Errorf("-ingest-store requires -ingest-pcap or -ingest-watch")
 	}
 	if *loadName != "" && *loadPath != "" {
 		return fmt.Errorf("-load and -load-model are mutually exclusive")
@@ -228,6 +241,19 @@ func run() error {
 		log.Printf("ingest: %d packets (%d v4, %d v6, %d non-IP, %d parse errors) -> %d flows (%d idle, %d teardown, %d capacity, %d flush; %d truncated)",
 			st.PacketsParsed+st.PacketsNonIP+st.ParseErrors, st.PacketsIPv4, st.PacketsIPv6, st.PacketsNonIP, st.ParseErrors,
 			st.FlowsEmitted, st.EvictedIdle, st.EvictedTeardown, st.EvictedCapacity, st.Flushed, st.FlowsTruncated)
+		if *ingStore != "" {
+			var rows int64
+			var err error
+			if *kind == "pcap" {
+				rows, err = asm.WritePacketStore(*ingStore, store.Options{})
+			} else {
+				rows, err = asm.WriteFlowStore(*ingStore, store.Options{})
+			}
+			if err != nil {
+				return fmt.Errorf("-ingest-store: %w", err)
+			}
+			log.Printf("stored %d assembled rows as a columnar store at %s", rows, *ingStore)
+		}
 	}
 
 	switch *kind {
@@ -254,7 +280,7 @@ func run() error {
 			syn.SetParallelism(*par)
 			log.Printf("loaded model from %s", *loadPath)
 		} else {
-			real, err := loadFlow(asm, *inPath, *dataset, *records, *seed)
+			real, err := loadFlow(asm, *inPath, *storeIn, *dataset, *records, *seed)
 			if err != nil {
 				return err
 			}
@@ -287,6 +313,12 @@ func run() error {
 			return err
 		}
 		log.Printf("wrote %d flow records to %s (%s)", len(gen.Records), *outPath, *format)
+		if *storeOut != "" {
+			if err := store.WriteFlowTrace(*storeOut, gen, store.Options{}); err != nil {
+				return fmt.Errorf("-store-out: %w", err)
+			}
+			log.Printf("wrote columnar store to %s", *storeOut)
+		}
 
 	case "pcap":
 		var syn *core.PacketSynthesizer
@@ -311,7 +343,7 @@ func run() error {
 			syn.SetParallelism(*par)
 			log.Printf("loaded model from %s", *loadPath)
 		} else {
-			real, err := loadPacket(asm, *inPath, *dataset, *records, *seed)
+			real, err := loadPacket(asm, *inPath, *storeIn, *dataset, *records, *seed)
 			if err != nil {
 				return err
 			}
@@ -337,6 +369,12 @@ func run() error {
 			return err
 		}
 		log.Printf("wrote %d packets to %s (%s)", len(gen.Packets), *outPath, *format)
+		if *storeOut != "" {
+			if err := store.WritePacketTrace(*storeOut, gen, store.Options{}); err != nil {
+				return fmt.Errorf("-store-out: %w", err)
+			}
+			log.Printf("wrote columnar store to %s", *storeOut)
+		}
 
 	default:
 		return fmt.Errorf("unknown -kind %q (want netflow or pcap)", *kind)
@@ -387,13 +425,23 @@ func reportStats(st core.Stats) {
 	}
 }
 
-func loadFlow(asm *ingest.Assembler, inPath, dataset string, records int, seed int64) (*trace.FlowTrace, error) {
+func loadFlow(asm *ingest.Assembler, inPath, storeIn, dataset string, records int, seed int64) (*trace.FlowTrace, error) {
 	if asm != nil {
 		t := asm.FlowTrace()
 		if len(t.Records) == 0 {
 			return nil, fmt.Errorf("ingest produced no IPv4 flow records to train on")
 		}
 		return t, nil
+	}
+	if storeIn != "" {
+		s, err := store.Open(storeIn)
+		if err != nil {
+			return nil, fmt.Errorf("-store-in: %w", err)
+		}
+		if s.Kind() != trace.KindNetFlow {
+			return nil, fmt.Errorf("-store-in: %s holds a %s trace, need netflow", storeIn, s.Kind())
+		}
+		return s.FlowRecords()
 	}
 	if inPath != "" {
 		f, err := os.Open(inPath)
@@ -413,13 +461,23 @@ func loadFlow(asm *ingest.Assembler, inPath, dataset string, records int, seed i
 	return t, nil
 }
 
-func loadPacket(asm *ingest.Assembler, inPath, dataset string, packets int, seed int64) (*trace.PacketTrace, error) {
+func loadPacket(asm *ingest.Assembler, inPath, storeIn, dataset string, packets int, seed int64) (*trace.PacketTrace, error) {
 	if asm != nil {
 		t := asm.PacketTrace()
 		if len(t.Packets) == 0 {
 			return nil, fmt.Errorf("ingest produced no IPv4 packets to train on")
 		}
 		return t, nil
+	}
+	if storeIn != "" {
+		s, err := store.Open(storeIn)
+		if err != nil {
+			return nil, fmt.Errorf("-store-in: %w", err)
+		}
+		if s.Kind() != trace.KindPCAP {
+			return nil, fmt.Errorf("-store-in: %s holds a %s trace, need pcap", storeIn, s.Kind())
+		}
+		return s.PacketRecords()
 	}
 	if inPath != "" {
 		f, err := os.Open(inPath)

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/datasets"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -60,13 +61,13 @@ func TestWritePacketFormats(t *testing.T) {
 }
 
 func TestLoadFlowInputs(t *testing.T) {
-	if _, err := loadFlow(nil, "", "", 10, 1); err == nil {
+	if _, err := loadFlow(nil, "", "", "", 10, 1); err == nil {
 		t.Fatal("missing source must fail")
 	}
-	if _, err := loadFlow(nil, "", "nope", 10, 1); err == nil {
+	if _, err := loadFlow(nil, "", "", "nope", 10, 1); err == nil {
 		t.Fatal("unknown dataset must fail")
 	}
-	tr, err := loadFlow(nil, "", "ugr16", 25, 1)
+	tr, err := loadFlow(nil, "", "", "ugr16", 25, 1)
 	if err != nil || len(tr.Records) != 25 {
 		t.Fatalf("builtin load: %v, %d records", err, len(tr.Records))
 	}
@@ -76,9 +77,50 @@ func TestLoadFlowInputs(t *testing.T) {
 	if err := writeFlow(path, tr, "csv"); err != nil {
 		t.Fatal(err)
 	}
-	back, err := loadFlow(nil, path, "", 0, 0)
+	back, err := loadFlow(nil, path, "", "", 0, 0)
 	if err != nil || len(back.Records) != 25 {
 		t.Fatalf("csv load: %v, %d records", err, len(back.Records))
+	}
+}
+
+// TestLoadStoreInputs covers -store-in: loading from a columnar store
+// reproduces the trace exactly, and kind mismatches fail loudly.
+func TestLoadStoreInputs(t *testing.T) {
+	dir := t.TempDir()
+	ft := datasets.UGR16(40, 1)
+	flowDir := filepath.Join(dir, "flows.store")
+	if err := store.WriteFlowTrace(flowDir, ft, store.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := loadFlow(nil, "", flowDir, "", 0, 0)
+	if err != nil || len(back.Records) != len(ft.Records) {
+		t.Fatalf("store load: %v, %d records", err, len(back.Records))
+	}
+	for i := range ft.Records {
+		if back.Records[i] != ft.Records[i] {
+			t.Fatalf("record %d drifted through the store", i)
+		}
+	}
+
+	pt := datasets.CAIDA(30, 1)
+	pktDir := filepath.Join(dir, "packets.store")
+	if err := store.WritePacketTrace(pktDir, pt, store.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	pback, err := loadPacket(nil, "", pktDir, "", 0, 0)
+	if err != nil || len(pback.Packets) != len(pt.Packets) {
+		t.Fatalf("packet store load: %v", err)
+	}
+
+	// Kind mismatches and missing directories are rejected.
+	if _, err := loadFlow(nil, "", pktDir, "", 0, 0); err == nil {
+		t.Fatal("loadFlow accepted a pcap store")
+	}
+	if _, err := loadPacket(nil, "", flowDir, "", 0, 0); err == nil {
+		t.Fatal("loadPacket accepted a netflow store")
+	}
+	if _, err := loadFlow(nil, "", filepath.Join(dir, "missing"), "", 0, 0); err == nil {
+		t.Fatal("loadFlow accepted a missing store directory")
 	}
 }
 

@@ -1,0 +1,165 @@
+package benchpar
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// StoreRows is the record count of the columnar-store benchmark trace.
+const StoreRows = 100_000
+
+// StoreBench is the shared fixture of the store suite: one synthetic
+// flow trace materialized both as canonical CSV bytes (the legacy
+// payload) and as a block-compressed columnar store, plus the filtered
+// query both representations must answer identically.
+type StoreBench struct {
+	CSV []byte
+	Dir string
+
+	filter store.Filter
+	want   int64 // rows the filtered query must match
+	s      *store.Store
+}
+
+// NewStoreBench builds the fixture under a fresh temp directory. The
+// caller owns Close.
+func NewStoreBench(rows int) (*StoreBench, error) {
+	ft := datasets.UGR16(rows, 7)
+	var csv bytes.Buffer
+	if err := trace.WriteFlowCSV(&csv, ft); err != nil {
+		return nil, err
+	}
+	tmp, err := os.MkdirTemp("", "benchstore")
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(tmp, "trace.store")
+	if err := store.WriteFlowTrace(dir, ft, store.Options{}); err != nil {
+		os.RemoveAll(tmp)
+		return nil, err
+	}
+	s, err := store.Open(dir)
+	if err != nil {
+		os.RemoveAll(tmp)
+		return nil, err
+	}
+
+	// The benchmark query: a dst_port predicate inside a time window
+	// covering ~5% of the trace — the "what talked to 443 in that five
+	// minutes" shape the query layer exists for.
+	min, max := s.TimeRange()
+	span := max - min
+	port := uint16(443)
+	f := store.Filter{DstPort: &port}.Window(min+span/2, min+span/2+span/20)
+
+	sb := &StoreBench{CSV: csv.Bytes(), Dir: dir, filter: f, s: s}
+	sb.want = sb.scanCSV(ft)
+	got, _, err := s.Count(f)
+	if err != nil {
+		os.RemoveAll(tmp)
+		return nil, err
+	}
+	if got != sb.want {
+		os.RemoveAll(tmp)
+		return nil, fmt.Errorf("benchpar: store count %d != CSV scan %d", got, sb.want)
+	}
+	return sb, nil
+}
+
+// Close removes the fixture's temp directory.
+func (sb *StoreBench) Close() { os.RemoveAll(filepath.Dir(sb.Dir)) }
+
+// CSVSize is the canonical CSV payload size in bytes.
+func (sb *StoreBench) CSVSize() int64 { return int64(len(sb.CSV)) }
+
+// StoreSize is the columnar store's total on-disk size in bytes.
+func (sb *StoreBench) StoreSize() (int64, error) { return sb.s.DiskSize() }
+
+// Rows is the fixture's row count.
+func (sb *StoreBench) Rows() int64 { return sb.s.Rows() }
+
+// Matched is the filtered query's matching row count.
+func (sb *StoreBench) Matched() int64 { return sb.want }
+
+// scanCSV applies the benchmark filter to a materialized trace.
+func (sb *StoreBench) scanCSV(ft *trace.FlowTrace) int64 {
+	var n int64
+	for _, r := range ft.Records {
+		if r.Start < sb.filter.From || r.Start > sb.filter.To {
+			continue
+		}
+		if r.Tuple.DstPort != *sb.filter.DstPort {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// BaselineFilteredScan is the legacy path: parse the full CSV payload,
+// then scan every record against the predicate.
+func (sb *StoreBench) BaselineFilteredScan() func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ft, err := trace.ReadFlowCSV(bytes.NewReader(sb.CSV))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := sb.scanCSV(ft); got != sb.want {
+				b.Fatalf("baseline scan matched %d rows, want %d", got, sb.want)
+			}
+		}
+	}
+}
+
+// StoreFilteredQuery is the columnar path: the same predicate pushed
+// down into the store — partitions outside the window pruned, only the
+// time and dst_port columns decoded.
+func (sb *StoreBench) StoreFilteredQuery() func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			got, _, err := sb.s.Count(sb.filter)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got != sb.want {
+				b.Fatalf("store query matched %d rows, want %d", got, sb.want)
+			}
+		}
+	}
+}
+
+// BaselineFullDecode parses the full CSV payload into a trace, the
+// legacy cost of touching a stored trace at all.
+func (sb *StoreBench) BaselineFullDecode() func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := trace.ReadFlowCSV(bytes.NewReader(sb.CSV)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// StoreFullDecode materializes every record from the columnar store —
+// the store's cost for the same full-decode job.
+func (sb *StoreBench) StoreFullDecode() func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sb.s.FlowRecords(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

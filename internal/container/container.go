@@ -46,6 +46,10 @@ const (
 	// optimizer state, decodable without gob.
 	KindFlowFast   Kind = 5
 	KindPacketFast Kind = 6
+	// KindColumnBlock frames one compressed column block of the columnar
+	// trace store (internal/store, DESIGN.md §13): an encoding tag plus
+	// the encoded values of one column over one fixed-row-count block.
+	KindColumnBlock Kind = 7
 )
 
 func (k Kind) String() string {
@@ -62,12 +66,14 @@ func (k Kind) String() string {
 		return "flow-fast"
 	case KindPacketFast:
 		return "packet-fast"
+	case KindColumnBlock:
+		return "column-block"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
 }
 
-func (k Kind) valid() bool { return k >= KindFlowModel && k <= KindPacketFast }
+func (k Kind) valid() bool { return k >= KindFlowModel && k <= KindColumnBlock }
 
 // Version is the current container format version. Loaders accept any
 // version up to this one and reject newer ones with ErrFutureVersion.

@@ -72,7 +72,13 @@ type JobRecord struct {
 	// checksum covers the payload inside the container frame).
 	TraceChecksum uint32 `json:"traceChecksum,omitempty"`
 	TraceSize     int64  `json:"traceSize,omitempty"`
-	SavedAt       string `json:"savedAt"`
+	// TraceStore marks the payload as a columnar store directory
+	// (jobs/<id>.store, see PutJobStore) rather than a flat framed-CSV
+	// file; TraceSize is then the store's total on-disk size and
+	// TraceChecksum is zero (each block carries its own CRC).
+	TraceStore bool   `json:"traceStore,omitempty"`
+	TraceRows  int64  `json:"traceRows,omitempty"`
+	SavedAt    string `json:"savedAt"`
 }
 
 // SweepReport summarizes one garbage-collection pass.
@@ -301,6 +307,9 @@ func (r *Registry) TraceBytes(id string) ([]byte, error) {
 	if err := r.readManifest(r.jobManifestPath(id), &rec); err != nil {
 		return nil, err
 	}
+	if rec.TraceStore {
+		return r.storeTraceCSV(id)
+	}
 	data, err := os.ReadFile(r.tracePath(id))
 	if err != nil {
 		return nil, fmt.Errorf("registry: trace for job %q: %w", id, err)
@@ -332,6 +341,9 @@ func (r *Registry) OpenTrace(id string) (io.ReadCloser, int64, error) {
 	var rec JobRecord
 	if err := r.readManifest(r.jobManifestPath(id), &rec); err != nil {
 		return nil, 0, err
+	}
+	if rec.TraceStore {
+		return nil, 0, fmt.Errorf("registry: job %q trace is a columnar store; use OpenStore", id)
 	}
 	f, err := os.Open(r.tracePath(id))
 	if err != nil {
@@ -370,6 +382,9 @@ func (r *Registry) VerifyJob(id string) error {
 	if err := r.readManifest(r.jobManifestPath(id), &rec); err != nil {
 		return err
 	}
+	if rec.TraceStore {
+		return r.verifyJobStore(id)
+	}
 	if rec.TraceSize == 0 && rec.TraceChecksum == 0 {
 		return nil
 	}
@@ -387,20 +402,27 @@ func (r *Registry) DeleteJob(id string) error {
 	if err := removeIfExists(r.jobManifestPath(id)); err != nil {
 		return err
 	}
-	return removeIfExists(r.tracePath(id))
+	if err := removeIfExists(r.tracePath(id)); err != nil {
+		return err
+	}
+	return os.RemoveAll(r.storePath(id))
 }
 
-// Sweep garbage-collects the registry: stray *.tmp files from
-// interrupted writes, payloads without manifests, manifests without
-// payloads, and entries whose payload fails CRC validation are removed.
-// The registry is valid and fully servable afterwards.
+// Sweep garbage-collects the registry: stray *.tmp files and staging
+// directories from interrupted writes, payloads without manifests
+// (including orphaned .store directories), manifests without payloads,
+// and entries whose payload fails validation — a torn container frame,
+// a CRC mismatch, a store with a truncated block or corrupt column
+// group — are removed. The registry is valid and fully servable
+// afterwards; a damaged payload can never crash recovery.
 func (r *Registry) Sweep() (SweepReport, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var rep SweepReport
 
 	remove := func(path string, corrupt bool) error {
-		if err := removeIfExists(path); err != nil {
+		// RemoveAll: payloads may be store directories, not just files.
+		if err := os.RemoveAll(path); err != nil {
 			return err
 		}
 		rel, _ := filepath.Rel(r.dir, path)
@@ -418,12 +440,22 @@ func (r *Registry) Sweep() (SweepReport, error) {
 			return rep, fmt.Errorf("registry: sweep %s: %w", sub, err)
 		}
 		manifests := map[string]bool{}
-		payloads := map[string]string{} // name -> payload path
+		payloads := map[string][]string{} // name -> payload paths
+		addPayload := func(name, path string) { payloads[name] = append(payloads[name], path) }
 		for _, e := range entries {
+			path := filepath.Join(r.dir, sub, e.Name())
 			if e.IsDir() {
+				switch {
+				case strings.HasSuffix(e.Name(), ".tmp"):
+					// Abandoned store staging directory.
+					if err := remove(path, false); err != nil {
+						return rep, err
+					}
+				case strings.HasSuffix(e.Name(), storeExt):
+					addPayload(strings.TrimSuffix(e.Name(), storeExt), path)
+				}
 				continue
 			}
-			path := filepath.Join(r.dir, sub, e.Name())
 			switch {
 			case strings.HasSuffix(e.Name(), ".tmp"):
 				if err := remove(path, false); err != nil {
@@ -432,16 +464,18 @@ func (r *Registry) Sweep() (SweepReport, error) {
 			case strings.HasSuffix(e.Name(), manifestExt):
 				manifests[strings.TrimSuffix(e.Name(), manifestExt)] = true
 			case strings.HasSuffix(e.Name(), modelExt):
-				payloads[strings.TrimSuffix(e.Name(), modelExt)] = path
+				addPayload(strings.TrimSuffix(e.Name(), modelExt), path)
 			case strings.HasSuffix(e.Name(), traceExt):
-				payloads[strings.TrimSuffix(e.Name(), traceExt)] = path
+				addPayload(strings.TrimSuffix(e.Name(), traceExt), path)
 			}
 		}
 		// Orphaned payloads: no manifest claims them.
-		for name, path := range payloads {
+		for name, paths := range payloads {
 			if !manifests[name] {
-				if err := remove(path, false); err != nil {
-					return rep, err
+				for _, path := range paths {
+					if err := remove(path, false); err != nil {
+						return rep, err
+					}
 				}
 			}
 		}
@@ -462,7 +496,7 @@ func (r *Registry) Sweep() (SweepReport, error) {
 				if err := remove(manifestPath, corrupt); err != nil {
 					return rep, err
 				}
-				if path, ok := payloads[name]; ok {
+				for _, path := range payloads[name] {
 					if err := remove(path, false); err != nil {
 						return rep, err
 					}

@@ -1,0 +1,257 @@
+package store
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Block encodings. A block payload is
+//
+//	[1B encoding tag][uvarint row count][encoding-specific data]
+//
+// and is framed as a KindColumnBlock container (magic + CRC) before it
+// reaches disk. The writer measures every applicable encoding on the
+// actual block and keeps the smallest — the classic per-block scheme of
+// columnar stores — with plain zigzag varints as the always-available
+// raw fallback:
+//
+//	encRaw    zigzag varint per value. Fallback; also best for
+//	          high-entropy small values (ports, sizes).
+//	encDelta  zigzag varint of successive differences (first value
+//	          absolute). Near-sorted timestamp columns collapse to
+//	          1–2 bytes per row.
+//	encDict   sorted unique values (delta-uvarint coded) followed by a
+//	          uvarint dictionary index per row. Low-cardinality columns
+//	          (IPs, protocols, labels) pay for each distinct value once.
+//	encFlate  DEFLATE over one of the above payloads. Kept only when it
+//	          actually shrinks the block; decodes to the inner encoding.
+//
+// Every decoder validates counts and bounds and returns ErrBadBlock on
+// malformed input; untrusted bytes can never cause a panic or an
+// unbounded allocation.
+const (
+	encRaw   = 0
+	encDelta = 1
+	encDict  = 2
+	encFlate = 3
+)
+
+// maxBlockDecodeRows caps the row count a block decoder will allocate
+// for, far above any real block (writers default to 4096 rows).
+const maxBlockDecodeRows = 1 << 22
+
+// maxDictLen caps dictionary size on decode; a dictionary can never be
+// larger than its block's row count.
+const maxDictLen = maxBlockDecodeRows
+
+// dictMaxCardinality is the writer-side cutoff: blocks with more
+// distinct values than this skip the dictionary candidate (it cannot
+// win and measuring it costs a sort).
+const dictMaxCardinality = 1 << 14
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// encodeBlock encodes vals with the smallest applicable encoding.
+func encodeBlock(vals []int64) []byte {
+	best := encodePlain(encRaw, vals)
+	if d := encodePlain(encDelta, vals); len(d) < len(best) {
+		best = d
+	}
+	if d := encodeDict(vals); d != nil && len(d) < len(best) {
+		best = d
+	}
+	// DEFLATE on top of the best direct encoding, kept only when it
+	// shrinks the block by more than its own header cost.
+	var zbuf bytes.Buffer
+	zbuf.WriteByte(encFlate)
+	zw, _ := flate.NewWriter(&zbuf, flate.DefaultCompression)
+	_, _ = zw.Write(best)
+	_ = zw.Close()
+	if zbuf.Len() < len(best) {
+		return zbuf.Bytes()
+	}
+	return best
+}
+
+// encodePlain writes the raw or delta encoding of vals.
+func encodePlain(enc byte, vals []int64) []byte {
+	buf := make([]byte, 0, 2+len(vals)*2)
+	buf = append(buf, enc)
+	buf = binary.AppendUvarint(buf, uint64(len(vals)))
+	prev := int64(0)
+	for _, v := range vals {
+		if enc == encDelta {
+			buf = binary.AppendUvarint(buf, zigzag(v-prev))
+			prev = v
+		} else {
+			buf = binary.AppendUvarint(buf, zigzag(v))
+		}
+	}
+	return buf
+}
+
+// encodeDict writes the dictionary encoding of vals, or nil when the
+// cardinality is too high for a dictionary to win.
+func encodeDict(vals []int64) []byte {
+	seen := make(map[int64]struct{}, 64)
+	for _, v := range vals {
+		seen[v] = struct{}{}
+		if len(seen) > dictMaxCardinality {
+			return nil
+		}
+	}
+	dict := make([]int64, 0, len(seen))
+	for v := range seen {
+		dict = append(dict, v)
+	}
+	sort.Slice(dict, func(i, j int) bool { return dict[i] < dict[j] })
+	idx := make(map[int64]int, len(dict))
+	for i, v := range dict {
+		idx[v] = i
+	}
+	buf := make([]byte, 0, 3+len(dict)*2+len(vals))
+	buf = append(buf, encDict)
+	buf = binary.AppendUvarint(buf, uint64(len(vals)))
+	buf = binary.AppendUvarint(buf, uint64(len(dict)))
+	// The dictionary is sorted, so successive differences are
+	// non-negative: delta-uvarint with an absolute zigzag first value.
+	for i, v := range dict {
+		if i == 0 {
+			buf = binary.AppendUvarint(buf, zigzag(v))
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(v-dict[i-1]))
+		}
+	}
+	for _, v := range vals {
+		buf = binary.AppendUvarint(buf, uint64(idx[v]))
+	}
+	return buf
+}
+
+// decodeBlock decodes a block payload (the bytes inside the container
+// frame). wantRows < 0 skips the row-count cross-check (fuzzing and
+// tooling); otherwise a count mismatch is corruption.
+func decodeBlock(payload []byte, wantRows int) ([]int64, error) {
+	vals, err := decodeBlockInner(payload, 0)
+	if err != nil {
+		return nil, err
+	}
+	if wantRows >= 0 && len(vals) != wantRows {
+		return nil, fmt.Errorf("%w: block has %d rows, manifest says %d", ErrBadBlock, len(vals), wantRows)
+	}
+	return vals, nil
+}
+
+// decodeBlockInner decodes one encoding layer. depth guards against
+// nested flate-in-flate payloads (the writer never produces them).
+func decodeBlockInner(payload []byte, depth int) ([]int64, error) {
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("%w: empty payload", ErrBadBlock)
+	}
+	enc, rest := payload[0], payload[1:]
+	if enc == encFlate {
+		if depth > 0 {
+			return nil, fmt.Errorf("%w: nested flate layers", ErrBadBlock)
+		}
+		zr := flate.NewReader(bytes.NewReader(rest))
+		// A block decodes to at most maxBlockDecodeRows varints of ≤10
+		// bytes plus the 11-byte header; anything larger is a bomb.
+		const maxInflated = int64(maxBlockDecodeRows)*10 + 16
+		inner, err := io.ReadAll(io.LimitReader(zr, maxInflated+1))
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: flate: %v", ErrBadBlock, err)
+		}
+		if int64(len(inner)) > maxInflated {
+			return nil, fmt.Errorf("%w: flate payload exceeds %d bytes", ErrBadBlock, maxInflated)
+		}
+		return decodeBlockInner(inner, depth+1)
+	}
+
+	br := bytes.NewReader(rest)
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: row count: %v", ErrBadBlock, err)
+	}
+	if count > maxBlockDecodeRows {
+		return nil, fmt.Errorf("%w: row count %d exceeds limit", ErrBadBlock, count)
+	}
+	// Each encoded value costs at least one byte, so the declared count
+	// cannot exceed the remaining payload (pre-allocation bound).
+	if lim := uint64(br.Len()); enc != encDict && count > lim {
+		return nil, fmt.Errorf("%w: row count %d exceeds payload", ErrBadBlock, count)
+	}
+	vals := make([]int64, 0, count)
+
+	switch enc {
+	case encRaw, encDelta:
+		prev := int64(0)
+		for i := uint64(0); i < count; i++ {
+			u, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: value %d: %v", ErrBadBlock, i, err)
+			}
+			v := unzigzag(u)
+			if enc == encDelta {
+				v += prev
+				prev = v
+			}
+			vals = append(vals, v)
+		}
+	case encDict:
+		dictLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: dict length: %v", ErrBadBlock, err)
+		}
+		if dictLen > maxDictLen || uint64(br.Len()) < dictLen {
+			return nil, fmt.Errorf("%w: dict length %d exceeds payload", ErrBadBlock, dictLen)
+		}
+		if dictLen == 0 && count > 0 {
+			return nil, fmt.Errorf("%w: empty dict with %d rows", ErrBadBlock, count)
+		}
+		dict := make([]int64, 0, dictLen)
+		prev := int64(0)
+		for i := uint64(0); i < dictLen; i++ {
+			u, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: dict value %d: %v", ErrBadBlock, i, err)
+			}
+			if i == 0 {
+				prev = unzigzag(u)
+			} else {
+				next := prev + int64(u)
+				if next < prev {
+					return nil, fmt.Errorf("%w: dict overflow at %d", ErrBadBlock, i)
+				}
+				prev = next
+			}
+			dict = append(dict, prev)
+		}
+		if count > uint64(br.Len()) {
+			return nil, fmt.Errorf("%w: row count %d exceeds payload", ErrBadBlock, count)
+		}
+		for i := uint64(0); i < count; i++ {
+			u, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: index %d: %v", ErrBadBlock, i, err)
+			}
+			if u >= uint64(len(dict)) {
+				return nil, fmt.Errorf("%w: index %d out of range (dict %d)", ErrBadBlock, u, len(dict))
+			}
+			vals = append(vals, dict[u])
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown encoding %d", ErrBadBlock, enc)
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadBlock, br.Len())
+	}
+	return vals, nil
+}

@@ -1,0 +1,129 @@
+package store
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"math"
+	"testing"
+)
+
+// Deterministic pseudo-random values without math/rand so vectors stay
+// stable across Go versions.
+func xorshift(seed uint64) func() uint64 {
+	s := seed
+	return func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+}
+
+func TestBlockEncodingRoundTrip(t *testing.T) {
+	rnd := xorshift(42)
+	randVals := make([]int64, 4096)
+	for i := range randVals {
+		randVals[i] = int64(rnd() % (1 << 40))
+	}
+	sorted := make([]int64, 4096)
+	for i := range sorted {
+		sorted[i] = int64(i) * 1000
+	}
+	lowCard := make([]int64, 4096)
+	for i := range lowCard {
+		lowCard[i] = int64([]int64{6, 17, 1}[i%3])
+	}
+	vectors := map[string][]int64{
+		"empty":     {},
+		"single":    {42},
+		"constant":  {7, 7, 7, 7, 7, 7},
+		"negatives": {-1, -(1 << 40), 0, 1 << 40, math.MinInt64, math.MaxInt64},
+		"sorted":    sorted,
+		"lowcard":   lowCard,
+		"random":    randVals,
+	}
+	for name, vals := range vectors {
+		payload := encodeBlock(vals)
+		got, err := decodeBlock(payload, len(vals))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if len(got) != len(vals) {
+			t.Fatalf("%s: %d values back, want %d", name, len(got), len(vals))
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("%s: value %d: got %d want %d", name, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+// Each encoding must win on the data shape it exists for.
+func TestEncodingSelection(t *testing.T) {
+	sorted := make([]int64, 4096)
+	for i := range sorted {
+		sorted[i] = 1_000_000_000 + int64(i)*1000
+	}
+	deltaSize := len(encodeBlock(sorted))
+	rawSize := len(encodePlain(encRaw, sorted))
+	if deltaSize >= rawSize {
+		t.Errorf("sorted timestamps: best %d bytes not smaller than raw %d", deltaSize, rawSize)
+	}
+
+	lowCard := make([]int64, 4096)
+	for i := range lowCard {
+		lowCard[i] = int64([]int64{167772161, 3232235777, 2886729729}[i%3]) // 3 distinct IPs
+	}
+	dictSize := len(encodeDict(lowCard))
+	if raw := len(encodePlain(encRaw, lowCard)); dictSize >= raw {
+		t.Errorf("low-cardinality: dict %d bytes not smaller than raw %d", dictSize, raw)
+	}
+
+	if d := encodeDict(make([]int64, 0)); d == nil {
+		t.Error("dict of empty block should encode")
+	}
+	wide := make([]int64, dictMaxCardinality+2)
+	for i := range wide {
+		wide[i] = int64(i) << 20
+	}
+	if encodeDict(wide) != nil {
+		t.Error("dict should bail above the cardinality cutoff")
+	}
+}
+
+func TestDecodeBlockRejectsMalformed(t *testing.T) {
+	good := encodeBlock([]int64{1, 2, 3})
+	cases := map[string][]byte{
+		"empty payload":      {},
+		"unknown encoding":   {9, 3, 2, 4, 6},
+		"truncated values":   {encRaw, 3, 2},
+		"huge count":         append([]byte{encRaw}, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01),
+		"count over payload": {encRaw, 100, 2, 4},
+		"trailing bytes":     append(append([]byte{}, good...), 0xEE),
+		"dict index oob":     {encDict, 1, 1, 2, 5},
+		"dict over payload":  {encDict, 1, 200},
+		"empty dict rows":    {encDict, 2, 0},
+		"flate garbage":      {encFlate, 0xde, 0xad, 0xbe, 0xef},
+		"nested flate":       flateWrap(flateWrap([]byte{encRaw, 1, 2})),
+		"dict count over":    {encDict, 50, 1, 2, 0, 0},
+	}
+	for name, payload := range cases {
+		if _, err := decodeBlock(payload, -1); !errors.Is(err, ErrBadBlock) {
+			t.Errorf("%s: got %v, want ErrBadBlock", name, err)
+		}
+	}
+	if _, err := decodeBlock(good, 4); !errors.Is(err, ErrBadBlock) {
+		t.Errorf("row-count mismatch: got %v, want ErrBadBlock", err)
+	}
+}
+
+func flateWrap(inner []byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(encFlate)
+	zw, _ := flate.NewWriter(&buf, flate.DefaultCompression)
+	_, _ = zw.Write(inner)
+	_ = zw.Close()
+	return buf.Bytes()
+}

@@ -1,0 +1,19 @@
+package store
+
+import "repro/internal/telemetry"
+
+// Query-path counters on the process-wide registry. Tests assert the
+// pruning guarantees through these: a time-windowed query must grow
+// blocks.skipped/partitions.pruned, not blocks.read, for data outside
+// the window, and columns.decoded must track only predicate + output
+// columns.
+var (
+	mPartsScanned = telemetry.Default.Counter("store.partitions.scanned")
+	mPartsPruned  = telemetry.Default.Counter("store.partitions.pruned")
+	mBlocksRead   = telemetry.Default.Counter("store.blocks.read")
+	mBlocksSkip   = telemetry.Default.Counter("store.blocks.skipped")
+	mColsDecoded  = telemetry.Default.Counter("store.columns.decoded")
+	mRowsScanned  = telemetry.Default.Counter("store.rows.scanned")
+	mBytesRead    = telemetry.Default.Counter("store.bytes.read")
+	mQueries      = telemetry.Default.Counter("store.queries")
+)

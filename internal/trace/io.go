@@ -2,10 +2,34 @@ package trace
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 )
+
+// ErrCSVHeader is the typed rejection for trace CSV input whose header
+// row is missing, malformed, or duplicated. Before this check the first
+// row was skipped unconditionally, so a headerless file silently lost
+// its first data row and a doubled header surfaced as a confusing
+// ParseInt failure; both now fail fast with errors.Is-matchable cause.
+var ErrCSVHeader = errors.New("trace: malformed CSV header row")
+
+// checkHeader validates one CSV row against the expected header layout:
+// the first row must match it exactly, and no later row may repeat it.
+func checkHeader(row []string, want []string, i int) error {
+	match := len(row) == len(want)
+	for k := 0; match && k < len(want); k++ {
+		match = row[k] == want[k]
+	}
+	if i == 0 && !match {
+		return fmt.Errorf("%w: first row %q does not match expected header %q", ErrCSVHeader, row, want)
+	}
+	if i > 0 && match {
+		return fmt.Errorf("%w: duplicate header at row %d", ErrCSVHeader, i)
+	}
+	return nil
+}
 
 // CSV import/export so generated traces can be shared with downstream
 // tools. Column layouts mirror the fields the paper evaluates: the flow
@@ -42,69 +66,88 @@ func WritePacketCSV(w io.Writer, t *PacketTrace) error {
 }
 
 // ReadPacketCSV parses the packet CSV layout produced by WritePacketCSV.
-// Rows are decoded one at a time as they stream in, so a multi-gigabyte
-// upload never needs a second full copy of the raw CSV in memory, and a
-// malformed row fails fast instead of after buffering the whole file.
 func ReadPacketCSV(r io.Reader) (*PacketTrace, error) {
+	out := &PacketTrace{}
+	err := ScanPacketCSV(r, func(p Packet) error {
+		out.Packets = append(out.Packets, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScanPacketCSV parses the packet CSV layout row by row, invoking fn for
+// each decoded packet. Rows are decoded one at a time as they stream in,
+// so a multi-gigabyte upload never needs a second full copy of the raw
+// CSV in memory, and a malformed row fails fast instead of after
+// buffering the whole file. A missing, garbled, or duplicated header row
+// is rejected with ErrCSVHeader; empty input yields zero rows.
+func ScanPacketCSV(r io.Reader, fn func(Packet) error) error {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(packetHeader)
 	cr.ReuseRecord = true
-	out := &PacketTrace{}
 	for i := 0; ; i++ {
 		row, err := cr.Read()
 		if err == io.EOF {
-			return out, nil
+			return nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: read packet csv: %w", err)
+			return fmt.Errorf("trace: read packet csv: %w", err)
+		}
+		if err := checkHeader(row, packetHeader, i); err != nil {
+			return err
 		}
 		if i == 0 {
 			continue // header row
 		}
 		var p Packet
 		if p.Time, err = strconv.ParseInt(row[0], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: packet row %d time: %w", i, err)
+			return fmt.Errorf("trace: packet row %d time: %w", i, err)
 		}
 		// ParseIPv4 wraps ErrIPv6Unsupported for valid v6 input, so a
 		// caller can distinguish "this CSV carries IPv6" (re-ingest via
 		// the pcap path) from a malformed row.
 		if p.Tuple.SrcIP, err = ParseIPv4(row[1]); err != nil {
-			return nil, fmt.Errorf("trace: packet row %d src ip: %w", i, err)
+			return fmt.Errorf("trace: packet row %d src ip: %w", i, err)
 		}
 		if p.Tuple.DstIP, err = ParseIPv4(row[2]); err != nil {
-			return nil, fmt.Errorf("trace: packet row %d dst ip: %w", i, err)
+			return fmt.Errorf("trace: packet row %d dst ip: %w", i, err)
 		}
 		sp, err := strconv.ParseUint(row[3], 10, 16)
 		if err != nil {
-			return nil, fmt.Errorf("trace: packet row %d src port: %w", i, err)
+			return fmt.Errorf("trace: packet row %d src port: %w", i, err)
 		}
 		dp, err := strconv.ParseUint(row[4], 10, 16)
 		if err != nil {
-			return nil, fmt.Errorf("trace: packet row %d dst port: %w", i, err)
+			return fmt.Errorf("trace: packet row %d dst port: %w", i, err)
 		}
 		proto, err := strconv.ParseUint(row[5], 10, 8)
 		if err != nil {
-			return nil, fmt.Errorf("trace: packet row %d proto: %w", i, err)
+			return fmt.Errorf("trace: packet row %d proto: %w", i, err)
 		}
 		size, err := strconv.Atoi(row[6])
 		if err != nil {
-			return nil, fmt.Errorf("trace: packet row %d size: %w", i, err)
+			return fmt.Errorf("trace: packet row %d size: %w", i, err)
 		}
 		if size < 0 {
-			return nil, fmt.Errorf("trace: packet row %d has negative size %d", i, size)
+			return fmt.Errorf("trace: packet row %d has negative size %d", i, size)
 		}
 		ttl, err := strconv.ParseUint(row[7], 10, 8)
 		if err != nil {
-			return nil, fmt.Errorf("trace: packet row %d ttl: %w", i, err)
+			return fmt.Errorf("trace: packet row %d ttl: %w", i, err)
 		}
 		flags, err := strconv.ParseUint(row[8], 10, 8)
 		if err != nil {
-			return nil, fmt.Errorf("trace: packet row %d flags: %w", i, err)
+			return fmt.Errorf("trace: packet row %d flags: %w", i, err)
 		}
 		p.Tuple.SrcPort, p.Tuple.DstPort = uint16(sp), uint16(dp)
 		p.Tuple.Proto = Protocol(proto)
 		p.Size, p.TTL, p.Flags = size, uint8(ttl), uint8(flags)
-		out.Packets = append(out.Packets, p)
+		if err := fn(p); err != nil {
+			return err
+		}
 	}
 }
 
@@ -137,12 +180,27 @@ func WriteFlowCSV(w io.Writer, t *FlowTrace) error {
 	return cw.Error()
 }
 
-// ReadFlowCSV parses the flow CSV layout produced by WriteFlowCSV. Like
-// ReadPacketCSV it streams row by row — no full-file buffering — and
-// rejects semantically impossible values (negative duration, packet, or
-// byte counts) so corrupted inputs fail at the parser instead of
-// poisoning training statistics downstream.
+// ReadFlowCSV parses the flow CSV layout produced by WriteFlowCSV.
 func ReadFlowCSV(r io.Reader) (*FlowTrace, error) {
+	out := &FlowTrace{}
+	err := ScanFlowCSV(r, func(fr FlowRecord) error {
+		out.Records = append(out.Records, fr)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScanFlowCSV parses the flow CSV layout row by row, invoking fn for
+// each decoded record. Like ScanPacketCSV it streams — no full-file
+// buffering — and rejects semantically impossible values (negative
+// duration, packet, or byte counts) so corrupted inputs fail at the
+// parser instead of poisoning training statistics downstream. A
+// missing, garbled, or duplicated header row is rejected with
+// ErrCSVHeader; empty input yields zero rows.
+func ScanFlowCSV(r io.Reader, fn func(FlowRecord) error) error {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(flowHeader)
 	cr.ReuseRecord = true
@@ -150,65 +208,69 @@ func ReadFlowCSV(r io.Reader) (*FlowTrace, error) {
 	for l := Benign; l < NumLabels; l++ {
 		labelByName[l.String()] = l
 	}
-	out := &FlowTrace{}
 	for i := 0; ; i++ {
 		row, err := cr.Read()
 		if err == io.EOF {
-			return out, nil
+			return nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: read flow csv: %w", err)
+			return fmt.Errorf("trace: read flow csv: %w", err)
+		}
+		if err := checkHeader(row, flowHeader, i); err != nil {
+			return err
 		}
 		if i == 0 {
 			continue // header row
 		}
 		var fr FlowRecord
 		if fr.Start, err = strconv.ParseInt(row[0], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: flow row %d start: %w", i, err)
+			return fmt.Errorf("trace: flow row %d start: %w", i, err)
 		}
 		if fr.Duration, err = strconv.ParseInt(row[1], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: flow row %d duration: %w", i, err)
+			return fmt.Errorf("trace: flow row %d duration: %w", i, err)
 		}
 		if fr.Duration < 0 {
-			return nil, fmt.Errorf("trace: flow row %d has negative duration %d", i, fr.Duration)
+			return fmt.Errorf("trace: flow row %d has negative duration %d", i, fr.Duration)
 		}
 		if fr.Tuple.SrcIP, err = ParseIPv4(row[2]); err != nil {
-			return nil, fmt.Errorf("trace: flow row %d src ip: %w", i, err)
+			return fmt.Errorf("trace: flow row %d src ip: %w", i, err)
 		}
 		if fr.Tuple.DstIP, err = ParseIPv4(row[3]); err != nil {
-			return nil, fmt.Errorf("trace: flow row %d dst ip: %w", i, err)
+			return fmt.Errorf("trace: flow row %d dst ip: %w", i, err)
 		}
 		sp, err := strconv.ParseUint(row[4], 10, 16)
 		if err != nil {
-			return nil, fmt.Errorf("trace: flow row %d src port: %w", i, err)
+			return fmt.Errorf("trace: flow row %d src port: %w", i, err)
 		}
 		dp, err := strconv.ParseUint(row[5], 10, 16)
 		if err != nil {
-			return nil, fmt.Errorf("trace: flow row %d dst port: %w", i, err)
+			return fmt.Errorf("trace: flow row %d dst port: %w", i, err)
 		}
 		proto, err := strconv.ParseUint(row[6], 10, 8)
 		if err != nil {
-			return nil, fmt.Errorf("trace: flow row %d proto: %w", i, err)
+			return fmt.Errorf("trace: flow row %d proto: %w", i, err)
 		}
 		if fr.Packets, err = strconv.ParseInt(row[7], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: flow row %d packets: %w", i, err)
+			return fmt.Errorf("trace: flow row %d packets: %w", i, err)
 		}
 		if fr.Packets < 0 {
-			return nil, fmt.Errorf("trace: flow row %d has negative packet count %d", i, fr.Packets)
+			return fmt.Errorf("trace: flow row %d has negative packet count %d", i, fr.Packets)
 		}
 		if fr.Bytes, err = strconv.ParseInt(row[8], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: flow row %d bytes: %w", i, err)
+			return fmt.Errorf("trace: flow row %d bytes: %w", i, err)
 		}
 		if fr.Bytes < 0 {
-			return nil, fmt.Errorf("trace: flow row %d has negative byte count %d", i, fr.Bytes)
+			return fmt.Errorf("trace: flow row %d has negative byte count %d", i, fr.Bytes)
 		}
 		lbl, ok := labelByName[row[9]]
 		if !ok {
-			return nil, fmt.Errorf("trace: flow row %d unknown label %q", i, row[9])
+			return fmt.Errorf("trace: flow row %d unknown label %q", i, row[9])
 		}
 		fr.Tuple.SrcPort, fr.Tuple.DstPort = uint16(sp), uint16(dp)
 		fr.Tuple.Proto = Protocol(proto)
 		fr.Label = lbl
-		out.Records = append(out.Records, fr)
+		if err := fn(fr); err != nil {
+			return err
+		}
 	}
 }

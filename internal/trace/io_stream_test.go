@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// streamFlowTrace is sampleFlowTrace with label and port variety, so the
+// streamed encodings exercise every column.
+func streamFlowTrace(n int) *FlowTrace {
+	t := &FlowTrace{}
+	for i := 0; i < n; i++ {
+		t.Records = append(t.Records, FlowRecord{
+			Tuple: FiveTuple{
+				SrcIP:   IPv4FromBytes(10, 0, byte(i%3), byte(i%7)),
+				DstIP:   IPv4FromBytes(192, 168, 1, byte(i%5)),
+				SrcPort: uint16(1024 + i),
+				DstPort: 443,
+				Proto:   TCP,
+			},
+			Start:    int64(i) * 1000,
+			Duration: int64(i%11) * 500,
+			Packets:  int64(1 + i%9),
+			Bytes:    int64(40 * (1 + i%9)),
+			Label:    Label(i % int(NumLabels)),
+		})
+	}
+	return t
+}
+
+func streamPacketTrace(n int) *PacketTrace {
+	t := &PacketTrace{}
+	for i := 0; i < n; i++ {
+		t.Packets = append(t.Packets, Packet{
+			Time: int64(i) * 700,
+			Tuple: FiveTuple{
+				SrcIP:   IPv4FromBytes(10, 1, 0, byte(i%4)),
+				DstIP:   IPv4FromBytes(172, 16, 0, byte(i%6)),
+				SrcPort: uint16(2048 + i),
+				DstPort: 80,
+				Proto:   TCP,
+			},
+			Size:  40 + i%1400,
+			TTL:   64,
+			Flags: uint8(i % 2),
+		})
+	}
+	return t
+}
+
+// The CSV readers must reject input whose first row is not the exact
+// header (previously the first data row of a headerless file was
+// silently dropped) and input that repeats the header mid-file
+// (previously a confusing ParseInt error), both with ErrCSVHeader.
+func TestCSVHeaderValidation(t *testing.T) {
+	flowHdr := "start_us,duration_us,src_ip,dst_ip,src_port,dst_port,proto,packets,bytes,label\n"
+	flowRow := "0,10,10.0.0.1,10.0.0.2,1,2,6,3,120,benign\n"
+	pktHdr := "time_us,src_ip,dst_ip,src_port,dst_port,proto,size,ttl,flags\n"
+	pktRow := "0,10.0.0.1,10.0.0.2,1,2,6,40,64,0\n"
+
+	cases := []struct {
+		name string
+		in   string
+		flow bool
+	}{
+		{"flow headerless", flowRow, true},
+		{"flow duplicate header", flowHdr + flowRow + flowHdr, true},
+		{"flow garbage header", "a,b,c,d,e,f,g,h,i,j\n" + flowRow, true},
+		{"packet headerless", pktRow, false},
+		{"packet duplicate header", pktHdr + pktHdr + pktRow, false},
+		{"packet garbage header", "x,y,z,a,b,c,d,e,f\n" + pktRow, false},
+	}
+	for _, tc := range cases {
+		var err error
+		if tc.flow {
+			_, err = ReadFlowCSV(strings.NewReader(tc.in))
+		} else {
+			_, err = ReadPacketCSV(strings.NewReader(tc.in))
+		}
+		if !errors.Is(err, ErrCSVHeader) {
+			t.Errorf("%s: got %v, want ErrCSVHeader", tc.name, err)
+		}
+	}
+
+	// Valid input still round-trips.
+	if ft, err := ReadFlowCSV(strings.NewReader(flowHdr + flowRow)); err != nil || len(ft.Records) != 1 {
+		t.Fatalf("valid flow csv: %v, %d records", err, len(ft.Records))
+	}
+	if pt, err := ReadPacketCSV(strings.NewReader(pktHdr + pktRow)); err != nil || len(pt.Packets) != 1 {
+		t.Fatalf("valid packet csv: %v, %d packets", err, len(pt.Packets))
+	}
+}
+
+// Scan callbacks see every row in order and can abort the scan.
+func TestScanCSVCallback(t *testing.T) {
+	ft := streamFlowTrace(67)
+	var buf bytes.Buffer
+	if err := WriteFlowCSV(&buf, ft); err != nil {
+		t.Fatal(err)
+	}
+	var got []FlowRecord
+	if err := ScanFlowCSV(bytes.NewReader(buf.Bytes()), func(fr FlowRecord) error {
+		got = append(got, fr)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ft.Records) {
+		t.Fatalf("scanned %d records, want %d", len(got), len(ft.Records))
+	}
+	for i := range got {
+		if got[i] != ft.Records[i] {
+			t.Fatalf("record %d mismatch: %+v != %+v", i, got[i], ft.Records[i])
+		}
+	}
+	sentinel := errors.New("stop")
+	n := 0
+	err := ScanFlowCSV(bytes.NewReader(buf.Bytes()), func(FlowRecord) error {
+		n++
+		if n == 5 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) || n != 5 {
+		t.Fatalf("abort: err=%v after %d rows", err, n)
+	}
+}
+
+// The streaming pcap and NetFlow v5 encoders must be byte-identical to
+// the whole-trace writers they decompose.
+func TestStreamingEncodersMatchBatch(t *testing.T) {
+	pt := streamPacketTrace(97)
+	var whole, streamed bytes.Buffer
+	if err := WritePCAP(&whole, pt); err != nil {
+		t.Fatal(err)
+	}
+	pw, err := NewPCAPWriter(&streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pt.Packets {
+		if err := pw.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(whole.Bytes(), streamed.Bytes()) {
+		t.Fatal("streamed pcap differs from WritePCAP output")
+	}
+
+	ft := streamFlowTrace(95) // not a multiple of 30: trailing partial export packet
+	whole.Reset()
+	streamed.Reset()
+	if err := WriteNetFlowV5(&whole, ft); err != nil {
+		t.Fatal(err)
+	}
+	base := ft.Records[0].Start
+	for _, r := range ft.Records {
+		if r.Start < base {
+			base = r.Start
+		}
+	}
+	nw := NewNFV5Writer(&streamed, base)
+	for _, r := range ft.Records {
+		if err := nw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := nw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(whole.Bytes(), streamed.Bytes()) {
+		t.Fatal("streamed netflow5 differs from WriteNetFlowV5 output")
+	}
+}

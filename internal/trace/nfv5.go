@@ -24,7 +24,6 @@ const (
 // (SysUptime starts at 0); flows longer than the v5 32-bit millisecond
 // range are clamped.
 func WriteNetFlowV5(w io.Writer, t *FlowTrace) error {
-	bw := bufio.NewWriter(w)
 	var base int64
 	if len(t.Records) > 0 {
 		base = t.Records[0].Start
@@ -34,19 +33,69 @@ func WriteNetFlowV5(w io.Writer, t *FlowTrace) error {
 			}
 		}
 	}
-	var seq uint32
-	for off := 0; off < len(t.Records); off += nfv5MaxPerPkt {
-		end := off + nfv5MaxPerPkt
-		if end > len(t.Records) {
-			end = len(t.Records)
-		}
-		batch := t.Records[off:end]
-		if err := writeNFv5Packet(bw, batch, base, seq); err != nil {
+	nw := NewNFV5Writer(w, base)
+	for _, r := range t.Records {
+		if err := nw.Write(r); err != nil {
 			return err
 		}
-		seq += uint32(len(batch))
 	}
-	return bw.Flush()
+	return nw.Flush()
+}
+
+// NFV5Writer encodes flow records as NetFlow v5 export packets one
+// record at a time, buffering at most one 30-record export packet, so a
+// download handler can stream a trace of any length with bounded memory.
+// base is the SysUptime origin (the earliest flow start in the stream,
+// microseconds); it must be known up front because every record's
+// first/last timestamps are expressed relative to it. Output is
+// byte-identical to WriteNetFlowV5 over the same record sequence and
+// base.
+type NFV5Writer struct {
+	bw    *bufio.Writer
+	base  int64
+	batch []FlowRecord
+	seq   uint32
+}
+
+// NewNFV5Writer returns a streaming v5 encoder with the given SysUptime
+// origin. Call Flush after the last record to emit the trailing partial
+// export packet.
+func NewNFV5Writer(w io.Writer, base int64) *NFV5Writer {
+	return &NFV5Writer{
+		bw:    bufio.NewWriter(w),
+		base:  base,
+		batch: make([]FlowRecord, 0, nfv5MaxPerPkt),
+	}
+}
+
+// Write appends one flow record, emitting an export packet whenever 30
+// records are buffered.
+func (nw *NFV5Writer) Write(r FlowRecord) error {
+	nw.batch = append(nw.batch, r)
+	if len(nw.batch) < nfv5MaxPerPkt {
+		return nil
+	}
+	return nw.emit()
+}
+
+func (nw *NFV5Writer) emit() error {
+	if len(nw.batch) == 0 {
+		return nil
+	}
+	if err := writeNFv5Packet(nw.bw, nw.batch, nw.base, nw.seq); err != nil {
+		return err
+	}
+	nw.seq += uint32(len(nw.batch))
+	nw.batch = nw.batch[:0]
+	return nil
+}
+
+// Flush emits any trailing partial export packet and drains the buffer.
+func (nw *NFV5Writer) Flush() error {
+	if err := nw.emit(); err != nil {
+		return err
+	}
+	return nw.bw.Flush()
 }
 
 func writeNFv5Packet(w io.Writer, batch []FlowRecord, base int64, seq uint32) error {

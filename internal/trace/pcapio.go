@@ -33,6 +33,30 @@ const (
 // header plus zero payload, truncated at maxStoredBytes; the on-wire
 // length (`origLen`) is the packet's true size.
 func WritePCAP(w io.Writer, t *PacketTrace) error {
+	pw, err := NewPCAPWriter(w)
+	if err != nil {
+		return err
+	}
+	for _, p := range t.Packets {
+		if err := pw.Write(p); err != nil {
+			return err
+		}
+	}
+	return pw.Flush()
+}
+
+// PCAPWriter encodes packets to libpcap format one at a time, so a
+// download handler can stream a trace of any length with bounded memory
+// instead of materializing the whole encoded capture first. Output is
+// byte-identical to WritePCAP over the same packet sequence.
+type PCAPWriter struct {
+	bw *bufio.Writer
+	n  int // packets written, for error context
+}
+
+// NewPCAPWriter writes the libpcap file header and returns a streaming
+// record encoder. Call Flush after the last packet.
+func NewPCAPWriter(w io.Writer) (*PCAPWriter, error) {
 	bw := bufio.NewWriter(w)
 	var hdr [24]byte
 	binary.LittleEndian.PutUint32(hdr[0:], pcapMagicMicros)
@@ -42,25 +66,31 @@ func WritePCAP(w io.Writer, t *PacketTrace) error {
 	binary.LittleEndian.PutUint32(hdr[16:], pcapSnapLen)
 	binary.LittleEndian.PutUint32(hdr[20:], linkTypeRaw)
 	if _, err := bw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("trace: write pcap header: %w", err)
+		return nil, fmt.Errorf("trace: write pcap header: %w", err)
 	}
-
-	var rec [16]byte
-	for i, p := range t.Packets {
-		body := packetBytes(p)
-		binary.LittleEndian.PutUint32(rec[0:], uint32(p.Time/1_000_000))
-		binary.LittleEndian.PutUint32(rec[4:], uint32(p.Time%1_000_000))
-		binary.LittleEndian.PutUint32(rec[8:], uint32(len(body)))
-		binary.LittleEndian.PutUint32(rec[12:], uint32(p.Size))
-		if _, err := bw.Write(rec[:]); err != nil {
-			return fmt.Errorf("trace: write pcap record %d: %w", i, err)
-		}
-		if _, err := bw.Write(body); err != nil {
-			return fmt.Errorf("trace: write pcap packet %d: %w", i, err)
-		}
-	}
-	return bw.Flush()
+	return &PCAPWriter{bw: bw}, nil
 }
+
+// Write appends one packet record.
+func (pw *PCAPWriter) Write(p Packet) error {
+	var rec [16]byte
+	body := packetBytes(p)
+	binary.LittleEndian.PutUint32(rec[0:], uint32(p.Time/1_000_000))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(p.Time%1_000_000))
+	binary.LittleEndian.PutUint32(rec[8:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(rec[12:], uint32(p.Size))
+	if _, err := pw.bw.Write(rec[:]); err != nil {
+		return fmt.Errorf("trace: write pcap record %d: %w", pw.n, err)
+	}
+	if _, err := pw.bw.Write(body); err != nil {
+		return fmt.Errorf("trace: write pcap packet %d: %w", pw.n, err)
+	}
+	pw.n++
+	return nil
+}
+
+// Flush drains the buffered writer; the capture is complete afterwards.
+func (pw *PCAPWriter) Flush() error { return pw.bw.Flush() }
 
 // packetBytes materializes the stored bytes of p: IPv4 header, the L4
 // port words for TCP/UDP, and zero padding, truncated at maxStoredBytes.

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/registry"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -63,6 +64,12 @@ func (s *Server) UseRegistry(reg *registry.Registry) (RecoveryStats, error) {
 		return stats, fmt.Errorf("webapi: registry sweep: %w", err)
 	}
 	stats.Swept, stats.Corrupt = len(rep.Removed), rep.Corrupt
+	// Drop cached encoded artifacts whose backing job the sweep removed
+	// (a boot-time no-op; SweepRegistry reuses the same path live).
+	s.artifactDrop(func(jobID string) bool {
+		_, err := reg.Job(jobID)
+		return err == nil
+	})
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -98,35 +105,35 @@ func (s *Server) registry() *registry.Registry {
 }
 
 // persistFlowResult durably stores a finished netflow job: model
-// container, canonical CSV trace payload, and the status document.
+// container, columnar trace store, and the status document.
 func (s *Server) persistFlowResult(id string, syn *core.FlowSynthesizer, gen *trace.FlowTrace) {
-	var model, csv bytes.Buffer
+	var model bytes.Buffer
 	if err := syn.Save(&model); err != nil {
 		s.registryError(id, fmt.Errorf("save model: %w", err))
 		return
 	}
-	if err := trace.WriteFlowCSV(&csv, gen); err != nil {
-		s.registryError(id, fmt.Errorf("encode trace: %w", err))
-		return
-	}
-	s.persistResult(id, "netflow", model.Bytes(), csv.Bytes())
+	s.persistResult(id, "netflow", model.Bytes(), func(dir string) error {
+		return store.WriteFlowTrace(dir, gen, store.Options{})
+	})
 }
 
 // persistPacketResult durably stores a finished pcap job.
 func (s *Server) persistPacketResult(id string, syn *core.PacketSynthesizer, gen *trace.PacketTrace) {
-	var model, csv bytes.Buffer
+	var model bytes.Buffer
 	if err := syn.Save(&model); err != nil {
 		s.registryError(id, fmt.Errorf("save model: %w", err))
 		return
 	}
-	if err := trace.WritePacketCSV(&csv, gen); err != nil {
-		s.registryError(id, fmt.Errorf("encode trace: %w", err))
-		return
-	}
-	s.persistResult(id, "pcap", model.Bytes(), csv.Bytes())
+	s.persistResult(id, "pcap", model.Bytes(), func(dir string) error {
+		return store.WritePacketTrace(dir, gen, store.Options{})
+	})
 }
 
-func (s *Server) persistResult(id, kind string, model, csv []byte) {
+// persistResult commits a terminal job: the model container first, then
+// the trace as a block-compressed columnar store (DESIGN.md §13) built
+// by build into the registry's staging directory. Jobs persisted by
+// older builds keep their flat CSV payloads; both shapes are served.
+func (s *Server) persistResult(id, kind string, model []byte, build func(dir string) error) {
 	reg := s.registry()
 	if reg == nil {
 		return
@@ -148,7 +155,7 @@ func (s *Server) persistResult(id, kind string, model, csv []byte) {
 		ID: id, State: string(st.State), Status: statusJSON,
 		Model: id, TraceKind: kind,
 	}
-	if err := reg.PutJob(rec, csv); err != nil {
+	if err := reg.PutJobStore(rec, build); err != nil {
 		s.registryError(id, err)
 	}
 }
@@ -278,7 +285,9 @@ func (s *Server) handleModelGenerate(w http.ResponseWriter, r *http.Request) {
 }
 
 // streamStoredTrace serves a job's CSV download straight from the
-// registry file on disk — no re-encoding, no trace copy in memory.
+// registry payload on disk: legacy flat payloads are copied verbatim;
+// columnar store payloads are decoded block-by-block into the canonical
+// CSV (byte-identical to the flat form) without materializing the trace.
 // Returns false when the registry has no servable payload (caller falls
 // back to the in-memory path).
 func (s *Server) streamStoredTrace(w http.ResponseWriter, id string) bool {
@@ -289,6 +298,22 @@ func (s *Server) streamStoredTrace(w http.ResponseWriter, id string) bool {
 	rec, err := reg.Job(id)
 	if err != nil || rec.TraceSize == 0 {
 		return false
+	}
+	if rec.TraceStore {
+		str, err := reg.OpenStore(id)
+		if err != nil {
+			telRegistryErrors.Inc()
+			return false
+		}
+		w.Header().Set("Content-Type", "text/csv")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.csv", id))
+		w.WriteHeader(http.StatusOK)
+		if err := str.WriteCSV(w); err == nil {
+			telTracesStreamed.Inc()
+		} else {
+			telRegistryErrors.Inc()
+		}
+		return true
 	}
 	rc, n, err := reg.OpenTrace(id)
 	if err != nil {

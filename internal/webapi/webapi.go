@@ -8,6 +8,7 @@
 //	GET  /api/v1/jobs              list jobs
 //	GET  /api/v1/jobs/{id}         job status
 //	GET  /api/v1/jobs/{id}/trace   download the synthetic trace
+//	GET  /api/v1/traces/{id}/query query a store-backed trace in place
 //	GET  /api/v1/datasets          list built-in datasets
 //	GET  /api/v1/models            list durably stored models
 //	POST /api/v1/models/{name}/generate  generate from a stored model
@@ -201,6 +202,15 @@ type Server struct {
 	fastMu       sync.Mutex
 	fastCache    map[string]*list.Element
 	fastLRU      *list.List
+
+	// ArtifactCacheBytes bounds the encoded-download LRU (tracestore.go):
+	// pcap/netflow5 re-encodes of store-backed traces are cached up to
+	// this many payload bytes. 0 selects the default; negative disables.
+	ArtifactCacheBytes int64
+	artMu              sync.Mutex
+	artCache           map[string]*list.Element
+	artLRU             *list.List
+	artSize            int64
 	// fastHook, when non-nil, runs inside each coalesced fast batch just
 	// before generation — the test seam for coalescing and panic tests.
 	fastHook func(name string, batchSize int)
@@ -263,6 +273,7 @@ func (s *Server) Handler() http.Handler {
 				"GET /api/v1/jobs",
 				"GET /api/v1/jobs/{id}",
 				"GET /api/v1/jobs/{id}/trace?format=csv|pcap|netflow5",
+				"GET /api/v1/traces/{id}/query?from=&to=&filter=&agg=&topk=&limit=",
 				"GET /api/v1/models",
 				"POST /api/v1/models/{name}/generate",
 			},
@@ -276,6 +287,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleDownload)
+	mux.HandleFunc("GET /api/v1/traces/{id}/query", s.handleTraceQuery)
 	mux.HandleFunc("GET /api/v1/models", s.handleModels)
 	mux.HandleFunc("POST /api/v1/models/{name}/generate", s.handleModelGenerate)
 	mux.HandleFunc("GET /api/v1/ingest", s.handleIngest)
@@ -704,9 +716,15 @@ func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
 		format = "csv"
 	}
 	// CSV downloads stream the persisted canonical payload straight from
-	// the registry file when one exists — no re-encoding, no full trace
-	// copy in memory — and fall back to the in-memory trace otherwise.
+	// the registry when one exists — no re-encoding, no full trace copy
+	// in memory — and fall back to the in-memory trace otherwise.
 	if format == "csv" && s.streamStoredTrace(w, st.ID) {
+		return
+	}
+	// pcap/netflow5 downloads of store-backed jobs stream the re-encode
+	// off the columnar scan, fronted by the bounded artifact LRU
+	// (tracestore.go).
+	if (format == "pcap" || format == "netflow5") && s.streamEncodedTrace(w, st.ID, format) {
 		return
 	}
 	// A job recovered after a restart has no in-memory trace; rebuild it
