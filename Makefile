@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build vet test test-race test-crash test-telemetry test-conformance test-ingest test-store fuzz bench bench-parallel bench-generate bench-store staticcheck govulncheck ci clean
+.PHONY: all build vet test test-race test-crash test-telemetry test-conformance test-ingest test-store test-cluster fuzz bench bench-parallel bench-generate bench-store staticcheck govulncheck ci clean
 
 all: build
 
@@ -22,13 +22,14 @@ test:
 # registry (DESIGN.md §6–8, §10), and the serving fast path — the
 # snapshot LRU, the cross-request batch scheduler, and the lot-parallel
 # float32 sampler (DESIGN.md §11) — plus the columnar trace store and
-# the webapi artifact cache layered on it (DESIGN.md §13).
+# the webapi artifact cache layered on it (DESIGN.md §13) and the
+# distributed chunk queue with its worker-kill golden test (DESIGN.md §14).
 test-race:
 	$(GO) test -race ./internal/mat/... ./internal/dgan/... ./internal/core/... \
 		./internal/orchestrator/... ./internal/privacy/... ./internal/ip2vec/... \
 		./internal/container/... ./internal/registry/... ./internal/webapi/... \
 		./internal/conformance/... ./internal/ingest/... ./internal/trace/... \
-		./internal/store/...
+		./internal/store/... ./internal/cluster/...
 
 # Crash/fault matrix: the checkpoint/resume/retry tests that simulate
 # process death, torn writes, and exhausted retry budgets (DESIGN.md §7).
@@ -69,6 +70,18 @@ fuzz:
 	$(GO) test ./internal/dgan -run '^$$' -fuzz FuzzDecodeInferWeights -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/store -run '^$$' -fuzz FuzzBlockDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/store -run '^$$' -fuzz FuzzQueryFilter -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzParseLease -fuzztime $(FUZZTIME)
+
+# Distributed training subsystem (DESIGN.md §14): the durable chunk
+# queue's lease/reclaim/retry matrix, the plan API's
+# distributed-equals-standalone golden tests, the worker-crash
+# bitwise-recovery test, the cluster web API routing, and the watch-loop
+# regression tests the cluster's rotating-capture deployments rely on.
+test-cluster:
+	$(GO) test ./internal/cluster/...
+	$(GO) test ./internal/core -run 'Plan'
+	$(GO) test ./internal/webapi -run 'Cluster'
+	$(GO) test ./internal/ingest -run 'TestWatch'
 
 # Distributional conformance gate for the serving fast path (DESIGN.md
 # §11): per-field JSD/EMD of fast-path output vs the float64 reference
@@ -120,7 +133,7 @@ govulncheck:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-ci: vet staticcheck govulncheck build test test-race test-crash test-telemetry test-conformance test-ingest test-store fuzz bench-generate
+ci: vet staticcheck govulncheck build test test-race test-crash test-telemetry test-conformance test-ingest test-store test-cluster fuzz bench-generate
 
 clean:
 	$(GO) clean ./...

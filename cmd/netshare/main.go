@@ -96,6 +96,14 @@ func run() error {
 		ingIdle     = flag.Duration("ingest-idle-timeout", 0, "flow idle timeout on the capture clock (0 = default 60s)")
 		ingShards   = flag.Int("ingest-shards", 0, "flow-table shard count for parallel feeding (0 = 1)")
 		ingStore    = flag.String("ingest-store", "", "with -ingest-pcap/-ingest-watch, also persist the assembled real trace as a columnar store at this directory")
+
+		role        = flag.String("role", "standalone", "run mode: standalone, coordinator (submit a cluster job and assemble the result), or worker (lease and train cluster chunks)")
+		clusterDir  = flag.String("cluster", "", "shared cluster queue directory for -role coordinator|worker")
+		jobID       = flag.String("job", "job-1", "cluster job name for -role coordinator")
+		workerID    = flag.String("worker-id", "", "worker name for -role worker (default <hostname>-<pid>)")
+		leaseTTL    = flag.Duration("lease-ttl", 30*time.Second, "cluster chunk lease duration; a crashed worker's lease is reclaimed after it expires")
+		workerQuiet = flag.Duration("worker-quiet", 0, "with -role worker, exit after this long without acquiring work (0 = run until interrupted)")
+		coordURL    = flag.String("coordinator-url", "", "with -role worker, also register/heartbeat over this coordinator web API")
 	)
 	flag.Parse()
 
@@ -199,6 +207,30 @@ func run() error {
 			PretrainSteps:   *seedSteps / 2,
 		}
 	}
+	if *role != "standalone" {
+		if *dp {
+			return fmt.Errorf("-dp is not supported with -role %s (DP keeps its privacy accountant in one process)", *role)
+		}
+		if ingesting || *storeIn != "" {
+			return fmt.Errorf("-ingest-*/-store-in are not supported with -role %s", *role)
+		}
+		o := clusterOpts{
+			dir: *clusterDir, jobID: *jobID, workerID: *workerID,
+			ttl: *leaseTTL, quiet: *workerQuiet, coordURL: *coordURL,
+			kind: *kind, dataset: *dataset, inPath: *inPath, records: *records,
+			cfg: cfg, maxRetry: *maxRetry, genSize: *genSize,
+			outPath: *outPath, format: *format, ipBase: *ipBase,
+		}
+		switch *role {
+		case "coordinator":
+			return runCoordinator(o)
+		case "worker":
+			return runWorker(o)
+		default:
+			return fmt.Errorf("unknown -role %q (want standalone, coordinator, or worker)", *role)
+		}
+	}
+
 	public := datasets.CAIDAChicago(4000, *seed+500)
 	opts := trainOptions(*ckptDir, *resume, *maxRetry)
 

@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/ingest"
 	"repro/internal/registry"
 	"repro/internal/webapi"
@@ -30,18 +31,27 @@ func main() {
 	log.SetPrefix("pcapshare: ")
 
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		jobs    = flag.Int("jobs", 1, "max concurrent training jobs")
-		debug   = flag.Bool("debug", false, "mount /debug/pprof profiling endpoints")
-		regDir  = flag.String("registry", "", "durable model/job registry directory (empty = memory-only)")
-		watch   = flag.String("ingest-watch", "", "rotating-capture directory to ingest continuously; stats at GET /api/v1/ingest")
-		ingIdle = flag.Duration("ingest-idle-timeout", 0, "flow idle timeout on the capture clock (0 = default 60s)")
-		ingMax  = flag.Int("ingest-max-flows", 0, "flow-table bound on live flows (0 = default)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		jobs       = flag.Int("jobs", 1, "max concurrent training jobs")
+		debug      = flag.Bool("debug", false, "mount /debug/pprof profiling endpoints")
+		regDir     = flag.String("registry", "", "durable model/job registry directory (empty = memory-only)")
+		watch      = flag.String("ingest-watch", "", "rotating-capture directory to ingest continuously; stats at GET /api/v1/ingest")
+		ingIdle    = flag.Duration("ingest-idle-timeout", 0, "flow idle timeout on the capture clock (0 = default 60s)")
+		ingMax     = flag.Int("ingest-max-flows", 0, "flow-table bound on live flows (0 = default)")
+		clusterDir = flag.String("cluster", "", `shared cluster queue directory; enables {"cluster":true} job routing, GET /api/v1/cluster, and worker heartbeats`)
 	)
 	flag.Parse()
 
 	api := webapi.NewServer(*jobs)
 	api.Debug = *debug
+	if *clusterDir != "" {
+		q, err := cluster.OpenQueue(*clusterDir)
+		if err != nil {
+			log.Fatalf("open cluster queue: %v", err)
+		}
+		api.AttachCluster(q)
+		log.Printf("cluster queue at %s (drain it with: netshare -role worker -cluster %s)", *clusterDir, *clusterDir)
+	}
 	if *watch != "" {
 		asm := ingest.New(ingest.Config{
 			MaxFlows:    *ingMax,

@@ -1,0 +1,304 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// trainSpec is a spec small enough to train for real in tests.
+func trainSpec(id string) JobSpec {
+	cfg := core.DefaultConfig()
+	cfg.Chunks = 3
+	cfg.MaxLen = 3
+	cfg.SeedSteps = 60
+	cfg.FineTuneSteps = 20
+	cfg.EmbedEpochs = 2
+	cfg.Hidden = 24
+	return JobSpec{
+		ID: id, Kind: "netflow", Dataset: "ugr16", Records: 200, DatasetSeed: 1,
+		PublicPackets: 800, MaxRetries: 2, Config: cfg,
+	}
+}
+
+// standaloneGold trains the same job single-process and returns the
+// synthesizer plus its generated trace CSV.
+func standaloneGold(t *testing.T, spec JobSpec, n int) (*core.FlowSynthesizer, []byte) {
+	t.Helper()
+	input, err := spec.flowInput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := core.TrainFlowSynthesizer(input, spec.publicCorpus(), spec.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return syn, flowCSV(t, syn.Generate(n))
+}
+
+func flowCSV(t *testing.T, tr *trace.FlowTrace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteFlowCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// modelBytes extracts the per-chunk encoded model weights from a saved
+// synthesizer. The full Save output embeds timing stats that
+// legitimately differ between runs; the Models field is the part the
+// bitwise-identity contract covers.
+func modelBytes(t *testing.T, syn *core.FlowSynthesizer) [][]byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := syn.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := container.DecodeKind(buf.Bytes(), container.KindFlowModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire struct{ Models [][]byte }
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(wire.Models) == 0 {
+		t.Fatal("saved synthesizer has no models")
+	}
+	return wire.Models
+}
+
+func assertSameModels(t *testing.T, gold, got [][]byte) {
+	t.Helper()
+	if len(gold) != len(got) {
+		t.Fatalf("model count %d != %d", len(got), len(gold))
+	}
+	for i := range gold {
+		if !bytes.Equal(gold[i], got[i]) {
+			t.Fatalf("chunk %d model bytes diverged from standalone training", i)
+		}
+	}
+}
+
+// TestClusterMatchesStandalone: two workers drain a job concurrently;
+// the coordinator's assembled model and generated trace are bitwise
+// identical to a single-process run.
+func TestClusterMatchesStandalone(t *testing.T) {
+	spec := trainSpec("job-gold")
+	gold, goldCSV := standaloneGold(t, spec, 150)
+
+	q, err := OpenQueue(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := &Coordinator{Queue: q, Poll: 20 * time.Millisecond}
+	if err := coord.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	results := make(chan error, 2)
+	for _, id := range []string{"worker-1", "worker-2"} {
+		w := &Worker{ID: id, Queue: q, TTL: 30 * time.Second, Poll: 20 * time.Millisecond, Quiet: 2 * time.Second}
+		go func() {
+			_, err := w.Run(ctx)
+			results <- err
+		}()
+	}
+	if _, err := coord.Wait(ctx, spec.ID); err != nil {
+		t.Fatal(err)
+	}
+	syn, err := coord.AssembleFlow(spec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := flowCSV(t, syn.Generate(150)); !bytes.Equal(goldCSV, got) {
+		t.Fatal("cluster-trained trace diverged from standalone training")
+	}
+	assertSameModels(t, modelBytes(t, gold), modelBytes(t, syn))
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errKilled = errors.New("simulated worker kill")
+
+// TestWorkerCrashRecoveryBitwiseIdentical extends the PR 5
+// kill-and-restart golden test across process boundaries: worker-1 is
+// killed mid-chunk (holding a live lease on a fine-tune), the lease
+// expires, worker-2 reclaims and retrains the chunk, and the
+// coordinator's assembled model is bitwise identical to a standalone
+// run. Runs under -race via make test-race.
+func TestWorkerCrashRecoveryBitwiseIdentical(t *testing.T) {
+	spec := trainSpec("job-crash")
+	gold, goldCSV := standaloneGold(t, spec, 150)
+
+	q, err := OpenQueue(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := &Coordinator{Queue: q, Poll: 20 * time.Millisecond}
+	if err := coord.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	const ttl = 400 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// worker-1 completes the seed, then dies mid-way through its first
+	// fine-tune chunk, leaving a live lease behind.
+	var killedChunk int
+	w1 := &Worker{
+		ID: "worker-1", Queue: q, TTL: ttl, Poll: 20 * time.Millisecond,
+	}
+	w1.trainHook = func(l *Lease) error {
+		if l.Chunk > 0 {
+			killedChunk = l.Chunk
+			return errKilled
+		}
+		return nil
+	}
+	if _, err := w1.Run(ctx); !errors.Is(err, errKilled) {
+		t.Fatalf("worker-1 = %v, want simulated kill", err)
+	}
+	if killedChunk == 0 {
+		t.Fatal("kill did not happen mid-fine-tune")
+	}
+	// The abandoned lease is still on disk and unexpired: the chunk is
+	// wedged until the TTL passes.
+	if l, err := q.readLease(spec.ID, killedChunk); err != nil || l.Worker != "worker-1" {
+		t.Fatalf("expected abandoned lease on chunk %d: %+v %v", killedChunk, l, err)
+	}
+
+	// worker-2 takes over: it must wait out the expiry, reclaim the
+	// abandoned chunk (attempt 2), and drain the rest of the job.
+	w2 := &Worker{ID: "worker-2", Queue: q, TTL: ttl, Poll: 20 * time.Millisecond, Quiet: 3 * time.Second}
+	reclaimed := false
+	w2.OnTask = func(l Lease, err error) {
+		if err != nil {
+			t.Errorf("worker-2 task %+v: %v", l, err)
+		}
+		if l.Chunk == killedChunk && l.Attempt == 2 {
+			reclaimed = true
+		}
+	}
+	if _, err := w2.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !reclaimed {
+		t.Fatal("worker-2 never reclaimed the killed worker's chunk at attempt 2")
+	}
+
+	st, err := coord.Wait(ctx, spec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done() {
+		t.Fatalf("job status %+v, want done", st)
+	}
+	syn, err := coord.AssembleFlow(spec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := flowCSV(t, syn.Generate(150)); !bytes.Equal(goldCSV, got) {
+		t.Fatal("crash-recovered trace diverged from standalone training")
+	}
+	assertSameModels(t, modelBytes(t, gold), modelBytes(t, syn))
+}
+
+// TestClusterPacketJob covers the pcap pipeline end to end with one
+// worker.
+func TestClusterPacketJob(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Chunks = 2
+	cfg.MaxLen = 3
+	cfg.SeedSteps = 40
+	cfg.FineTuneSteps = 15
+	cfg.EmbedEpochs = 2
+	cfg.Hidden = 24
+	spec := JobSpec{
+		ID: "job-pcap", Kind: "pcap", Dataset: "caida", Records: 200, DatasetSeed: 3,
+		PublicPackets: 800, MaxRetries: 1, Config: cfg,
+	}
+
+	input, err := spec.packetInput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldSyn, err := core.TrainPacketSynthesizer(input, spec.publicCorpus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goldBuf bytes.Buffer
+	if err := trace.WritePacketCSV(&goldBuf, goldSyn.Generate(100)); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := OpenQueue(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := &Coordinator{Queue: q, Poll: 20 * time.Millisecond}
+	if err := coord.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	w := &Worker{ID: "worker-1", Queue: q, TTL: 30 * time.Second, Poll: 20 * time.Millisecond, Quiet: 2 * time.Second}
+	if _, err := w.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Wait(ctx, spec.ID); err != nil {
+		t.Fatal(err)
+	}
+	syn, err := coord.AssemblePacket(spec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WritePacketCSV(&buf, syn.Generate(100)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(goldBuf.Bytes(), buf.Bytes()) {
+		t.Fatal("cluster-trained pcap trace diverged from standalone training")
+	}
+}
+
+// TestCoordinatorWaitReportsFailure: a job that exhausts its retry
+// budget surfaces the failure through Wait.
+func TestCoordinatorWaitReportsFailure(t *testing.T) {
+	q, err := OpenQueue(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := trainSpec("job-fail")
+	spec.MaxRetries = 0
+	coord := &Coordinator{Queue: q, Poll: 10 * time.Millisecond}
+	if err := coord.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	l, err := q.Acquire("w1", time.Minute)
+	if err != nil || l == nil {
+		t.Fatalf("acquire: %v %v", l, err)
+	}
+	if err := q.Fail(l, errors.New("synthetic failure")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := coord.Wait(ctx, spec.ID); err == nil {
+		t.Fatal("Wait must report the failed job")
+	}
+}

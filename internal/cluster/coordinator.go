@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Coordinator plans and oversees distributed jobs: it submits the
+// chunk DAG to the queue (the DAG itself is enforced by Acquire: seed
+// first, fine-tunes fan out), waits for workers to drain it, then
+// fetches every chunk payload and assembles the final synthesizer with
+// the canonical generation reseed — producing a model bitwise
+// identical to a standalone training run.
+type Coordinator struct {
+	// Queue is the shared job queue.
+	Queue *Queue
+	// Poll is the wait-loop interval. Default 500ms.
+	Poll time.Duration
+}
+
+func (c *Coordinator) poll() time.Duration {
+	if c.Poll <= 0 {
+		return 500 * time.Millisecond
+	}
+	return c.Poll
+}
+
+// Submit validates and enqueues a job.
+func (c *Coordinator) Submit(spec JobSpec) error { return c.Queue.Submit(spec) }
+
+// Wait blocks until the job completes or fails. A failed job returns
+// an error carrying the queue's failure reason.
+func (c *Coordinator) Wait(ctx context.Context, id string) (JobStatus, error) {
+	for {
+		st, err := c.Queue.Status(id)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		switch st.State {
+		case "done":
+			return st, nil
+		case "failed":
+			return st, fmt.Errorf("cluster: job %s failed: %s", id, st.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(c.poll()):
+		}
+	}
+}
+
+// payloads fetches every chunk payload of a completed job in order.
+func (c *Coordinator) payloads(spec JobSpec) ([][]byte, error) {
+	out := make([][]byte, spec.Chunks())
+	for i := range out {
+		p, err := c.Queue.ChunkPayload(spec.ID, i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// AssembleFlow rebuilds the job's plan and assembles the trained flow
+// synthesizer from the uploaded chunk payloads.
+func (c *Coordinator) AssembleFlow(id string) (*core.FlowSynthesizer, error) {
+	spec, err := c.Queue.Spec(id)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := spec.FlowPlan()
+	if err != nil {
+		return nil, err
+	}
+	encoded, err := c.payloads(spec)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Assemble(encoded)
+}
+
+// AssemblePacket rebuilds the job's plan and assembles the trained
+// packet synthesizer from the uploaded chunk payloads.
+func (c *Coordinator) AssemblePacket(id string) (*core.PacketSynthesizer, error) {
+	spec, err := c.Queue.Spec(id)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := spec.PacketPlan()
+	if err != nil {
+		return nil, err
+	}
+	encoded, err := c.payloads(spec)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Assemble(encoded)
+}

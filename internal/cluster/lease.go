@@ -1,0 +1,123 @@
+// Package cluster turns the single-process Insight 3 training fan-out
+// into a coordinator/worker fleet: a durable, chunk-grained job queue
+// on a shared directory, lease files that grant one worker one chunk
+// for a bounded time, and deterministic chunk tasks (internal/core's
+// plan API) whose results are bitwise identical no matter which worker
+// runs them — or how many times. That determinism is the safety
+// argument for the whole design: the queue only needs at-least-once
+// task semantics, because a lease that expires mid-crash is simply
+// re-leased and retrained to the exact same bytes (DESIGN.md §14).
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Lease grants one worker exclusive(-enough) rights to train one chunk
+// until the expiry passes. Leases live as JSON files next to the
+// chunk's payload; file creation with O_EXCL is the claim, expiry plus
+// rename is the reclaim (see Queue.Acquire).
+type Lease struct {
+	// Job is the owning job's ID.
+	Job string `json:"job"`
+	// Chunk is the chunk index this lease covers (0 = seed).
+	Chunk int `json:"chunk"`
+	// Worker identifies the holder.
+	Worker string `json:"worker"`
+	// Attempt is the 1-based training attempt this lease represents;
+	// it carries across expiries so the retry budget is durable.
+	Attempt int `json:"attempt"`
+	// Expires is the lease deadline in Unix milliseconds. A lease past
+	// its deadline may be reclaimed by any worker.
+	Expires int64 `json:"expiresUnixMilli"`
+}
+
+// ExpiresAt returns the deadline as a time.
+func (l Lease) ExpiresAt() time.Time { return time.UnixMilli(l.Expires) }
+
+// Expired reports whether the lease deadline has passed at now.
+func (l Lease) Expired(now time.Time) bool { return now.After(l.ExpiresAt()) }
+
+// EncodeLease serializes a lease for its on-disk file.
+func EncodeLease(l Lease) ([]byte, error) {
+	if err := l.validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(l)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ParseLease decodes and validates a lease file. Any syntactically
+// valid JSON that fails validation is rejected: a corrupt or torn
+// lease file must read as "no valid lease" so the chunk can be
+// reclaimed, never as a phantom claim.
+func ParseLease(data []byte) (Lease, error) {
+	var l Lease
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&l); err != nil {
+		return Lease{}, fmt.Errorf("cluster: parse lease: %w", err)
+	}
+	if err := l.validate(); err != nil {
+		return Lease{}, err
+	}
+	return l, nil
+}
+
+func (l Lease) validate() error {
+	if err := validName(l.Job); err != nil {
+		return fmt.Errorf("cluster: lease job: %w", err)
+	}
+	if err := validName(l.Worker); err != nil {
+		return fmt.Errorf("cluster: lease worker: %w", err)
+	}
+	if l.Chunk < 0 || l.Chunk > maxChunks {
+		return fmt.Errorf("cluster: lease chunk %d out of range", l.Chunk)
+	}
+	if l.Attempt < 1 || l.Attempt > maxAttempts {
+		return fmt.Errorf("cluster: lease attempt %d out of range", l.Attempt)
+	}
+	if l.Expires <= 0 {
+		return fmt.Errorf("cluster: lease expiry must be positive, got %d", l.Expires)
+	}
+	return nil
+}
+
+const (
+	// maxChunks bounds the chunk index a lease may claim; far above any
+	// real configuration, it keeps fuzzed/corrupt leases from minting
+	// absurd state.
+	maxChunks = 1 << 20
+	// maxAttempts bounds the durable attempt counter the same way.
+	maxAttempts = 1 << 10
+	// maxNameLen bounds job and worker identifiers.
+	maxNameLen = 128
+)
+
+// validName accepts the same identifier alphabet as the model registry:
+// letters, digits, '-', '_', '.', no leading dot, bounded length. Job
+// and worker IDs become file names, so this is a path-traversal guard
+// as much as a hygiene rule.
+func validName(name string) error {
+	if name == "" || len(name) > maxNameLen {
+		return fmt.Errorf("cluster: invalid name %q", name)
+	}
+	if name[0] == '.' {
+		return fmt.Errorf("cluster: name %q must not start with a dot", name)
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '-' || r == '_' || r == '.':
+		default:
+			return fmt.Errorf("cluster: name %q contains %q", name, r)
+		}
+	}
+	return nil
+}

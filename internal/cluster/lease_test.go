@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestLeaseRoundTrip(t *testing.T) {
+	l := Lease{Job: "job-a", Chunk: 3, Worker: "w1", Attempt: 2, Expires: time.UnixMilli(1_700_000_000_000).UnixMilli()}
+	data, err := EncodeLease(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseLease(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Fatalf("round trip: %+v != %+v", got, l)
+	}
+	if l.Expired(time.UnixMilli(l.Expires - 1)) {
+		t.Fatal("lease expired before its deadline")
+	}
+	if !l.Expired(time.UnixMilli(l.Expires + 1)) {
+		t.Fatal("lease not expired after its deadline")
+	}
+}
+
+func TestParseLeaseRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"garbage":        "not json",
+		"torn":           `{"job":"a","chu`,
+		"missing worker": `{"job":"a","chunk":0,"attempt":1,"expiresUnixMilli":5}`,
+		"bad job name":   `{"job":"../up","chunk":0,"worker":"w","attempt":1,"expiresUnixMilli":5}`,
+		"dot job":        `{"job":".hidden","chunk":0,"worker":"w","attempt":1,"expiresUnixMilli":5}`,
+		"negative chunk": `{"job":"a","chunk":-1,"worker":"w","attempt":1,"expiresUnixMilli":5}`,
+		"huge chunk":     `{"job":"a","chunk":99999999,"worker":"w","attempt":1,"expiresUnixMilli":5}`,
+		"zero attempt":   `{"job":"a","chunk":0,"worker":"w","attempt":0,"expiresUnixMilli":5}`,
+		"zero expiry":    `{"job":"a","chunk":0,"worker":"w","attempt":1,"expiresUnixMilli":0}`,
+		"unknown field":  `{"job":"a","chunk":0,"worker":"w","attempt":1,"expiresUnixMilli":5,"extra":1}`,
+	}
+	for name, data := range cases {
+		if _, err := ParseLease([]byte(data)); err == nil {
+			t.Errorf("%s: ParseLease(%q) accepted", name, data)
+		}
+	}
+}
+
+// FuzzParseLease hardens the lease decoder: whatever bytes land in a
+// lease file (torn writes, concurrent renames, editor accidents), the
+// parser must never panic, and anything it accepts must satisfy the
+// validation invariants and survive a re-encode round trip.
+func FuzzParseLease(f *testing.F) {
+	f.Add([]byte(`{"job":"job-a","chunk":0,"worker":"w1","attempt":1,"expiresUnixMilli":1700000000000}`))
+	f.Add([]byte(`{"job":"j","chunk":3,"worker":"w","attempt":2,"expiresUnixMilli":5}`))
+	f.Add([]byte("{torn"))
+	f.Add([]byte(""))
+	f.Add([]byte(`{"job":".","chunk":-1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := ParseLease(data)
+		if err != nil {
+			return
+		}
+		if l.validate() != nil {
+			t.Fatalf("accepted lease fails validation: %+v", l)
+		}
+		enc, err := EncodeLease(l)
+		if err != nil {
+			t.Fatalf("accepted lease does not re-encode: %v", err)
+		}
+		back, err := ParseLease(enc)
+		if err != nil || !reflect.DeepEqual(back, l) {
+			t.Fatalf("re-encode round trip: %+v -> %+v (%v)", l, back, err)
+		}
+	})
+}

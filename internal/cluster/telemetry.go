@@ -1,0 +1,16 @@
+package cluster
+
+import "repro/internal/telemetry"
+
+// Pre-registered telemetry handles for the cluster queue (DESIGN.md §9
+// conventions: observational only — counters on events the queue
+// already performs; they never influence scheduling).
+var (
+	telJobsSubmitted   = telemetry.Default.Counter("cluster.jobs.submitted")
+	telJobsFailed      = telemetry.Default.Counter("cluster.jobs.failed")
+	telLeasesAcquired  = telemetry.Default.Counter("cluster.leases.acquired")
+	telLeasesReclaimed = telemetry.Default.Counter("cluster.leases.reclaimed")
+	telChunksCompleted = telemetry.Default.Counter("cluster.chunks.completed")
+	telChunksFailed    = telemetry.Default.Counter("cluster.chunks.failed")
+	telHeartbeats      = telemetry.Default.Counter("cluster.workers.heartbeats")
+)

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Worker is the lease-driven training loop: acquire a chunk lease,
+// rebuild the job's deterministic plan, train the chunk (seed or
+// fine-tune warm-started from the seed payload), and upload the result.
+// Several workers may run against one queue; the lease protocol keeps
+// them off each other's chunks, and determinism makes even a lost
+// lease harmless.
+type Worker struct {
+	// ID names this worker in leases and heartbeats.
+	ID string
+	// Queue is the shared job queue.
+	Queue *Queue
+	// TTL is the lease duration; the worker renews every TTL/3 while
+	// training. Default 30s.
+	TTL time.Duration
+	// Poll is the idle back-off between acquire attempts. Default 500ms.
+	Poll time.Duration
+	// Quiet stops the loop after this long without acquiring any work;
+	// zero runs until ctx is done.
+	Quiet time.Duration
+	// OnTask, when non-nil, observes every finished task: the lease and
+	// the training error (nil on success).
+	OnTask func(l Lease, err error)
+
+	// trainHook is a test seam invoked after acquiring a lease and
+	// before training. Returning an error aborts the whole loop
+	// *without* failing or releasing the lease — simulating a worker
+	// killed mid-chunk, whose lease must expire and be reclaimed.
+	trainHook func(l *Lease) error
+
+	// plan cache: rebuilding a plan costs an embedding fit, so the
+	// worker keeps the last job's plan (workers usually drain one job's
+	// fine-tunes back to back).
+	planJob string
+	plan    trainPlan
+}
+
+func (w *Worker) withDefaults() {
+	if w.TTL <= 0 {
+		w.TTL = 30 * time.Second
+	}
+	if w.Poll <= 0 {
+		w.Poll = 500 * time.Millisecond
+	}
+}
+
+// Run executes the worker loop until ctx is done (returning ctx.Err())
+// or the quiet period elapses (returning nil). It returns the number
+// of chunks completed successfully.
+func (w *Worker) Run(ctx context.Context) (int, error) {
+	w.withDefaults()
+	if err := validName(w.ID); err != nil {
+		return 0, err
+	}
+	completed := 0
+	lastWork := time.Now()
+	if err := w.Queue.Heartbeat(w.ID); err != nil {
+		return 0, err
+	}
+	for {
+		lease, err := w.Queue.Acquire(w.ID, w.TTL)
+		if err != nil {
+			return completed, err
+		}
+		if lease == nil {
+			if w.Quiet > 0 && time.Since(lastWork) >= w.Quiet {
+				return completed, nil
+			}
+			select {
+			case <-ctx.Done():
+				return completed, ctx.Err()
+			case <-time.After(w.Poll):
+			}
+			_ = w.Queue.Heartbeat(w.ID)
+			continue
+		}
+		lastWork = time.Now()
+		if w.trainHook != nil {
+			if err := w.trainHook(lease); err != nil {
+				// Simulated kill: abandon the lease mid-chunk.
+				return completed, err
+			}
+		}
+		err = w.runTask(ctx, lease)
+		if w.OnTask != nil {
+			w.OnTask(*lease, err)
+		}
+		if err == nil {
+			completed++
+		}
+		select {
+		case <-ctx.Done():
+			return completed, ctx.Err()
+		default:
+		}
+	}
+}
+
+// runTask trains one leased chunk and reports the outcome to the queue.
+func (w *Worker) runTask(ctx context.Context, lease *Lease) error {
+	stopRenew := w.renewLoop(ctx, lease)
+	payload, err := w.trainChunk(lease)
+	stopRenew()
+	if err != nil {
+		if ferr := w.Queue.Fail(lease, err); ferr != nil {
+			return fmt.Errorf("%w (and recording the failure also failed: %v)", err, ferr)
+		}
+		return err
+	}
+	return w.Queue.Complete(lease, payload)
+}
+
+// trainChunk rebuilds the plan and runs the leased chunk's task.
+func (w *Worker) trainChunk(lease *Lease) ([]byte, error) {
+	spec, err := w.Queue.Spec(lease.Job)
+	if err != nil {
+		return nil, err
+	}
+	if w.planJob != lease.Job || w.plan == nil {
+		plan, err := spec.buildPlan()
+		if err != nil {
+			return nil, err
+		}
+		w.planJob, w.plan = lease.Job, plan
+	}
+	if lease.Chunk >= w.plan.Chunks() {
+		return nil, fmt.Errorf("cluster: lease chunk %d beyond plan's %d chunks", lease.Chunk, w.plan.Chunks())
+	}
+	if lease.Chunk == 0 {
+		return w.plan.TrainSeedChunk()
+	}
+	seed, err := w.Queue.ChunkPayload(lease.Job, 0)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fine-tune needs the seed payload: %w", err)
+	}
+	return w.plan.FineTuneChunk(lease.Chunk, seed)
+}
+
+// renewLoop keeps the lease alive while training runs; the returned
+// stop function must be called exactly once. Renewal failure is not
+// fatal — the lease was reclaimed, but completing anyway is safe
+// because the reclaimer trains identical bytes.
+func (w *Worker) renewLoop(ctx context.Context, lease *Lease) func() {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		interval := w.TTL / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				_ = w.Queue.Renew(lease, w.TTL)
+				_ = w.Queue.Heartbeat(w.ID)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

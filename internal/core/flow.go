@@ -238,40 +238,9 @@ func TrainFlowSynthesizer(t *trace.FlowTrace, public *trace.PacketTrace, cfg Con
 // options: checkpoint/resume, retry policy, and progress events for the
 // chunked training fan-out.
 func TrainFlowSynthesizerOpts(t *trace.FlowTrace, public *trace.PacketTrace, cfg Config, opts TrainOptions) (*FlowSynthesizer, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if len(t.Records) == 0 {
-		return nil, fmt.Errorf("core: empty flow trace")
-	}
-	if public == nil || len(public.Packets) == 0 {
-		return nil, fmt.Errorf("core: a public packet trace is required for the port embedding")
-	}
-	embed, err := newPortEmbedding(public, cfg.EmbedDim, cfg.EmbedEpochs, cfg.Seed)
+	codec, chunkSamples, err := buildFlowTraining(t, public, cfg)
 	if err != nil {
 		return nil, err
-	}
-	codec := newFlowCodec(cfg, embed, t)
-	if cfg.IPVectorEncoding {
-		ipEmbed, err := newIPEmbedding(ip2vec.FlowSentences(t), cfg.EmbedDim, cfg.EmbedEpochs, cfg.Seed+3)
-		if err != nil {
-			return nil, err
-		}
-		codec.ipEmbed = ipEmbed
-	}
-
-	// Insight 1: merge epochs (the input is already merged), split by
-	// five-tuple; Insight 3: chunk by time with flow tags.
-	series := trace.SplitFlowSeries(t)
-	chunks := trace.ChunkFlowSeries(series, cfg.Chunks)
-	chunkSamples := make([][]dgan.Sample, len(chunks))
-	for i, chunk := range chunks {
-		for _, tagged := range chunk {
-			chunkSamples[i] = append(chunkSamples[i], codec.encode(tagged))
-		}
-	}
-	if len(chunkSamples[0]) == 0 {
-		return nil, fmt.Errorf("core: seed chunk is empty; reduce Chunks")
 	}
 
 	// DP pre-training corpus: flow samples derived from the public packet
@@ -287,6 +256,50 @@ func TrainFlowSynthesizerOpts(t *trace.FlowTrace, public *trace.PacketTrace, cfg
 		return nil, err
 	}
 	return &FlowSynthesizer{cfg: cfg, codec: codec, models: models, stats: stats}, nil
+}
+
+// buildFlowTraining is the deterministic preparation shared by local
+// training and the distributed plan (PlanFlowTraining): validate, fit
+// the embeddings and codec, then split/chunk/encode the trace into
+// per-chunk sample sets. Everything here depends only on (t, public,
+// cfg), so every process that runs it reproduces identical samples.
+func buildFlowTraining(t *trace.FlowTrace, public *trace.PacketTrace, cfg Config) (*flowCodec, [][]dgan.Sample, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(t.Records) == 0 {
+		return nil, nil, fmt.Errorf("core: empty flow trace")
+	}
+	if public == nil || len(public.Packets) == 0 {
+		return nil, nil, fmt.Errorf("core: a public packet trace is required for the port embedding")
+	}
+	embed, err := newPortEmbedding(public, cfg.EmbedDim, cfg.EmbedEpochs, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	codec := newFlowCodec(cfg, embed, t)
+	if cfg.IPVectorEncoding {
+		ipEmbed, err := newIPEmbedding(ip2vec.FlowSentences(t), cfg.EmbedDim, cfg.EmbedEpochs, cfg.Seed+3)
+		if err != nil {
+			return nil, nil, err
+		}
+		codec.ipEmbed = ipEmbed
+	}
+
+	// Insight 1: merge epochs (the input is already merged), split by
+	// five-tuple; Insight 3: chunk by time with flow tags.
+	series := trace.SplitFlowSeries(t)
+	chunks := trace.ChunkFlowSeries(series, cfg.Chunks)
+	chunkSamples := make([][]dgan.Sample, len(chunks))
+	for i, chunk := range chunks {
+		for _, tagged := range chunk {
+			chunkSamples[i] = append(chunkSamples[i], codec.encode(tagged))
+		}
+	}
+	if len(chunkSamples[0]) == 0 {
+		return nil, nil, fmt.Errorf("core: seed chunk is empty; reduce Chunks")
+	}
+	return codec, chunkSamples, nil
 }
 
 // publicFlowSamples converts a public packet trace into flow-style training

@@ -139,38 +139,9 @@ func TrainPacketSynthesizer(t *trace.PacketTrace, public *trace.PacketTrace, cfg
 // options: checkpoint/resume, retry policy, and progress events for the
 // chunked training fan-out.
 func TrainPacketSynthesizerOpts(t *trace.PacketTrace, public *trace.PacketTrace, cfg Config, opts TrainOptions) (*PacketSynthesizer, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if len(t.Packets) == 0 {
-		return nil, fmt.Errorf("core: empty packet trace")
-	}
-	if public == nil || len(public.Packets) == 0 {
-		return nil, fmt.Errorf("core: a public packet trace is required for the port embedding")
-	}
-	embed, err := newPortEmbedding(public, cfg.EmbedDim, cfg.EmbedEpochs, cfg.Seed)
+	codec, chunkSamples, err := buildPacketTraining(t, public, cfg)
 	if err != nil {
 		return nil, err
-	}
-	codec := newPacketCodec(cfg, embed, t)
-	if cfg.IPVectorEncoding {
-		ipEmbed, err := newIPEmbedding(ip2vec.PacketSentences(t), cfg.EmbedDim, cfg.EmbedEpochs, cfg.Seed+3)
-		if err != nil {
-			return nil, err
-		}
-		codec.ipEmbed = ipEmbed
-	}
-
-	flows := trace.SplitFlows(t)
-	chunks := trace.ChunkPacketFlows(flows, cfg.Chunks)
-	chunkSamples := make([][]dgan.Sample, len(chunks))
-	for i, chunk := range chunks {
-		for _, tagged := range chunk {
-			chunkSamples[i] = append(chunkSamples[i], codec.encode(tagged))
-		}
-	}
-	if len(chunkSamples[0]) == 0 {
-		return nil, fmt.Errorf("core: seed chunk is empty; reduce Chunks")
 	}
 
 	var publicSamples []dgan.Sample
@@ -184,6 +155,46 @@ func TrainPacketSynthesizerOpts(t *trace.PacketTrace, public *trace.PacketTrace,
 		return nil, err
 	}
 	return &PacketSynthesizer{cfg: cfg, codec: codec, models: models, stats: stats}, nil
+}
+
+// buildPacketTraining is the deterministic preparation shared by local
+// training and the distributed plan (PlanPacketTraining); see
+// buildFlowTraining.
+func buildPacketTraining(t *trace.PacketTrace, public *trace.PacketTrace, cfg Config) (*packetCodec, [][]dgan.Sample, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(t.Packets) == 0 {
+		return nil, nil, fmt.Errorf("core: empty packet trace")
+	}
+	if public == nil || len(public.Packets) == 0 {
+		return nil, nil, fmt.Errorf("core: a public packet trace is required for the port embedding")
+	}
+	embed, err := newPortEmbedding(public, cfg.EmbedDim, cfg.EmbedEpochs, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	codec := newPacketCodec(cfg, embed, t)
+	if cfg.IPVectorEncoding {
+		ipEmbed, err := newIPEmbedding(ip2vec.PacketSentences(t), cfg.EmbedDim, cfg.EmbedEpochs, cfg.Seed+3)
+		if err != nil {
+			return nil, nil, err
+		}
+		codec.ipEmbed = ipEmbed
+	}
+
+	flows := trace.SplitFlows(t)
+	chunks := trace.ChunkPacketFlows(flows, cfg.Chunks)
+	chunkSamples := make([][]dgan.Sample, len(chunks))
+	for i, chunk := range chunks {
+		for _, tagged := range chunk {
+			chunkSamples[i] = append(chunkSamples[i], codec.encode(tagged))
+		}
+	}
+	if len(chunkSamples[0]) == 0 {
+		return nil, nil, fmt.Errorf("core: seed chunk is empty; reduce Chunks")
+	}
+	return codec, chunkSamples, nil
 }
 
 func publicPacketSamples(codec *packetCodec, public *trace.PacketTrace, cfg Config) []dgan.Sample {

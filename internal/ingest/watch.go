@@ -26,8 +26,10 @@ type WatchConfig struct {
 	Pattern string
 	// Poll is the scan interval. Default 500ms.
 	Poll time.Duration
-	// Quiet stops the watch after this long without ingesting a new
-	// file. Zero means run until ctx is done.
+	// Quiet stops the watch after this long without successfully
+	// ingesting a new file. Failed ingest attempts do not reset the
+	// quiet clock, so a perpetually-corrupt file cannot keep a bounded
+	// watch alive forever. Zero means run until ctx is done.
 	Quiet time.Duration
 	// OnFile, when non-nil, is called after each ingest attempt with
 	// the file path and its error (nil on success). Errors are
@@ -81,10 +83,29 @@ func (a *Assembler) Watch(ctx context.Context, wc WatchConfig) (int, error) {
 			done[name] = true
 			if err == nil {
 				ingested++
+				// Only a successful ingest resets the quiet clock.
+				// Resetting on every attempt would let one
+				// perpetually-failing file hold a Quiet-bounded
+				// watch open forever.
+				lastProgress = time.Now()
 			}
-			lastProgress = time.Now()
 			if wc.OnFile != nil {
 				wc.OnFile(path, err)
+			}
+		}
+		// Prune state for files rotated out of the directory. Without
+		// this, a long-lived watch over a rotating capture dir leaks
+		// one done/lastSize entry per deleted file, violating the
+		// bounded-memory contract. A name that reappears after pruning
+		// is a new file and goes through the size-stability gate again.
+		for name := range done {
+			if _, ok := sizes[name]; !ok {
+				delete(done, name)
+			}
+		}
+		for name := range lastSize {
+			if _, ok := sizes[name]; !ok {
+				delete(lastSize, name)
 			}
 		}
 		if wc.Quiet > 0 && time.Since(lastProgress) >= wc.Quiet {

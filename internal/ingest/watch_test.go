@@ -2,8 +2,10 @@ package ingest
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -60,6 +62,122 @@ func TestWatchRotatingDir(t *testing.T) {
 	st := a.Stats()
 	if st.FilesIngested != 2 || st.PacketsParsed != 4 {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestWatchPrunesRotatedState is the regression test for the
+// unbounded-memory leak: the watcher used to keep a done/lastSize
+// entry forever for every file it had ever seen, so a rotated-away
+// name that later reappeared was silently skipped. With pruning, a
+// name deleted from the directory and recreated with fresh content is
+// a new file and must be ingested again.
+func TestWatchPrunesRotatedState(t *testing.T) {
+	dir := t.TempDir()
+	capture := fixtureBytes(t, "v4_raw_be_micro.pcap")
+	path := filepath.Join(dir, "cap-000.pcap")
+	if err := os.WriteFile(path, capture, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	a := New(Config{})
+	rotations := 0
+	var rewrites sync.WaitGroup
+	defer rewrites.Wait() // no goroutine may outlive the test (or its temp dir)
+	n, err := a.Watch(ctx, WatchConfig{
+		Dir:   dir,
+		Poll:  10 * time.Millisecond,
+		Quiet: 2 * time.Second, // generous fallback; the test ends via cancel
+		OnFile: func(p string, err error) {
+			if err != nil {
+				t.Errorf("ingest %s: %v", p, err)
+			}
+			rotations++
+			if rotations >= 2 {
+				cancel()
+				return
+			}
+			// Rotate: delete the file now and recreate the same name
+			// after a few polls, so the watcher observes its absence
+			// and prunes the done entry.
+			if err := os.Remove(p); err != nil {
+				t.Error(err)
+			}
+			rewrites.Add(1)
+			go func() {
+				defer rewrites.Done()
+				time.Sleep(80 * time.Millisecond)
+				// Best-effort: if this fails the watch never sees
+				// rotation 2 and the count assertion below catches it.
+				_ = os.WriteFile(path, capture, 0o644)
+			}()
+		},
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n != 2 || rotations != 2 {
+		t.Fatalf("ingested %d files across %d rotations, want 2/2 (stale done entry not pruned?)", n, rotations)
+	}
+}
+
+// TestWatchFailedIngestDoesNotResetQuiet is the regression test for
+// the quiet-period stall: the watcher used to reset the quiet clock on
+// every ingest *attempt*, so a directory whose only activity is a
+// perpetually-corrupt, perpetually-rotating file kept a Quiet-bounded
+// watch alive forever. Failed attempts must not count as progress.
+func TestWatchFailedIngestDoesNotResetQuiet(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad-000.pcap")
+	garbage := []byte("not a pcap at all, attempt 0")
+	if err := os.WriteFile(path, garbage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every failed attempt rotates the corrupt file: delete it and
+	// recreate the same name with different garbage shortly after, so
+	// under the old semantics the watch would see fresh "progress"
+	// forever and never hit the quiet period.
+	attempt := 0
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	a := New(Config{})
+	start := time.Now()
+	var rewrites sync.WaitGroup
+	defer rewrites.Wait() // no goroutine may outlive the test (or its temp dir)
+	n, err := a.Watch(ctx, WatchConfig{
+		Dir:   dir,
+		Poll:  10 * time.Millisecond,
+		Quiet: 300 * time.Millisecond,
+		OnFile: func(p string, err error) {
+			if err == nil {
+				t.Errorf("ingest %s unexpectedly succeeded", p)
+			}
+			attempt++
+			bad := []byte(fmt.Sprintf("not a pcap at all, attempt %d", attempt))
+			if err := os.Remove(p); err != nil {
+				t.Error(err)
+			}
+			rewrites.Add(1)
+			go func() {
+				defer rewrites.Done()
+				time.Sleep(50 * time.Millisecond)
+				// Best-effort: the quiet period can expire while a rewrite
+				// is still pending, so the write may land after Watch
+				// returns; the assertions below don't depend on it.
+				_ = os.WriteFile(path, bad, 0o644)
+			}()
+		},
+	})
+	if err != nil {
+		t.Fatalf("watch did not end via quiet period: %v (stalled for %v)", err, time.Since(start))
+	}
+	if n != 0 {
+		t.Fatalf("ingested %d files, want 0", n)
+	}
+	if attempt == 0 {
+		t.Fatal("corrupt file was never attempted; test exercised nothing")
 	}
 }
 

@@ -13,6 +13,8 @@
 //	GET  /api/v1/models            list durably stored models
 //	POST /api/v1/models/{name}/generate  generate from a stored model
 //	GET  /api/v1/ingest            live-ingestion stats (when attached)
+//	GET  /api/v1/cluster           cluster queue status (when attached)
+//	POST /api/v1/cluster/workers/{id}  worker heartbeat (when attached)
 //	GET  /healthz                  liveness
 //
 // With a registry attached (UseRegistry), trained models and terminal
@@ -31,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/ingest"
@@ -74,8 +77,15 @@ type JobRequest struct {
 
 	// MaxRetries is the per-chunk retry budget; past it a fine-tune chunk
 	// degrades to the warm-started seed weights (reported per chunk in
-	// JobStatus.Chunks).
+	// JobStatus.Chunks). For cluster jobs it is instead the durable
+	// re-lease budget per chunk; exhausting it fails the job.
 	MaxRetries int `json:"maxRetries,omitempty"`
+
+	// Cluster routes the job through the attached distributed chunk queue
+	// (AttachCluster) instead of training in-process. Requires at least
+	// one worker draining the queue; results are bitwise identical to a
+	// local run.
+	Cluster bool `json:"cluster,omitempty"`
 
 	// DP enables differentially private training.
 	DP *DPRequest `json:"dp,omitempty"`
@@ -218,6 +228,10 @@ type Server struct {
 	// ingestSrc, when attached, backs GET /api/v1/ingest with live
 	// flow-assembly statistics.
 	ingestSrc IngestSource
+
+	// clusterQ, when attached, backs the cluster endpoints and routes
+	// Cluster-flagged jobs through the distributed chunk queue.
+	clusterQ *cluster.Queue
 }
 
 // IngestSource is anything that can snapshot ingestion statistics —
@@ -291,6 +305,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/models", s.handleModels)
 	mux.HandleFunc("POST /api/v1/models/{name}/generate", s.handleModelGenerate)
 	mux.HandleFunc("GET /api/v1/ingest", s.handleIngest)
+	mux.HandleFunc("GET /api/v1/cluster", s.handleCluster)
+	mux.HandleFunc("POST /api/v1/cluster/workers/{id}", s.handleWorkerHeartbeat)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.Debug {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -358,9 +374,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if req.Cluster && s.clusterQueue() == nil {
+		writeError(w, http.StatusServiceUnavailable, "no cluster queue attached")
+		return
+	}
+
 	st := s.newJob(req.Kind)
 	telJobsSubmitted.Inc()
-	go s.run(st.ID, req)
+	if req.Cluster {
+		go s.runCluster(st.ID, req)
+	} else {
+		go s.run(st.ID, req)
+	}
 	writeJSON(w, http.StatusAccepted, st)
 }
 
@@ -405,6 +430,11 @@ func validateRequest(req *JobRequest) error {
 	}
 	if req.DP != nil && req.DP.NoiseMultiplier <= 0 {
 		return fmt.Errorf("dp.noiseMultiplier must be positive")
+	}
+	if req.Cluster && req.DP != nil {
+		// DP-SGD keeps its privacy accountant in one process; the cluster
+		// path has no cross-worker ε accounting.
+		return fmt.Errorf("dp jobs cannot run on the cluster")
 	}
 	if req.MaxRetries < 0 || req.MaxRetries > 10 {
 		return fmt.Errorf("maxRetries must be in [0, 10]")
