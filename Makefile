@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build vet test test-race test-crash test-telemetry test-conformance test-ingest test-store test-cluster fuzz bench bench-parallel bench-generate bench-store staticcheck govulncheck ci clean
+.PHONY: all build vet test test-race test-crash test-telemetry test-conformance test-conditional test-ingest test-store test-cluster fuzz bench bench-parallel bench-generate bench-store bench-conditional staticcheck govulncheck ci clean
 
 all: build
 
@@ -24,6 +24,8 @@ test:
 # float32 sampler (DESIGN.md §11) — plus the columnar trace store and
 # the webapi artifact cache layered on it (DESIGN.md §13) and the
 # distributed chunk queue with its worker-kill golden test (DESIGN.md §14).
+# internal/trace covers the template-based egress encoders (NetFlow v9,
+# IPFIX) alongside the legacy formats.
 test-race:
 	$(GO) test -race ./internal/mat/... ./internal/dgan/... ./internal/core/... \
 		./internal/orchestrator/... ./internal/privacy/... ./internal/ip2vec/... \
@@ -63,6 +65,8 @@ fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadFlowCSV -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadPacketCSV -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzParseIPv4 -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadNetFlowV9 -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadIPFIX -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ingest -run '^$$' -fuzz FuzzFlowAssemble -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/orchestrator -run '^$$' -fuzz FuzzLoadCheckpoint -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/orchestrator -run '^$$' -fuzz FuzzLoadManifest -fuzztime $(FUZZTIME)
@@ -88,6 +92,18 @@ test-cluster:
 # path under calibrated thresholds, plus trace validity properties.
 test-conformance:
 	$(GO) test ./internal/conformance/...
+
+# Conditional labeled generation (DESIGN.md §15): one-hot scenario
+# conditioning through the dgan trainer and both samplers, the flow
+# synthesizer's labeled API, the per-label scenario-matrix fidelity
+# harness, and the webapi label plumbing — labeled generate on both
+# serving paths, label-validation 400s, the sweep-vs-in-flight-batch
+# regression, and the NetFlow v9/IPFIX egress round-trips.
+test-conditional:
+	$(GO) test ./internal/dgan -run 'Conditional|UnconditionalGenerateLabeled'
+	$(GO) test ./internal/core -run 'Conditional|UnconditionalGenerateLabeled'
+	$(GO) test ./internal/conformance -run 'ScenarioMatrix'
+	$(GO) test ./internal/webapi -run 'TestConditionalGenerateEndToEnd|TestGenerateLabelValidation|TestSweepFailsOrFinishesFastRequests|TestStoreDownloadNetFlowV9AndIPFIX'
 
 # Columnar trace store (DESIGN.md §13): the block/column codecs, the
 # golden CSV round-trip, the corruption matrix, time-partition pruning,
@@ -116,6 +132,12 @@ bench-generate:
 bench-store:
 	$(GO) run ./cmd/benchpar -suite store -out BENCH_store.json
 
+# Labeled-vs-unlabeled generate overhead. The flow_generate_labeled_2000
+# comparison lives in the generate suite so the number lands in
+# BENCH_generate.json next to the rest of the pipeline timings.
+bench-conditional:
+	$(GO) run ./cmd/benchpar -suite generate -out BENCH_generate.json
+
 # Static analysis and vulnerability scanning. Both tools are optional:
 # the targets run them when installed and skip with a notice otherwise,
 # so `make ci` works on minimal containers without network access.
@@ -133,7 +155,7 @@ govulncheck:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-ci: vet staticcheck govulncheck build test test-race test-crash test-telemetry test-conformance test-ingest test-store test-cluster fuzz bench-generate
+ci: vet staticcheck govulncheck build test test-race test-crash test-telemetry test-conformance test-conditional test-ingest test-store test-cluster fuzz bench-generate
 
 clean:
 	$(GO) clean ./...

@@ -239,7 +239,11 @@ func generateReport() report {
 			"runner). Float64 entries are bitwise-identical at every " +
 			"parallelism setting; the _fast entries are the float32 serving " +
 			"snapshot — reproducible per seed but pinned distributionally " +
-			"(internal/conformance), not bitwise.",
+			"(internal/conformance), not bitwise. flow_generate_labeled_2000 " +
+			"records labeled-vs-unlabeled generate overhead on a " +
+			"conditioning-enabled synthesizer (baseline = trained mixture, " +
+			"optimized = scenario-pinned); a Speedup near 1.0 means the " +
+			"conditioning vector adds negligible per-record cost.",
 		Comparisons: map[string]comparison{
 			"ip2vec_decode_256": compare("ip2vec_decode_256",
 				benchpar.DecodeScan(), benchpar.DecodeBatched()),
@@ -249,6 +253,11 @@ func generateReport() report {
 			// identical weights; the acceptance floor is 2x serial.
 			"dgan_generate_256_fast": compare("dgan_generate_256_fast",
 				benchpar.Generate(1), benchpar.GenerateFast(1)),
+			// Labeled-vs-unlabeled generate overhead on one conditional
+			// model: pinning a scenario label should cost roughly nothing
+			// relative to sampling the trained mixture.
+			"flow_generate_labeled_2000": compare("flow_generate_labeled_2000",
+				benchpar.ConditionalFlowMixture(), benchpar.ConditionalFlowLabeled()),
 		},
 		Benchmarks: map[string]pair{
 			"dgan_generate_256":      run("dgan_generate_256", benchpar.Generate, 0),

@@ -66,7 +66,9 @@ func run() error {
 		ftSteps   = flag.Int("finetune-steps", 150, "fine-tune generator steps per chunk")
 		maxLen    = flag.Int("maxlen", 6, "max sequence length per flow sample")
 		seed      = flag.Int64("seed", 1, "random seed")
-		format    = flag.String("format", "csv", "output format: csv, pcap (packet traces), or netflow5 (flow traces)")
+		format    = flag.String("format", "csv", "output format: csv, pcap (packet traces), or netflow5|netflow9|ipfix (flow traces)")
+		cond      = flag.Bool("conditional", false, "train the flow GAN with scenario-label conditioning (flow traces only); the trained model generates per-label slices via -label")
+		labelName = flag.String("label", "", "generate only this scenario label (e.g. dos); requires a flow model trained with -conditional")
 		storeIn   = flag.String("store-in", "", "input columnar trace store directory (mutually exclusive with -in/-dataset)")
 		storeOut  = flag.String("store-out", "", "also write the generated trace as a columnar trace store at this directory")
 		savePath  = flag.String("save", "", "save the trained model to this path")
@@ -135,6 +137,9 @@ func run() error {
 	if *loadName != "" && *loadPath != "" {
 		return fmt.Errorf("-load and -load-model are mutually exclusive")
 	}
+	if (*cond || *labelName != "") && *kind != "netflow" {
+		return fmt.Errorf("-conditional/-label are flow-only (packet traces carry no scenario labels)")
+	}
 	var reg *registry.Registry
 	if *regDir != "" {
 		var err error
@@ -191,6 +196,7 @@ func run() error {
 	cfg.FineTuneSteps = *ftSteps
 	cfg.MaxLen = *maxLen
 	cfg.Seed = *seed
+	cfg.Conditional = *cond
 	if *dp {
 		cfg.Chunks = 1
 		noise := *dpNoise
@@ -333,7 +339,10 @@ func run() error {
 			}
 			log.Printf("stored model %q in registry %s", *saveName, *regDir)
 		}
-		gen := syn.Generate(*genSize)
+		gen, err := generateFlow(syn, *genSize, *labelName)
+		if err != nil {
+			return err
+		}
 		if *ipBase != "" {
 			base, bits, err := parseCIDR(*ipBase)
 			if err != nil {
@@ -540,9 +549,29 @@ func writeFlow(path string, t *trace.FlowTrace, format string) error {
 		return trace.WriteFlowCSV(f, t)
 	case "netflow5":
 		return trace.WriteNetFlowV5(f, t)
+	case "netflow9":
+		return trace.WriteNetFlowV9(f, t)
+	case "ipfix":
+		return trace.WriteIPFIX(f, t)
 	default:
-		return fmt.Errorf("format %q not supported for flow traces (want csv or netflow5)", format)
+		return fmt.Errorf("format %q not supported for flow traces (want csv, netflow5, netflow9, or ipfix)", format)
 	}
+}
+
+// generateFlow runs unconditional or scenario-pinned generation per the
+// -label flag.
+func generateFlow(syn *core.FlowSynthesizer, n int, label string) (*trace.FlowTrace, error) {
+	if label == "" {
+		return syn.Generate(n), nil
+	}
+	l, ok := trace.ParseLabel(label)
+	if !ok {
+		return nil, fmt.Errorf("-label: unknown scenario label %q", label)
+	}
+	if !syn.Conditional() {
+		return nil, fmt.Errorf("-label: the model was not trained with -conditional")
+	}
+	return syn.GenerateLabeled(n, l)
 }
 
 func writePacket(path string, t *trace.PacketTrace, format string) error {

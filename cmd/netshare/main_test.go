@@ -32,7 +32,7 @@ func TestParseCIDR(t *testing.T) {
 func TestWriteFlowFormats(t *testing.T) {
 	dir := t.TempDir()
 	tr := datasets.UGR16(50, 1)
-	for _, format := range []string{"csv", "netflow5"} {
+	for _, format := range []string{"csv", "netflow5", "netflow9", "ipfix"} {
 		path := filepath.Join(dir, "out."+format)
 		if err := writeFlow(path, tr, format); err != nil {
 			t.Fatalf("%s: %v", format, err)
@@ -43,6 +43,14 @@ func TestWriteFlowFormats(t *testing.T) {
 	}
 	if err := writeFlow(filepath.Join(dir, "x"), tr, "pcap"); err == nil {
 		t.Fatal("pcap format must be rejected for flows")
+	}
+}
+
+func TestGenerateFlowUnknownLabel(t *testing.T) {
+	// ParseLabel rejects the name before the synthesizer is consulted,
+	// so a nil synthesizer is safe here.
+	if _, err := generateFlow(nil, 10, "not-a-label"); err == nil {
+		t.Fatal("unknown scenario label must be rejected")
 	}
 }
 

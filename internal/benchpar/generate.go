@@ -174,3 +174,54 @@ func FlowGenerate(parallelism int) func(b *testing.B) {
 		}
 	}
 }
+
+func conditionalFlowSynthesizer(b *testing.B) *core.FlowSynthesizer {
+	cfg := core.DefaultConfig()
+	cfg.Chunks = 2
+	cfg.SeedSteps = 60
+	cfg.FineTuneSteps = 20
+	cfg.MaxLen = 4
+	cfg.EmbedEpochs = 2
+	cfg.Seed = 9
+	cfg.Conditional = true
+	// TON is the labeled preset (nine scenario labels at 35% attack
+	// fraction), so the conditioning vector sees real label diversity.
+	syn, err := core.TrainFlowSynthesizer(
+		datasets.TON(400, 21), datasets.CAIDAChicago(1500, 22), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return syn
+}
+
+// ConditionalFlowMixture benchmarks unconditional (trained-mixture)
+// generation on a conditioning-enabled synthesizer — the baseline for the
+// labeled-vs-unlabeled overhead comparison. Training happens once,
+// outside the timer.
+func ConditionalFlowMixture() func(b *testing.B) {
+	return func(b *testing.B) {
+		syn := conditionalFlowSynthesizer(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			syn.Generate(FlowGenSize)
+		}
+	}
+}
+
+// ConditionalFlowLabeled benchmarks scenario-pinned generation on the same
+// synthesizer, measuring the cost of the pinned one-hot conditioning path
+// (label stamping plus fixed conditioning vector) against the mixture.
+func ConditionalFlowLabeled() func(b *testing.B) {
+	return func(b *testing.B) {
+		syn := conditionalFlowSynthesizer(b)
+		label := syn.LabelCatalog()[0]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := syn.GenerateLabeled(FlowGenSize, label); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package conformance
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/trace"
+)
+
+// condFixture trains one conditional flow synthesizer on a heavily
+// attack-labeled trace and shares it across the scenario-matrix tests.
+var condFixture struct {
+	once sync.Once
+	real *trace.FlowTrace
+	syn  *core.FlowSynthesizer
+	err  error
+}
+
+func conditionalSynthesizer(t *testing.T) (*core.FlowSynthesizer, *trace.FlowTrace) {
+	t.Helper()
+	condFixture.once.Do(func() {
+		cfg := core.DefaultConfig()
+		cfg.Chunks = 2
+		cfg.MaxLen = 4
+		cfg.SeedSteps = 60
+		cfg.FineTuneSteps = 20
+		cfg.EmbedEpochs = 2
+		cfg.Hidden = 24
+		cfg.Conditional = true
+		condFixture.real = datasets.GenerateFlows(datasets.FlowConfig{
+			Name: "cond", Seed: 5, Records: 400,
+			TimeSpan:  60_000_000,
+			NumSrcIPs: 64, NumDstIPs: 48, IPZipf: 1.1,
+			Ports:    []datasets.PortWeight{{Port: 443, Weight: 3}, {Port: 53, Weight: 1}},
+			TCPShare: 0.7, UDPShare: 0.25,
+			PktMu: 1.4, PktSigma: 1.2,
+			MinBytesPerPkt: 40, MaxBytesPerPkt: 1500,
+			DurPerPktUS:     800,
+			MultiRecordProb: 0.1, MaxExtraRecords: 3,
+			AttackFraction: 0.6,
+			AttackMix:      []trace.Label{trace.DoS, trace.PortScan, trace.BruteForce},
+		})
+		condFixture.syn, condFixture.err = core.TrainFlowSynthesizer(
+			condFixture.real, datasets.CAIDAChicago(1200, 6), cfg)
+	})
+	if condFixture.err != nil {
+		t.Fatal(condFixture.err)
+	}
+	return condFixture.syn, condFixture.real
+}
+
+// TestScenarioMatrixFastPathConforms is the conditional serving gate: for
+// every trained scenario label, the fast path's pinned slice must stay
+// within the SAME thresholds as unconditional generation, measured
+// against the reference path's pinned slice.
+func TestScenarioMatrixFastPathConforms(t *testing.T) {
+	syn, _ := conditionalSynthesizer(t)
+	catalog := syn.LabelCatalog()
+	if len(catalog) < 3 {
+		t.Fatalf("catalog %v, want at least 3 trained scenarios", catalog)
+	}
+
+	const perLabel = 1200
+	ref := &trace.FlowTrace{}
+	for _, label := range catalog {
+		slice, err := syn.GenerateLabeled(perLabel, label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.Records = append(ref.Records, slice.Records...)
+	}
+	ref.SortByStart()
+	if v := FlowViolations(ref); v != nil {
+		t.Fatalf("reference path emitted invalid records: %v", v)
+	}
+
+	fast := syn.Fast()
+	m, err := ScenarioMatrix(ref, catalog, func(label trace.Label, n int) (*trace.FlowTrace, error) {
+		return fast.GenerateLabeled(n, label)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range m.Slices {
+		if row.Skipped {
+			t.Fatalf("scenario %v skipped with %d reference records", row.Label, row.RefRecords)
+		}
+		if row.GenRecords != row.RefRecords {
+			t.Fatalf("scenario %v: generated %d records for a %d-record slice",
+				row.Label, row.GenRecords, row.RefRecords)
+		}
+		logReport(t, fmt.Sprintf("scenario %v fast-vs-ref", row.Label), row.Report)
+	}
+	if violations := m.Check(DefaultFlowThresholds); len(violations) > 0 {
+		t.Fatalf("conditional fast path diverges from reference: %v", violations)
+	}
+}
+
+// TestScenarioMatrixAgainstTrainingTrace exercises the harness in its
+// absolute-fidelity mode: each conditional slice scored against the
+// matching slice of the training trace. Model-vs-data divergence is not
+// gated at the fast-path thresholds (the toy GAN is far looser than the
+// serving noise floor), but every scored slice must produce a finite,
+// fully-populated report.
+func TestScenarioMatrixAgainstTrainingTrace(t *testing.T) {
+	syn, real := conditionalSynthesizer(t)
+	catalog := syn.LabelCatalog()
+	m, err := ScenarioMatrix(real, catalog, func(label trace.Label, n int) (*trace.FlowTrace, error) {
+		return syn.GenerateLabeled(n, label)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scored := 0
+	for _, row := range m.Slices {
+		if row.Skipped {
+			continue
+		}
+		scored++
+		logReport(t, fmt.Sprintf("scenario %v model-vs-train", row.Label), row.Report)
+		if len(row.Report.JSD) == 0 || len(row.Report.EMD) == 0 {
+			t.Fatalf("scenario %v report is empty", row.Label)
+		}
+		// The pinned slice carries exactly the reference slice's label, so
+		// the LABEL marginal must agree perfectly whatever the model fit.
+		if row.Report.JSD["LABEL"] != 0 {
+			t.Fatalf("scenario %v LABEL jsd = %v, want 0", row.Label, row.Report.JSD["LABEL"])
+		}
+	}
+	if scored < 3 {
+		t.Fatalf("scored %d scenarios, want at least 3", scored)
+	}
+}
+
+// TestScenarioMatrixTeeth proves the gate can fail: a generator that
+// mislabels its slice (or collapses to a degenerate distribution) must
+// trip the thresholds.
+func TestScenarioMatrixTeeth(t *testing.T) {
+	_, real := conditionalSynthesizer(t)
+	wrong := func(label trace.Label, n int) (*trace.FlowTrace, error) {
+		out := &trace.FlowTrace{}
+		for i := 0; i < n; i++ {
+			out.Records = append(out.Records, trace.FlowRecord{
+				Tuple:   trace.FiveTuple{Proto: trace.TCP},
+				Packets: 1, Bytes: 40,
+				Label: (label + 1) % trace.NumLabels,
+			})
+		}
+		return out, nil
+	}
+	m, err := ScenarioMatrix(real, []trace.Label{trace.DoS}, wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations := m.Check(DefaultFlowThresholds)
+	if len(violations) == 0 {
+		t.Fatal("degenerate mislabeled generator must violate thresholds")
+	}
+	// Violations are label-prefixed, and the mislabeled LABEL marginal is
+	// among them.
+	foundLabel := false
+	for _, v := range violations {
+		if v.Field == "dos/LABEL" {
+			foundLabel = true
+		}
+	}
+	if !foundLabel {
+		t.Fatalf("LABEL mismatch not flagged: %v", violations)
+	}
+}
+
+// TestScenarioMatrixSkipsThinSlices: labels thinner than
+// MinScenarioRecords are reported, not scored — and the generator is
+// never invoked for them.
+func TestScenarioMatrixSkipsThinSlices(t *testing.T) {
+	ref := &trace.FlowTrace{}
+	for i := 0; i < MinScenarioRecords-1; i++ {
+		ref.Records = append(ref.Records, trace.FlowRecord{Packets: 1, Bytes: 40, Label: trace.XSS})
+	}
+	m, err := ScenarioMatrix(ref, []trace.Label{trace.XSS}, func(trace.Label, int) (*trace.FlowTrace, error) {
+		t.Fatal("generator must not run for a skipped slice")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Slices) != 1 || !m.Slices[0].Skipped || m.Slices[0].RefRecords != MinScenarioRecords-1 {
+		t.Fatalf("unexpected matrix: %+v", m.Slices)
+	}
+	if v := m.Check(DefaultFlowThresholds); v != nil {
+		t.Fatalf("skipped slice must not produce violations: %v", v)
+	}
+}
+
+// TestScenarioMatrixGenError: a generator failure aborts the matrix with
+// a labeled error.
+func TestScenarioMatrixGenError(t *testing.T) {
+	_, real := conditionalSynthesizer(t)
+	boom := fmt.Errorf("boom")
+	_, err := ScenarioMatrix(real, []trace.Label{trace.DoS}, func(trace.Label, int) (*trace.FlowTrace, error) {
+		return nil, boom
+	})
+	if err == nil {
+		t.Fatal("generator error must abort the matrix")
+	}
+}

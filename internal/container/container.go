@@ -77,7 +77,14 @@ func (k Kind) valid() bool { return k >= KindFlowModel && k <= KindColumnBlock }
 
 // Version is the current container format version. Loaders accept any
 // version up to this one and reject newer ones with ErrFutureVersion.
-const Version = 1
+//
+// Version history:
+//
+//	1 — initial frame format.
+//	2 — model payloads may carry scenario-label conditioning (dgan label
+//	    weights / infer wire v2); version-1 unconditional containers
+//	    remain decodable.
+const Version = 2
 
 // Magic identifies a container file; it is ASCII so `head -c8` on a
 // model file is self-explanatory.
@@ -100,7 +107,7 @@ var (
 	ErrWrongKind = errors.New("container: wrong payload kind")
 )
 
-// Encode frames payload as a version-1 container of the given kind.
+// Encode frames payload as a current-version container of the given kind.
 func Encode(kind Kind, payload []byte) []byte {
 	out := make([]byte, HeaderLen+len(payload))
 	copy(out, Magic[:])

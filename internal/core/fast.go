@@ -58,6 +58,44 @@ func (s *FastFlowSynthesizer) Generate(n int) *trace.FlowTrace {
 	return s.GenerateBatch([]int{n})[0]
 }
 
+// Conditional reports whether the snapshotted model was trained with
+// scenario-label conditioning.
+func (s *FastFlowSynthesizer) Conditional() bool { return s.cfg.Conditional }
+
+// LabelCatalog returns the scenario labels observed during training,
+// merged across the chunk snapshots' fitted label distributions.
+func (s *FastFlowSynthesizer) LabelCatalog() []trace.Label {
+	weights := make([][]float64, 0, len(s.models))
+	for _, m := range s.models {
+		weights = append(weights, m.LabelWeights)
+	}
+	return labelCatalog(weights)
+}
+
+// GenerateLabeled produces approximately n records conditioned on (and
+// stamped with) one scenario label.
+func (s *FastFlowSynthesizer) GenerateLabeled(n int, label trace.Label) (*trace.FlowTrace, error) {
+	outs, err := s.GenerateLabeledBatch([]int{n}, label)
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// GenerateLabeledBatch is GenerateBatch with every request pinned to the
+// same scenario label — the primitive behind webapi's per-label request
+// coalescing (only same-label requests may share a chunk fan-out). It
+// fails on snapshots of unconditional models and on out-of-range labels.
+func (s *FastFlowSynthesizer) GenerateLabeledBatch(counts []int, label trace.Label) ([]*trace.FlowTrace, error) {
+	if !s.cfg.Conditional {
+		return nil, fmt.Errorf("core: GenerateLabeledBatch requires a model trained with Config.Conditional")
+	}
+	if label >= trace.NumLabels {
+		return nil, fmt.Errorf("core: label %d out of range 0..%d", label, trace.NumLabels-1)
+	}
+	return s.generateBatch(counts, int(label)), nil
+}
+
 // GenerateBatch serves several requests' record counts from ONE chunk
 // fan-out: each chunk model runs a single batched forward pass covering
 // every request's share, and the generated records are dealt back out
@@ -66,6 +104,12 @@ func (s *FastFlowSynthesizer) Generate(n int) *trace.FlowTrace {
 // receives its proportional share of every chunk (the same chunk mixture
 // a solo Generate would produce), not a contiguous slice of a merged pool.
 func (s *FastFlowSynthesizer) GenerateBatch(counts []int) []*trace.FlowTrace {
+	return s.generateBatch(counts, -1)
+}
+
+// generateBatch is the shared batched fan-out; label -1 is unconditional
+// mixture generation, label >= 0 pins every chunk's draw to one scenario.
+func (s *FastFlowSynthesizer) generateBatch(counts []int, label int) []*trace.FlowTrace {
 	defer telGeneratePhase.Start().Stop()
 	quotas := make([][]int, len(counts))
 	chunkTotals := make([]int, len(s.models))
@@ -77,7 +121,7 @@ func (s *FastFlowSynthesizer) GenerateBatch(counts []int) []*trace.FlowTrace {
 	}
 	chunkRecs := make([][]trace.FlowRecord, len(s.models))
 	forEachChunk(s.cfg, len(s.models), func(i int) {
-		chunkRecs[i] = s.generateChunk(s.models[i], chunkTotals[i])
+		chunkRecs[i] = s.generateChunk(s.models[i], chunkTotals[i], label)
 	})
 	outs := make([]*trace.FlowTrace, len(counts))
 	for ri := range outs {
@@ -98,19 +142,32 @@ func (s *FastFlowSynthesizer) GenerateBatch(counts []int) []*trace.FlowTrace {
 }
 
 // generateChunk fills one chunk's record budget, mirroring the reference
-// path's whole-lot batching and overshoot trimming.
-func (s *FastFlowSynthesizer) generateChunk(m *dgan.InferModel, budget int) []trace.FlowRecord {
+// path's whole-lot batching, overshoot trimming, and pinned-label record
+// stamping.
+func (s *FastFlowSynthesizer) generateChunk(m *dgan.InferModel, budget, label int) []trace.FlowRecord {
 	if budget <= 0 {
 		return nil
 	}
 	out := make([]trace.FlowRecord, 0, budget)
 	for budget > 0 {
-		batch := m.Generate(fullLots(budget, m.Lot))
+		var batch []dgan.Sample
+		if label >= 0 {
+			// Range-checked by GenerateLabeledBatch, so this cannot fail.
+			batch, _ = m.GenerateLabeled(fullLots(budget, m.Lot), label)
+		} else {
+			batch = m.Generate(fullLots(budget, m.Lot))
+		}
+		if len(batch) == 0 {
+			return out
+		}
 		tuples := decodeTuples(s.codec.embed, s.codec.ipEmbed, batch)
 		for bi, sample := range batch {
 			for _, r := range s.codec.decodeRecords(sample, tuples[bi]) {
 				if budget == 0 {
 					break
+				}
+				if label >= 0 {
+					r.Label = trace.Label(label)
 				}
 				out = append(out, r)
 				budget--

@@ -162,9 +162,13 @@ func (c *flowCodec) decodeMeta(meta []float64) trace.FiveTuple {
 }
 
 // encode converts a tagged series into a training sample, truncating the
-// record sequence at MaxLen.
+// record sequence at MaxLen. Under Conditional training the sample carries
+// the series' majority record label as its scenario label.
 func (c *flowCodec) encode(t *trace.TaggedFlowSeries) dgan.Sample {
 	s := dgan.Sample{Meta: c.encodeMeta(t.Series.Tuple, t.Tags)}
+	if c.cfg.Conditional {
+		s.Label = int(majorityLabel(t.Series.Records))
+	}
 	for i, r := range t.Series.Records {
 		if i >= c.cfg.MaxLen {
 			break
@@ -183,6 +187,24 @@ func (c *flowCodec) encode(t *trace.TaggedFlowSeries) dgan.Sample {
 		s.Features = append(s.Features, append(f, label...))
 	}
 	return s
+}
+
+// majorityLabel returns the most frequent record label of a series; ties
+// break toward the lowest label value so the choice is deterministic.
+func majorityLabel(recs []trace.FlowRecord) trace.Label {
+	var counts [trace.NumLabels]int
+	for _, r := range recs {
+		if r.Label < trace.NumLabels {
+			counts[r.Label]++
+		}
+	}
+	best := trace.Label(0)
+	for l := trace.Label(1); l < trace.NumLabels; l++ {
+		if counts[l] > counts[best] {
+			best = l
+		}
+	}
+	return best
 }
 
 // decode converts a generated sample back into flow records (post-
@@ -341,6 +363,9 @@ func ganConfig(cfg Config, meta, feat []nn.FieldSpec) dgan.Config {
 	g.LR = cfg.LR
 	g.Seed = cfg.Seed
 	g.Parallelism = cfg.Parallelism
+	if cfg.Conditional {
+		g.Labels = int(trace.NumLabels)
+	}
 	return g
 }
 
@@ -351,12 +376,66 @@ func ganConfig(cfg Config, meta, feat []nn.FieldSpec) dgan.Config {
 // records are merged in chunk order before sorting, so the emitted trace is
 // byte-identical at every parallelism setting.
 func (s *FlowSynthesizer) Generate(n int) *trace.FlowTrace {
+	return s.generate(n, -1)
+}
+
+// Conditional reports whether the model was trained with scenario-label
+// conditioning (Config.Conditional).
+func (s *FlowSynthesizer) Conditional() bool { return s.cfg.Conditional }
+
+// LabelCatalog returns the scenario labels observed during training — the
+// union of labels with positive fitted weight across the chunk models, in
+// ascending order. It is empty on unconditional models.
+func (s *FlowSynthesizer) LabelCatalog() []trace.Label {
+	weights := make([][]float64, 0, len(s.models))
+	for _, m := range s.models {
+		weights = append(weights, m.LabelWeights())
+	}
+	return labelCatalog(weights)
+}
+
+// labelCatalog merges per-chunk fitted label distributions into the sorted
+// set of labels any chunk saw during training.
+func labelCatalog(weights [][]float64) []trace.Label {
+	var seen [trace.NumLabels]bool
+	for _, w := range weights {
+		for l, p := range w {
+			if p > 0 && l < int(trace.NumLabels) {
+				seen[l] = true
+			}
+		}
+	}
+	var out []trace.Label
+	for l := trace.Label(0); l < trace.NumLabels; l++ {
+		if seen[l] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// GenerateLabeled produces approximately n synthetic flow records all
+// conditioned on (and stamped with) the given scenario label. It fails on
+// models trained without Config.Conditional and on out-of-range labels.
+func (s *FlowSynthesizer) GenerateLabeled(n int, label trace.Label) (*trace.FlowTrace, error) {
+	if !s.cfg.Conditional {
+		return nil, fmt.Errorf("core: GenerateLabeled requires a model trained with Config.Conditional")
+	}
+	if label >= trace.NumLabels {
+		return nil, fmt.Errorf("core: label %d out of range 0..%d", label, trace.NumLabels-1)
+	}
+	return s.generate(n, int(label)), nil
+}
+
+// generate is the shared chunk fan-out; label -1 is unconditional mixture
+// generation, label >= 0 pins every chunk's draw to one scenario.
+func (s *FlowSynthesizer) generate(n, label int) *trace.FlowTrace {
 	defer telGeneratePhase.Start().Stop()
 	out := &trace.FlowTrace{}
 	perChunk := splitCounts(n, s.stats.ChunkSamples)
 	chunkRecs := make([][]trace.FlowRecord, len(s.models))
 	forEachChunk(s.cfg, len(s.models), func(i int) {
-		chunkRecs[i] = s.generateChunk(s.models[i], perChunk[i])
+		chunkRecs[i] = s.generateChunk(s.models[i], perChunk[i], label)
 	})
 	for _, recs := range chunkRecs {
 		out.Records = append(out.Records, recs...)
@@ -369,18 +448,33 @@ func (s *FlowSynthesizer) Generate(n int) *trace.FlowTrace {
 // records per flow vary, so it generates flows until the budget is met —
 // always requesting whole generation lots (partial lots waste a forward
 // pass) and trimming the overshoot.
-func (s *FlowSynthesizer) generateChunk(m *dgan.Model, budget int) []trace.FlowRecord {
+// A pinned label (label >= 0) additionally stamps every emitted record
+// with that scenario, making the conditional slice authoritative.
+func (s *FlowSynthesizer) generateChunk(m *dgan.Model, budget, label int) []trace.FlowRecord {
 	if budget <= 0 {
 		return nil
 	}
 	out := make([]trace.FlowRecord, 0, budget)
 	for budget > 0 {
-		batch := m.Generate(fullLots(budget, m.Config.Batch))
+		var batch []dgan.Sample
+		if label >= 0 {
+			// The label was range-checked by GenerateLabeled and the model
+			// was trained conditionally, so this cannot fail.
+			batch, _ = m.GenerateLabeled(fullLots(budget, m.Config.Batch), label)
+		} else {
+			batch = m.Generate(fullLots(budget, m.Config.Batch))
+		}
+		if len(batch) == 0 {
+			return out
+		}
 		tuples := decodeTuples(s.codec.embed, s.codec.ipEmbed, batch)
 		for bi, sample := range batch {
 			for _, r := range s.codec.decodeRecords(sample, tuples[bi]) {
 				if budget == 0 {
 					break
+				}
+				if label >= 0 {
+					r.Label = trace.Label(label)
 				}
 				out = append(out, r)
 				budget--

@@ -71,6 +71,13 @@ type Config struct {
 	GPWeight    float64
 	LR          float64
 
+	// Conditional trains the flow GAN with a scenario-label conditioning
+	// vector (one-hot over trace.NumLabels): the metadata generator and
+	// both critics see each training series' majority record label, and
+	// the trained synthesizer can pin generation to a single scenario via
+	// GenerateLabeled. Flow pipeline only; packet training rejects it.
+	Conditional bool
+
 	// DP, when non-nil, enables differentially private training (Insight 4).
 	DP *DPConfig
 
@@ -398,6 +405,11 @@ func (c Config) hash() uint64 {
 		c.Chunks, c.MaxLen, c.SeedSteps, c.FineTuneSteps, c.EmbedDim, c.EmbedEpochs,
 		c.Hidden, c.Batch, c.NoiseDim, c.CriticIters, c.GPWeight, c.LR,
 		c.DisableFlowTags, c.DisableLogTransform, c.IPVectorEncoding)
+	if c.Conditional {
+		// Appended only when set so every pre-conditioning checkpoint
+		// manifest keeps its hash.
+		fmt.Fprint(h, "|cond")
+	}
 	if c.DP != nil {
 		fmt.Fprintf(h, "|dp:%g|%g|%g|%t|%d",
 			c.DP.NoiseMultiplier, c.DP.ClipNorm, c.DP.Delta, c.DP.Pretrain, c.DP.PretrainSteps)

@@ -164,6 +164,10 @@ func buildPacketTraining(t *trace.PacketTrace, public *trace.PacketTrace, cfg Co
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
+	if cfg.Conditional {
+		// Packet flows carry no per-record scenario label to condition on.
+		return nil, nil, fmt.Errorf("core: Conditional training is flow-only; packet traces carry no scenario labels")
+	}
 	if len(t.Packets) == 0 {
 		return nil, nil, fmt.Errorf("core: empty packet trace")
 	}

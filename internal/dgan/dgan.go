@@ -41,6 +41,14 @@ type Config struct {
 	// same fixed-order tree reduction, so trained weights are bitwise
 	// identical at every setting.
 	Parallelism int
+	// Labels is the width of the one-hot scenario-label conditioning
+	// vector. 0 (the default) builds an unconditional model whose
+	// training and generation streams are bitwise identical to builds
+	// that predate conditioning. When positive, the label one-hot is
+	// prepended to the metadata generator's noise input and to both
+	// critics' inputs, Sample.Label must be in [0, Labels), and
+	// GenerateLabeled can pin the scenario of every emitted sample.
+	Labels int
 }
 
 // DefaultConfig returns a small configuration suitable for CPU training.
@@ -71,6 +79,9 @@ func (c Config) Validate() error {
 	if c.Parallelism < 0 {
 		return fmt.Errorf("dgan: Parallelism must be >= 0 (0 = NumCPU), got %d", c.Parallelism)
 	}
+	if c.Labels < 0 || c.Labels == 1 {
+		return fmt.Errorf("dgan: Labels must be 0 (unconditional) or >= 2, got %d", c.Labels)
+	}
 	return nil
 }
 
@@ -93,10 +104,13 @@ func (m *Model) SetParallelism(n int) {
 }
 
 // Sample is one training or generated sample: activated metadata plus a
-// measurement sequence of up to MaxLen steps.
+// measurement sequence of up to MaxLen steps. Label is the scenario-label
+// index in [0, Config.Labels); it is ignored (and left 0) on
+// unconditional models.
 type Sample struct {
 	Meta     []float64
 	Features [][]float64
+	Label    int
 }
 
 // presenceSpec is the internal per-step flag marking real (vs padding)
@@ -108,6 +122,13 @@ type Model struct {
 	Config Config
 
 	metaW, featW int // activated widths (featW includes the presence flag)
+	condW        int // conditioning one-hot width (Config.Labels; 0 = off)
+
+	// labelWeights is the empirical scenario-label distribution of the
+	// training set, fitted by trainLoop and persisted with the model;
+	// unconditional Generate draws each sample's label from it. Nil falls
+	// back to uniform.
+	labelWeights []float64
 
 	// Generator.
 	metaGen  *nn.MLP
@@ -134,6 +155,7 @@ type Model struct {
 	lastZMeta *mat.Matrix
 	lastMeta  *mat.Matrix
 	lastFeats []*mat.Matrix
+	lastCond  *mat.Matrix // batch × condW one-hot labels of the last fake batch
 }
 
 // New builds a model from cfg.
@@ -147,10 +169,11 @@ func New(cfg Config) (*Model, error) {
 		Config:    cfg,
 		metaW:     nn.Width(cfg.MetaSchema),
 		featW:     nn.Width(featSchema),
+		condW:     cfg.Labels,
 		rng:       r,
 		dpScratch: make(map[*nn.MLP]*dpScratch),
 	}
-	m.metaGen = nn.NewMLP("g.meta", []int{cfg.NoiseDim, cfg.Hidden, cfg.Hidden, m.metaW}, nn.ReLU, nn.Identity, r)
+	m.metaGen = nn.NewMLP("g.meta", []int{cfg.NoiseDim + m.condW, cfg.Hidden, cfg.Hidden, m.metaW}, nn.ReLU, nn.Identity, r)
 	m.metaHead = nn.NewOutputHead(cfg.MetaSchema)
 	m.seqGRU = nn.NewGRU("g.gru", cfg.NoiseDim+m.metaW, cfg.Hidden)
 	nn.InitXavier(m.seqGRU, r)
@@ -160,9 +183,9 @@ func New(cfg Config) (*Model, error) {
 	for t := range m.seqHeads {
 		m.seqHeads[t] = nn.NewOutputHead(featSchema)
 	}
-	inW := m.metaW + cfg.MaxLen*m.featW
+	inW := m.condW + m.metaW + cfg.MaxLen*m.featW
 	m.critic = nn.NewMLP("d.main", []int{inW, cfg.Hidden, cfg.Hidden, 1}, nn.LeakyReLU, nn.Identity, r)
-	m.auxCritic = nn.NewMLP("d.aux", []int{m.metaW, cfg.Hidden, 1}, nn.LeakyReLU, nn.Identity, r)
+	m.auxCritic = nn.NewMLP("d.aux", []int{m.condW + m.metaW, cfg.Hidden, 1}, nn.LeakyReLU, nn.Identity, r)
 	m.optG = nn.NewAdam(cfg.LR)
 	m.optD = nn.NewAdam(cfg.LR)
 	m.optAux = nn.NewAdam(cfg.LR)
@@ -218,13 +241,69 @@ func (m *Model) noise(batch, dim int) *mat.Matrix {
 	return z
 }
 
+// Conditional reports whether the model carries a scenario-conditioning
+// vector.
+func (m *Model) Conditional() bool { return m.condW > 0 }
+
+// LabelWeights returns a copy of the fitted scenario-label distribution
+// (nil before training or on unconditional models).
+func (m *Model) LabelWeights() []float64 {
+	if m.labelWeights == nil {
+		return nil
+	}
+	return append([]float64(nil), m.labelWeights...)
+}
+
+// drawLabel samples a scenario label from the fitted training
+// distribution (uniform before fitting) using one uniform draw.
+func (m *Model) drawLabel(f func() float64) int {
+	return drawLabelFrom(m.labelWeights, m.condW, f())
+}
+
+// drawLabelFrom inverts the CDF of weights (uniform over n when weights
+// is absent or malformed) at u.
+func drawLabelFrom(weights []float64, n int, u float64) int {
+	if len(weights) != n {
+		i := int(u * float64(n))
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	}
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return n - 1
+}
+
 // forwardGenerator runs the full generator for a batch, caching everything
 // backwardGenerator needs. It returns the activated metadata and per-step
-// activated features (soft categorical probabilities).
+// activated features (soft categorical probabilities). On conditional
+// models each fake sample's label is drawn from the fitted training
+// distribution first and its one-hot cached in lastCond for the critic
+// inputs.
 func (m *Model) forwardGenerator(batch int) (*mat.Matrix, []*mat.Matrix) {
 	cfg := m.Config
-	m.lastZMeta = m.noise(batch, cfg.NoiseDim)
-	metaRaw := m.metaGen.Forward(m.lastZMeta)
+	zIn := m.noise(batch, cfg.NoiseDim)
+	m.lastZMeta = zIn
+	if m.condW > 0 {
+		m.lastCond = mat.New(batch, m.condW)
+		for i := 0; i < batch; i++ {
+			m.lastCond.Row(i)[m.drawLabel(m.rng.Float64)] = 1
+		}
+		zc := mat.New(batch, cfg.NoiseDim+m.condW)
+		for i := 0; i < batch; i++ {
+			row := zc.Row(i)
+			copy(row[:cfg.NoiseDim], zIn.Row(i))
+			copy(row[cfg.NoiseDim:], m.lastCond.Row(i))
+		}
+		zIn = zc
+	}
+	metaRaw := m.metaGen.Forward(zIn)
 	meta := m.metaHead.Forward(metaRaw)
 	m.lastMeta = meta
 
@@ -274,22 +353,29 @@ func (m *Model) backwardGenerator(dMeta *mat.Matrix, dFeats []*mat.Matrix) {
 	m.metaGen.Backward(dMetaRaw)
 }
 
-// flatten packs metadata plus padded features into critic input rows.
+// flatten packs metadata plus padded features into critic input rows. On
+// conditional models rows are prefixed with the cached fake-label one-hots
+// so the critic scores (label, metadata, sequence) jointly.
 func (m *Model) flatten(meta *mat.Matrix, feats []*mat.Matrix) *mat.Matrix {
 	batch := meta.Rows
-	out := mat.New(batch, m.metaW+m.Config.MaxLen*m.featW)
+	out := mat.New(batch, m.condW+m.metaW+m.Config.MaxLen*m.featW)
 	for i := 0; i < batch; i++ {
 		row := out.Row(i)
-		copy(row[:m.metaW], meta.Row(i))
+		if m.condW > 0 {
+			copy(row[:m.condW], m.lastCond.Row(i))
+		}
+		copy(row[m.condW:m.condW+m.metaW], meta.Row(i))
 		for t, f := range feats {
-			copy(row[m.metaW+t*m.featW:m.metaW+(t+1)*m.featW], f.Row(i))
+			base := m.condW + m.metaW + t*m.featW
+			copy(row[base:base+m.featW], f.Row(i))
 		}
 	}
 	return out
 }
 
 // unflatten splits a critic-input gradient back into metadata and per-step
-// feature gradients.
+// feature gradients. The conditioning prefix is an input, not a generator
+// output, so its gradient columns are discarded.
 func (m *Model) unflatten(d *mat.Matrix) (*mat.Matrix, []*mat.Matrix) {
 	batch := d.Rows
 	dMeta := mat.New(batch, m.metaW)
@@ -299,21 +385,25 @@ func (m *Model) unflatten(d *mat.Matrix) (*mat.Matrix, []*mat.Matrix) {
 	}
 	for i := 0; i < batch; i++ {
 		row := d.Row(i)
-		copy(dMeta.Row(i), row[:m.metaW])
+		copy(dMeta.Row(i), row[m.condW:m.condW+m.metaW])
 		for t := 0; t < m.Config.MaxLen; t++ {
-			copy(dFeats[t].Row(i), row[m.metaW+t*m.featW:m.metaW+(t+1)*m.featW])
+			base := m.condW + m.metaW + t*m.featW
+			copy(dFeats[t].Row(i), row[base:base+m.featW])
 		}
 	}
 	return dMeta, dFeats
 }
 
-// encodeReal packs a real sample into a critic-input row: metadata, then
-// each timestep's features with a trailing presence flag (1 for real steps,
-// 0 padding).
+// encodeReal packs a real sample into a critic-input row: the label
+// one-hot (conditional models only), metadata, then each timestep's
+// features with a trailing presence flag (1 for real steps, 0 padding).
 func (m *Model) encodeReal(s Sample, row []float64) {
-	copy(row[:m.metaW], s.Meta)
+	if m.condW > 0 {
+		row[s.Label] = 1
+	}
+	copy(row[m.condW:m.condW+m.metaW], s.Meta)
 	for t := 0; t < m.Config.MaxLen; t++ {
-		base := m.metaW + t*m.featW
+		base := m.condW + m.metaW + t*m.featW
 		if t < len(s.Features) {
 			copy(row[base:base+m.featW-1], s.Features[t])
 			row[base+m.featW-1] = 1
@@ -327,7 +417,7 @@ func (m *Model) encodeReal(s Sample, row []float64) {
 
 // realBatch assembles a random minibatch of real samples as critic input.
 func (m *Model) realBatch(samples []Sample, batch int) *mat.Matrix {
-	out := mat.New(batch, m.metaW+m.Config.MaxLen*m.featW)
+	out := mat.New(batch, m.condW+m.metaW+m.Config.MaxLen*m.featW)
 	for i := 0; i < batch; i++ {
 		s := samples[m.rng.Intn(len(samples))]
 		m.encodeReal(s, out.Row(i))
@@ -335,11 +425,28 @@ func (m *Model) realBatch(samples []Sample, batch int) *mat.Matrix {
 	return out
 }
 
-// metaSlice extracts the metadata columns of critic-input rows.
+// metaSlice extracts the (conditioning ++ metadata) columns of
+// critic-input rows — the auxiliary critic's input.
 func (m *Model) metaSlice(x *mat.Matrix) *mat.Matrix {
-	out := mat.New(x.Rows, m.metaW)
+	out := mat.New(x.Rows, m.condW+m.metaW)
 	for i := 0; i < x.Rows; i++ {
-		copy(out.Row(i), x.Row(i)[:m.metaW])
+		copy(out.Row(i), x.Row(i)[:m.condW+m.metaW])
+	}
+	return out
+}
+
+// condMeta prefixes fake metadata rows with the cached label one-hots so
+// they line up with metaSlice of real rows; it returns meta unchanged on
+// unconditional models.
+func (m *Model) condMeta(meta *mat.Matrix) *mat.Matrix {
+	if m.condW == 0 {
+		return meta
+	}
+	out := mat.New(meta.Rows, m.condW+m.metaW)
+	for i := 0; i < meta.Rows; i++ {
+		row := out.Row(i)
+		copy(row[:m.condW], m.lastCond.Row(i))
+		copy(row[m.condW:], meta.Row(i))
 	}
 	return out
 }

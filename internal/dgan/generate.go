@@ -1,6 +1,7 @@
 package dgan
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 
@@ -23,13 +24,15 @@ import (
 // All buffers are sized for a full lot and viewed down for a partial final
 // lot, so a worker allocates on its first lot only.
 type genScratch struct {
-	mlp   nn.MLPScratch
-	gru   nn.GRUScratch
-	z     *mat.Matrix // lot × NoiseDim step/meta noise
-	x     *mat.Matrix // lot × (NoiseDim + metaW) GRU input
-	h, h2 *mat.Matrix // lot × Hidden ping-pong hidden states
-	proj  *mat.Matrix // lot × featW projected step output
-	alive []bool
+	mlp    nn.MLPScratch
+	gru    nn.GRUScratch
+	z      *mat.Matrix // lot × NoiseDim step/meta noise
+	zc     *mat.Matrix // lot × (NoiseDim + condW) conditioned meta input
+	x      *mat.Matrix // lot × (NoiseDim + metaW) GRU input
+	h, h2  *mat.Matrix // lot × Hidden ping-pong hidden states
+	proj   *mat.Matrix // lot × featW projected step output
+	alive  []bool
+	labels []int
 }
 
 // growBuf returns b viewed at rows×cols, reallocating when too small.
@@ -40,7 +43,7 @@ func growBuf(b *mat.Matrix, rows, cols int) *mat.Matrix {
 	return b
 }
 
-func (sc *genScratch) ensure(batch, noiseDim, metaW, hidden, featW int) {
+func (sc *genScratch) ensure(batch, noiseDim, condW, metaW, hidden, featW int) {
 	sc.z = growBuf(sc.z, batch, noiseDim)
 	sc.x = growBuf(sc.x, batch, noiseDim+metaW)
 	sc.h = growBuf(sc.h, batch, hidden)
@@ -49,6 +52,12 @@ func (sc *genScratch) ensure(batch, noiseDim, metaW, hidden, featW int) {
 	if cap(sc.alive) < batch {
 		sc.alive = make([]bool, batch)
 	}
+	if condW > 0 {
+		sc.zc = growBuf(sc.zc, batch, noiseDim+condW)
+		if cap(sc.labels) < batch {
+			sc.labels = make([]int, batch)
+		}
+	}
 }
 
 // Generate produces n synthetic samples. Categorical fields are sampled
@@ -56,7 +65,30 @@ func (sc *genScratch) ensure(batch, noiseDim, metaW, hidden, featW int) {
 // first step whose presence flag falls below 0.5 (minimum length 1). Work
 // is fanned out across Config.Parallelism workers in lots of Config.Batch
 // on derived RNG streams; the result is byte-identical at every setting.
+// On conditional models each sample's scenario label is drawn from the
+// fitted training distribution (a mixture over the label catalog).
 func (m *Model) Generate(n int) []Sample {
+	return m.generate(n, -1)
+}
+
+// GenerateLabeled produces n synthetic samples all conditioned on the
+// given scenario label. It fails on unconditional models and out-of-range
+// labels.
+func (m *Model) GenerateLabeled(n, label int) ([]Sample, error) {
+	if m.condW == 0 {
+		return nil, fmt.Errorf("dgan: GenerateLabeled on an unconditional model")
+	}
+	if label < 0 || label >= m.condW {
+		return nil, fmt.Errorf("dgan: label %d out of range 0..%d", label, m.condW-1)
+	}
+	return m.generate(n, label), nil
+}
+
+// generate is the shared lot fan-out; label -1 draws per-sample labels
+// from the fitted distribution, label >= 0 pins every sample's label (and
+// takes no label draws, so pinned lots consume the same noise stream
+// layout minus the per-row label uniforms).
+func (m *Model) generate(n, label int) []Sample {
 	if n <= 0 {
 		return nil
 	}
@@ -79,7 +111,7 @@ func (m *Model) Generate(n int) []Sample {
 				hi = n
 			}
 			r := rng.New(rng.Derive(base, int64(j)))
-			m.generateLot(r, out[lo:hi], schema, sc)
+			m.generateLot(r, out[lo:hi], schema, sc, label)
 		}
 	}
 
@@ -114,18 +146,48 @@ func (m *Model) Generate(n int) []Sample {
 // worker ran it. The GRU unroll stops as soon as every row in the lot has
 // terminated, not at MaxLen; termination is decided by the forward outputs,
 // which are deterministic per lot, so early exit preserves determinism.
-func (m *Model) generateLot(r *rand.Rand, out []Sample, schema []nn.FieldSpec, sc *genScratch) {
+func (m *Model) generateLot(r *rand.Rand, out []Sample, schema []nn.FieldSpec, sc *genScratch, label int) {
 	cfg := m.Config
 	batch := len(out)
-	sc.ensure(batch, cfg.NoiseDim, m.metaW, cfg.Hidden, m.featW)
+	sc.ensure(batch, cfg.NoiseDim, m.condW, m.metaW, cfg.Hidden, m.featW)
+
+	// Conditional lots fix each row's label before any noise is drawn: a
+	// pinned label takes no draws, a mixture draw takes one uniform per
+	// row in row order.
+	if m.condW > 0 {
+		for i := 0; i < batch; i++ {
+			if label >= 0 {
+				sc.labels[i] = label
+			} else {
+				sc.labels[i] = m.drawLabel(r.Float64)
+			}
+		}
+	}
 
 	z := sc.z.RowsView(0, batch)
 	z.RandNorm(r, 1)
-	meta := m.metaGen.InferInto(z, &sc.mlp)
+	metaIn := z
+	if m.condW > 0 {
+		zc := sc.zc.RowsView(0, batch)
+		for i := 0; i < batch; i++ {
+			row := zc.Row(i)
+			copy(row[:cfg.NoiseDim], z.Row(i))
+			cond := row[cfg.NoiseDim:]
+			for j := range cond {
+				cond[j] = 0
+			}
+			cond[sc.labels[i]] = 1
+		}
+		metaIn = zc
+	}
+	meta := m.metaGen.InferInto(metaIn, &sc.mlp)
 	nn.ActivateRows(cfg.MetaSchema, meta)
 	for i := range out {
 		out[i].Meta = nn.SampleRow(cfg.MetaSchema, meta.Row(i), false, r.Float64)
 		out[i].Features = out[i].Features[:0]
+		if m.condW > 0 {
+			out[i].Label = sc.labels[i]
+		}
 		sc.alive[i] = true
 	}
 

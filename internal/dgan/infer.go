@@ -1,6 +1,7 @@
 package dgan
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 
@@ -26,6 +27,11 @@ type InferModel struct {
 	MaxLen        int
 	NoiseDim     int
 	Hidden       int
+	// Labels is the scenario-conditioning one-hot width (0 =
+	// unconditional); LabelWeights is the fitted training distribution
+	// unconditional mixture draws use.
+	Labels       int
+	LabelWeights []float64
 	// Lot is the generation lot size. The fast path is free to run larger
 	// lots than Config.Batch (bigger matmuls amortize loop overhead)
 	// because no bitwise contract ties its lot boundaries to training.
@@ -67,6 +73,8 @@ func (m *Model) Infer() *InferModel {
 		MaxLen:        cfg.MaxLen,
 		NoiseDim:      cfg.NoiseDim,
 		Hidden:        cfg.Hidden,
+		Labels:        cfg.Labels,
+		LabelWeights:  append([]float64(nil), m.labelWeights...),
 		Lot:           DefaultInferLot,
 		Parallelism:   cfg.Parallelism,
 		meta:          nn.CompressMLP(m.metaGen),
@@ -112,13 +120,15 @@ func (im *InferModel) workers() int {
 
 // inferScratch is one worker's reusable float32 forward state.
 type inferScratch struct {
-	mlp   nn.MLP32Scratch
-	gru   nn.FusedGRU32Scratch
-	z     *mat.Matrix32 // lot × NoiseDim noise
-	x     *mat.Matrix32 // lot × (NoiseDim + metaW) GRU input
-	h, h2 *mat.Matrix32 // lot × Hidden ping-pong hidden states
-	proj  *mat.Matrix32 // lot × featW projected step output
-	idx   []int         // live-row compaction map: scratch row → out index
+	mlp    nn.MLP32Scratch
+	gru    nn.FusedGRU32Scratch
+	z      *mat.Matrix32 // lot × NoiseDim noise
+	zc     *mat.Matrix32 // lot × (NoiseDim + Labels) conditioned meta input
+	x      *mat.Matrix32 // lot × (NoiseDim + metaW) GRU input
+	h, h2  *mat.Matrix32 // lot × Hidden ping-pong hidden states
+	proj   *mat.Matrix32 // lot × featW projected step output
+	idx    []int         // live-row compaction map: scratch row → out index
+	labels []int
 }
 
 func growBuf32(b *mat.Matrix32, rows, cols int) *mat.Matrix32 {
@@ -128,7 +138,7 @@ func growBuf32(b *mat.Matrix32, rows, cols int) *mat.Matrix32 {
 	return b
 }
 
-func (sc *inferScratch) ensure(lot, noiseDim, metaW, hidden, featW int) {
+func (sc *inferScratch) ensure(lot, noiseDim, condW, metaW, hidden, featW int) {
 	sc.z = growBuf32(sc.z, lot, noiseDim)
 	sc.x = growBuf32(sc.x, lot, noiseDim+metaW)
 	sc.h = growBuf32(sc.h, lot, hidden)
@@ -137,13 +147,37 @@ func (sc *inferScratch) ensure(lot, noiseDim, metaW, hidden, featW int) {
 	if cap(sc.idx) < lot {
 		sc.idx = make([]int, lot)
 	}
+	if condW > 0 {
+		sc.zc = growBuf32(sc.zc, lot, noiseDim+condW)
+		if cap(sc.labels) < lot {
+			sc.labels = make([]int, lot)
+		}
+	}
 }
 
 // Generate produces n synthetic samples on the fast path. The lot fan-out
 // mirrors Model.Generate: one base draw off the canonical RNG per call,
 // each lot on its own derived stream writing a disjoint span, so repeated
-// calls from a fixed seed are reproducible at any Parallelism.
+// calls from a fixed seed are reproducible at any Parallelism. On
+// conditional snapshots each sample's label is drawn from LabelWeights.
 func (im *InferModel) Generate(n int) []Sample {
+	return im.generate(n, -1)
+}
+
+// GenerateLabeled produces n samples all conditioned on the given
+// scenario label. It fails on unconditional snapshots and out-of-range
+// labels.
+func (im *InferModel) GenerateLabeled(n, label int) ([]Sample, error) {
+	if im.Labels == 0 {
+		return nil, fmt.Errorf("dgan: GenerateLabeled on an unconditional snapshot")
+	}
+	if label < 0 || label >= im.Labels {
+		return nil, fmt.Errorf("dgan: label %d out of range 0..%d", label, im.Labels-1)
+	}
+	return im.generate(n, label), nil
+}
+
+func (im *InferModel) generate(n, label int) []Sample {
 	if n <= 0 {
 		return nil
 	}
@@ -164,7 +198,7 @@ func (im *InferModel) Generate(n int) []Sample {
 				hi = n
 			}
 			r := rng.New(rng.Derive(base, int64(j)))
-			im.generateLot(r, out[lo:hi], sc)
+			im.generateLot(r, out[lo:hi], sc, label)
 		}
 	}
 
@@ -203,18 +237,46 @@ func (im *InferModel) Generate(n int) []Sample {
 // unchanged by compaction: noise is drawn for the full lot every step
 // (fixed layout), and sampling uniforms are drawn for live rows in
 // ascending out-index order either way.
-func (im *InferModel) generateLot(r *rand.Rand, out []Sample, sc *inferScratch) {
+func (im *InferModel) generateLot(r *rand.Rand, out []Sample, sc *inferScratch, label int) {
 	lot := len(out)
-	sc.ensure(lot, im.NoiseDim, im.metaW, im.Hidden, im.featW)
+	sc.ensure(lot, im.NoiseDim, im.Labels, im.metaW, im.Hidden, im.featW)
+
+	// Label draws precede all noise, mirroring the reference path.
+	if im.Labels > 0 {
+		for i := 0; i < lot; i++ {
+			if label >= 0 {
+				sc.labels[i] = label
+			} else {
+				sc.labels[i] = drawLabelFrom(im.LabelWeights, im.Labels, r.Float64())
+			}
+		}
+	}
 
 	z := sc.z.RowsView(0, lot)
 	randNorm32(z, r)
-	meta := im.meta.InferInto(z, &sc.mlp)
+	metaIn := z
+	if im.Labels > 0 {
+		zc := sc.zc.RowsView(0, lot)
+		for i := 0; i < lot; i++ {
+			row := zc.Row(i)
+			copy(row[:im.NoiseDim], z.Row(i))
+			cond := row[im.NoiseDim:]
+			for j := range cond {
+				cond[j] = 0
+			}
+			cond[sc.labels[i]] = 1
+		}
+		metaIn = zc
+	}
+	meta := im.meta.InferInto(metaIn, &sc.mlp)
 	nn.ActivateRows32(im.MetaSchema, meta)
 	idx := sc.idx[:0]
 	for i := range out {
 		out[i].Meta = nn.SampleRow32(im.MetaSchema, meta.Row(i), r.Float64)
 		out[i].Features = out[i].Features[:0]
+		if im.Labels > 0 {
+			out[i].Label = sc.labels[i]
+		}
 		idx = append(idx, i)
 	}
 

@@ -23,6 +23,8 @@ import (
 //
 //	u16 version
 //	u16 maxLen, u16 noiseDim, u16 hidden, u16 lot
+//	u16 labels (version >= 2; 0 = unconditional)
+//	labels f32 label weights (version >= 2, only when labels > 0)
 //	schema meta:    u16 nFields, then per field u8 kind, u16 size,
 //	                u8 nameLen, name bytes
 //	schema feature: same encoding (presence flag excluded)
@@ -44,7 +46,10 @@ var (
 )
 
 const (
-	inferWireVersion = 1
+	// inferWireVersion 2 added the scenario-label conditioning block
+	// (label count + mixture weights); version 1 snapshots decode as
+	// unconditional models.
+	inferWireVersion = 2
 	// maxInferDim bounds every declared dimension; real models are orders
 	// of magnitude smaller, and the bound caps what a hostile header can
 	// make the decoder allocate.
@@ -61,6 +66,16 @@ func (im *InferModel) EncodeInfer() []byte {
 	b = appendU16(b, uint16(im.NoiseDim))
 	b = appendU16(b, uint16(im.Hidden))
 	b = appendU16(b, uint16(im.Lot))
+	b = appendU16(b, uint16(im.Labels))
+	if im.Labels > 0 {
+		for i := 0; i < im.Labels; i++ {
+			w := float32(0)
+			if i < len(im.LabelWeights) {
+				w = float32(im.LabelWeights[i])
+			}
+			b = appendU32(b, math.Float32bits(w))
+		}
+	}
 	b = appendSchema(b, im.MetaSchema)
 	b = appendSchema(b, im.FeatureSchema)
 	b = append(b, byte(len(im.meta.Layers)))
@@ -287,6 +302,27 @@ func DecodeInferWeights(b []byte) (*InferModel, error) {
 		return nil, fmt.Errorf("%w: dimensions maxLen=%d noiseDim=%d hidden=%d lot=%d",
 			ErrInferInvalid, im.MaxLen, im.NoiseDim, im.Hidden, im.Lot)
 	}
+	if version >= 2 {
+		if im.Labels, err = r.u16(); err != nil {
+			return nil, err
+		}
+		if im.Labels == 1 || im.Labels > maxInferDim {
+			return nil, fmt.Errorf("%w: labels=%d", ErrInferInvalid, im.Labels)
+		}
+		if im.Labels > 0 {
+			ws, err := r.f32s(im.Labels)
+			if err != nil {
+				return nil, err
+			}
+			im.LabelWeights = make([]float64, im.Labels)
+			for i, w := range ws {
+				if math.IsNaN(float64(w)) || w < 0 || w > 1 {
+					return nil, fmt.Errorf("%w: label weight %d is %v", ErrInferInvalid, i, w)
+				}
+				im.LabelWeights[i] = float64(w)
+			}
+		}
+	}
 	if im.MetaSchema, err = r.schema("meta"); err != nil {
 		return nil, err
 	}
@@ -306,7 +342,7 @@ func DecodeInferWeights(b []byte) (*InferModel, error) {
 		return nil, fmt.Errorf("%w: MLP has %d layers", ErrInferInvalid, nLayers)
 	}
 	im.meta = &nn.MLP32{}
-	in := im.NoiseDim
+	in := im.NoiseDim + im.Labels
 	for i := 0; i < int(nLayers); i++ {
 		act, err := r.u8()
 		if err != nil {

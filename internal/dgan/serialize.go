@@ -16,11 +16,16 @@ import (
 type modelWire struct {
 	Config Config
 	Snap   *nn.Snapshot
+	// LabelWeights is the fitted scenario-label distribution of
+	// conditional models; absent (nil) on unconditional models and on
+	// blobs written before conditioning existed, which decode with
+	// Config.Labels == 0 via gob's zero-value defaulting.
+	LabelWeights []float64
 }
 
 // Encode serializes the trained model.
 func (m *Model) Encode() ([]byte, error) {
-	w := modelWire{Config: m.Config, Snap: nn.TakeSnapshot(m)}
+	w := modelWire{Config: m.Config, Snap: nn.TakeSnapshot(m), LabelWeights: m.labelWeights}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
 		return nil, fmt.Errorf("dgan: encode model: %w", err)
@@ -40,6 +45,9 @@ func DecodeModel(b []byte) (*Model, error) {
 	}
 	if err := w.Snap.Restore(m); err != nil {
 		return nil, fmt.Errorf("dgan: restore weights: %w", err)
+	}
+	if len(w.LabelWeights) == w.Config.Labels {
+		m.labelWeights = w.LabelWeights
 	}
 	return m, nil
 }

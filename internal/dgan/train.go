@@ -62,6 +62,9 @@ func (m *Model) TrainDPWithHook(samples []Sample, steps int, dp *privacy.DPSGD, 
 
 func (m *Model) trainLoop(samples []Sample, steps int, dp *privacy.DPSGD, hook TrainHook) (Stats, error) {
 	var st Stats
+	if m.condW > 0 {
+		m.fitLabelWeights(samples)
+	}
 	for i := 0; i < steps; i++ {
 		for c := 0; c < m.Config.CriticIters; c++ {
 			st.CriticLoss = m.criticStep(samples, dp)
@@ -94,8 +97,25 @@ func (m *Model) checkSamples(samples []Sample) error {
 				return fmt.Errorf("dgan: sample %d step %d width %d, want %d", i, t, len(f), m.featW-1)
 			}
 		}
+		if m.condW > 0 && (s.Label < 0 || s.Label >= m.condW) {
+			return fmt.Errorf("dgan: sample %d label %d, want 0..%d", i, s.Label, m.condW-1)
+		}
 	}
 	return nil
+}
+
+// fitLabelWeights records the empirical scenario-label distribution of the
+// training set; unconditional generation draws per-sample labels from it.
+func (m *Model) fitLabelWeights(samples []Sample) {
+	counts := make([]float64, m.condW)
+	for _, s := range samples {
+		counts[s.Label]++
+	}
+	total := float64(len(samples))
+	for i := range counts {
+		counts[i] /= total
+	}
+	m.labelWeights = counts
 }
 
 // criticStep performs one WGAN-GP update of both critics. When dp is
@@ -122,14 +142,15 @@ func (m *Model) criticStep(samples []Sample, dp *privacy.DPSGD) float64 {
 		m.optD.Step(m.critic)
 
 		realMeta := m.metaSlice(real)
+		fakeMeta := m.condMeta(meta)
 		outRM := m.auxCritic.Forward(realMeta)
-		outFM := m.auxCritic.Forward(meta)
+		outFM := m.auxCritic.Forward(fakeMeta)
 		_, grm, gfm := nn.WassersteinCriticLoss(outRM, outFM)
 		m.auxCritic.Forward(realMeta)
 		m.auxCritic.Backward(grm)
-		m.auxCritic.Forward(meta)
+		m.auxCritic.Forward(fakeMeta)
 		m.auxCritic.Backward(gfm)
-		nn.GradientPenalty(m.auxCritic, realMeta, meta, m.Config.GPWeight, m.rng.Float64)
+		nn.GradientPenalty(m.auxCritic, realMeta, fakeMeta, m.Config.GPWeight, m.rng.Float64)
 		m.optAux.Step(m.auxCritic)
 		return loss
 	}
@@ -139,7 +160,7 @@ func (m *Model) criticStep(samples []Sample, dp *privacy.DPSGD) float64 {
 	// the generator, so they are applied normally after Finalize.
 	loss = m.dpCriticUpdate(m.critic, real, fake, dp)
 	realMeta := m.metaSlice(real)
-	m.dpCriticUpdate(m.auxCritic, realMeta, meta, dp)
+	m.dpCriticUpdate(m.auxCritic, realMeta, m.condMeta(meta), dp)
 	return loss
 }
 
@@ -197,10 +218,18 @@ func (m *Model) generatorStep() (float64, float64) {
 	nn.ZeroGrads(m.critic) // discard critic pollution from this pass
 	dMeta, dFeats := m.unflatten(dInput)
 
-	outAux := m.auxCritic.Forward(meta)
+	outAux := m.auxCritic.Forward(m.condMeta(meta))
 	_, gAux := nn.WassersteinGenLoss(outAux)
 	dMetaAux := m.auxCritic.Backward(gAux)
 	nn.ZeroGrads(m.auxCritic)
+	if m.condW > 0 {
+		// Drop the gradient on the conditioning prefix: it is an input.
+		stripped := mat.New(dMetaAux.Rows, m.metaW)
+		for i := 0; i < dMetaAux.Rows; i++ {
+			copy(stripped.Row(i), dMetaAux.Row(i)[m.condW:])
+		}
+		dMetaAux = stripped
+	}
 	dMeta.Add(dMetaAux)
 
 	m.backwardGenerator(dMeta, dFeats)

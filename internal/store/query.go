@@ -79,18 +79,27 @@ func (f Filter) want(col Column) int64 {
 // key=value terms over src_ip, dst_ip, src_port, dst_port, proto and
 // label, e.g. "src_ip=10.0.0.1,dst_port=443,proto=tcp". Protocols
 // accept names (tcp, udp, icmp) or numbers; labels accept the trace
-// label names. An empty string is the match-all filter.
+// label names. Keys and values tolerate surrounding whitespace; a key
+// appearing twice is rejected rather than silently keeping the last
+// occurrence. An empty string is the match-all filter.
 func ParseFilter(s string) (Filter, error) {
 	var f Filter
 	s = strings.TrimSpace(s)
 	if s == "" {
 		return f, nil
 	}
+	seen := make(map[string]bool)
 	for _, term := range strings.Split(s, ",") {
 		key, val, ok := strings.Cut(strings.TrimSpace(term), "=")
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
 		if !ok || val == "" {
 			return f, fmt.Errorf("%w: term %q is not key=value", ErrBadFilter, term)
 		}
+		if seen[key] {
+			return f, fmt.Errorf("%w: duplicate key %q (each key may appear once)", ErrBadFilter, key)
+		}
+		seen[key] = true
 		switch key {
 		case ColSrcIP, ColDstIP:
 			ip, err := trace.ParseIPv4(val)

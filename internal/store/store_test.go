@@ -359,6 +359,48 @@ func TestParseFilter(t *testing.T) {
 	}
 }
 
+func TestParseFilterDuplicatesAndWhitespace(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    string
+		ok    bool
+		check func(Filter) bool
+	}{
+		{"duplicate port", "src_port=80,src_port=443", false, nil},
+		{"duplicate proto by name and number", "proto=tcp,proto=6", false, nil},
+		{"duplicate label", "label=dos, label=dos", false, nil},
+		{"duplicate with whitespace keys", " dst_port =80, dst_port= 443", false, nil},
+		{"distinct keys ok", "src_port=80,dst_port=443", true, func(f Filter) bool {
+			return f.SrcPort != nil && *f.SrcPort == 80 && f.DstPort != nil && *f.DstPort == 443
+		}},
+		{"padded key and value", "  proto =  udp  ", true, func(f Filter) bool {
+			return f.Proto != nil && *f.Proto == trace.UDP
+		}},
+		{"empty value", "src_port=", false, nil},
+		{"whitespace-only value", "src_port=   ", false, nil},
+		{"empty key", "=443", false, nil},
+		{"whitespace-only term", "src_port=80,   ", false, nil},
+		{"lone comma", ",", false, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := ParseFilter(tc.in)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("ParseFilter(%q): %v", tc.in, err)
+				}
+				if tc.check != nil && !tc.check(f) {
+					t.Fatalf("ParseFilter(%q) parsed wrong: %+v", tc.in, f)
+				}
+				return
+			}
+			if !errors.Is(err, ErrBadFilter) {
+				t.Fatalf("ParseFilter(%q) = %v, want ErrBadFilter", tc.in, err)
+			}
+		})
+	}
+}
+
 func TestWriterKindMismatch(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "s")
 	w, err := Create(dir, trace.KindNetFlow, smallOpts)

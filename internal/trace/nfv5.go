@@ -3,9 +3,26 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// ErrUptimeOverflow reports a flow whose SysUptime-relative timestamp does
+// not fit the 32-bit millisecond field used by NetFlow v5 and v9 (~49.7
+// days). Wrapping the counter would emit records with Last < First, so the
+// encoders refuse the record instead.
+var ErrUptimeOverflow = errors.New("trace: flow timestamp exceeds 32-bit SysUptime millisecond range")
+
+// checkUptime validates that a record's first/last timestamps, expressed
+// relative to base, fit the 32-bit millisecond uptime fields shared by the
+// NetFlow v5 and v9 encodings.
+func checkUptime(r FlowRecord, base int64) error {
+	if (r.Start-base)/1000 > 0xffffffff || (r.End()-base)/1000 > 0xffffffff {
+		return fmt.Errorf("%w: flow at %dus spans past base %dus", ErrUptimeOverflow, r.Start, base)
+	}
+	return nil
+}
 
 // Binary NetFlow v5 export so generated flow traces interoperate with
 // standard collectors. Records are packed into export packets of up to 30
@@ -21,8 +38,9 @@ const (
 
 // WriteNetFlowV5 writes t as a stream of NetFlow v5 export packets.
 // Timestamps are expressed as milliseconds relative to the trace start
-// (SysUptime starts at 0); flows longer than the v5 32-bit millisecond
-// range are clamped.
+// (SysUptime starts at 0); a flow that extends past the v5 32-bit
+// millisecond range (~49.7 days) fails with ErrUptimeOverflow rather than
+// silently wrapping into Last < First records.
 func WriteNetFlowV5(w io.Writer, t *FlowTrace) error {
 	var base int64
 	if len(t.Records) > 0 {
@@ -69,8 +87,13 @@ func NewNFV5Writer(w io.Writer, base int64) *NFV5Writer {
 }
 
 // Write appends one flow record, emitting an export packet whenever 30
-// records are buffered.
+// records are buffered. A record whose uptime-relative timestamps exceed
+// the 32-bit millisecond range fails with ErrUptimeOverflow and is not
+// buffered.
 func (nw *NFV5Writer) Write(r FlowRecord) error {
+	if err := checkUptime(r, nw.base); err != nil {
+		return err
+	}
 	nw.batch = append(nw.batch, r)
 	if len(nw.batch) < nfv5MaxPerPkt {
 		return nil

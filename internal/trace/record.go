@@ -43,6 +43,17 @@ func (l Label) String() string {
 // IsAttack reports whether the label denotes malicious traffic.
 func (l Label) IsAttack() bool { return l != Benign }
 
+// ParseLabel maps a lowercase label name ("dos", "portscan", ...) back to
+// its Label value. The second result is false for unknown names.
+func ParseLabel(s string) (Label, bool) {
+	for l := Benign; l < NumLabels; l++ {
+		if labelNames[l] == s {
+			return l, true
+		}
+	}
+	return Benign, false
+}
+
 // Packet is one IPv4 packet header record plus its capture timestamp. Times
 // are microseconds from the start of the trace; sizes are the IP total
 // length in bytes.

@@ -3,6 +3,7 @@ package webapi
 import (
 	"bytes"
 	"container/list"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -46,9 +47,18 @@ var (
 // does not override FastCacheCap.
 const defaultFastCacheCap = 8
 
+// errFastEvicted fails waiters stranded when a registry sweep drops
+// their snapshot mid-queue. It is retryable: serveFastGenerate's loop
+// reloads from the registry, turning a swept model into a clean 404
+// instead of a half-served response.
+var errFastEvicted = errors.New("webapi: fast snapshot evicted by registry sweep")
+
 // fastWait is one request's slot in a coalesced batch.
 type fastWait struct {
 	count int
+	// label pins this request to one scenario (-1 = unconditional mixture).
+	// The scheduler only coalesces same-label requests into one batch.
+	label int
 	flow  *trace.FlowTrace
 	pkt   *trace.PacketTrace
 	err   error
@@ -171,8 +181,9 @@ func (s *Server) loadFastEntry(name string) (*fastEntry, int, error) {
 }
 
 // serveFastGenerate handles one fast-path generate request end to end:
-// snapshot lookup/decode, batch enqueue, wait, encode.
-func (s *Server) serveFastGenerate(w http.ResponseWriter, name string, req GenerateRequest) {
+// snapshot lookup/decode, batch enqueue, wait, encode. label is the
+// parsed scenario label (-1 for the unconditional mixture).
+func (s *Server) serveFastGenerate(w http.ResponseWriter, name string, req GenerateRequest, label int) {
 	telFastRequests.Inc()
 	for {
 		entry := s.lookupFast(name)
@@ -187,8 +198,20 @@ func (s *Server) serveFastGenerate(w http.ResponseWriter, name string, req Gener
 		} else {
 			telFastCacheHits.Inc()
 		}
+		if label >= 0 {
+			// Kind was validated upstream; conditioning is a property of the
+			// decoded snapshot, so it is checked here.
+			if entry.flow == nil {
+				writeError(w, http.StatusBadRequest, "label %q: model %q is a packet model; labeled generation is flow-only", req.Label, name)
+				return
+			}
+			if !entry.flow.Conditional() {
+				writeError(w, http.StatusBadRequest, "label %q: model %q was not trained with scenario conditioning", req.Label, name)
+				return
+			}
+		}
 
-		wait := &fastWait{count: req.Count, done: make(chan struct{})}
+		wait := &fastWait{count: req.Count, label: label, done: make(chan struct{})}
 		entry.mu.Lock()
 		if entry.dead {
 			// Poisoned between lookup and enqueue; retry with a fresh
@@ -210,6 +233,12 @@ func (s *Server) serveFastGenerate(w http.ResponseWriter, name string, req Gener
 			s.runFastBatches(entry)
 		}
 		<-wait.done
+		if errors.Is(wait.err, errFastEvicted) {
+			// A registry sweep dropped the snapshot while this request was
+			// queued; retry against the registry so the response is either a
+			// fresh complete trace or a clean 404 — never a partial result.
+			continue
+		}
 		if wait.err != nil {
 			writeError(w, http.StatusInternalServerError, "%v", wait.err)
 			return
@@ -228,19 +257,30 @@ func (s *Server) serveFastGenerate(w http.ResponseWriter, name string, req Gener
 }
 
 // runFastBatches drains the entry's pending queue, one coalesced
-// GenerateBatch per drain, until the queue is empty.
+// GenerateBatch per drain, until the queue is empty. A batch only
+// coalesces requests pinned to the same scenario label (the conditioning
+// vector is per-forward-pass, not per-row); waiters for other labels
+// stay queued and are drained by subsequent iterations.
 func (s *Server) runFastBatches(entry *fastEntry) {
 	for {
 		entry.mu.Lock()
-		batch := entry.pending
-		entry.pending = nil
-		if len(batch) == 0 {
+		if len(entry.pending) == 0 {
 			entry.running = false
 			entry.mu.Unlock()
 			return
 		}
+		label := entry.pending[0].label
+		var batch, rest []*fastWait
+		for _, w := range entry.pending {
+			if w.label == label {
+				batch = append(batch, w)
+			} else {
+				rest = append(rest, w)
+			}
+		}
+		entry.pending = rest
 		entry.mu.Unlock()
-		if !s.serveFastBatch(entry, batch) {
+		if !s.serveFastBatch(entry, batch, label) {
 			return
 		}
 	}
@@ -252,7 +292,7 @@ func (s *Server) runFastBatches(entry *fastEntry) {
 // fails with an error response, the entry is marked dead and evicted so
 // its (possibly corrupt) state is never reused, and the scheduler slot is
 // released. Returns false when the entry died and draining must stop.
-func (s *Server) serveFastBatch(entry *fastEntry, batch []*fastWait) (ok bool) {
+func (s *Server) serveFastBatch(entry *fastEntry, batch []*fastWait, label int) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			telFastPanics.Inc()
@@ -282,7 +322,21 @@ func (s *Server) serveFastBatch(entry *fastEntry, batch []*fastWait) (ok bool) {
 		counts[i] = w.count
 	}
 	if entry.flow != nil {
-		outs := entry.flow.GenerateBatch(counts)
+		var outs []*trace.FlowTrace
+		if label >= 0 {
+			var err error
+			if outs, err = entry.flow.GenerateLabeledBatch(counts, trace.Label(label)); err != nil {
+				// Pre-validated at enqueue, so this is defensive: fail the
+				// batch without poisoning the snapshot.
+				for _, w := range batch {
+					w.err = err
+					close(w.done)
+				}
+				return true
+			}
+		} else {
+			outs = entry.flow.GenerateBatch(counts)
+		}
 		for i, w := range batch {
 			w.flow = outs[i]
 			close(w.done)
@@ -312,6 +366,12 @@ func writeFlowResult(w http.ResponseWriter, name, format string, gen *trace.Flow
 	case "netflow5":
 		contentType, ext = "application/octet-stream", "nf5"
 		err = trace.WriteNetFlowV5(&buf, gen)
+	case "netflow9":
+		contentType, ext = "application/octet-stream", "nf9"
+		err = trace.WriteNetFlowV9(&buf, gen)
+	case "ipfix":
+		contentType, ext = "application/octet-stream", "ipfix"
+		err = trace.WriteIPFIX(&buf, gen)
 	default:
 		writeError(w, http.StatusBadRequest, "format %q not available for flow models", format)
 		return false
@@ -348,6 +408,44 @@ func writeAttachment(w http.ResponseWriter, name, contentType, ext string, body 
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
 	return true
+}
+
+// sweepFastCache drops every cached snapshot whose model keep rejects.
+// Each dropped entry is marked dead first (so no new waiter can join it)
+// and its queued-but-unbatched waiters fail with the retryable
+// errFastEvicted; a batch already in flight completes from the in-memory
+// snapshot. Together with serveFastGenerate's retry loop this makes a
+// concurrent sweep + generate resolve to either a complete trace or a
+// 404 — never a partial response. Returns how many entries were dropped.
+func (s *Server) sweepFastCache(keep func(name string) bool) int {
+	s.fastMu.Lock()
+	var dropped []*fastEntry
+	if s.fastLRU != nil {
+		for el := s.fastLRU.Front(); el != nil; {
+			next := el.Next()
+			entry := el.Value.(*fastEntry)
+			if !keep(entry.name) {
+				delete(s.fastCache, entry.name)
+				s.fastLRU.Remove(el)
+				dropped = append(dropped, entry)
+			}
+			el = next
+		}
+	}
+	s.fastMu.Unlock()
+
+	for _, entry := range dropped {
+		entry.mu.Lock()
+		entry.dead = true
+		stranded := entry.pending
+		entry.pending = nil
+		entry.mu.Unlock()
+		for _, w := range stranded {
+			w.err = errFastEvicted
+			close(w.done)
+		}
+	}
+	return len(dropped)
 }
 
 // isFastKind reports whether a stored model kind is a fast container

@@ -209,9 +209,14 @@ type GenerateRequest struct {
 	// Count is the synthetic record/packet count (default 1000, capped at
 	// 100000 like job submissions).
 	Count int `json:"count,omitempty"`
-	// Format is csv (default), netflow5 (flow models), or pcap (packet
-	// models).
+	// Format is csv (default), netflow5/netflow9/ipfix (flow models), or
+	// pcap (packet models).
 	Format string `json:"format,omitempty"`
+	// Label pins generation to one scenario label (trace.ParseLabel names,
+	// e.g. "dos"). Requires a flow model trained with conditioning
+	// (core.Config.Conditional); anything else is a 400. Empty means the
+	// model's trained scenario mixture.
+	Label string `json:"label,omitempty"`
 	// Fast opts into the float32 serving fast path (fastserve.go): cached
 	// snapshot, coalesced batched generation. Higher throughput, but output
 	// depends on request ordering — only its distribution is pinned. The
@@ -247,6 +252,15 @@ func (s *Server) handleModelGenerate(w http.ResponseWriter, r *http.Request) {
 	if req.Format == "" {
 		req.Format = "csv"
 	}
+	label := -1
+	if req.Label != "" {
+		l, ok := trace.ParseLabel(req.Label)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "unknown scenario label %q", req.Label)
+			return
+		}
+		label = int(l)
+	}
 
 	name := r.PathValue("name")
 	framed, info, err := reg.ModelBytes(name)
@@ -254,8 +268,12 @@ func (s *Server) handleModelGenerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "model %q: %v", name, err)
 		return
 	}
+	if label >= 0 && strings.HasPrefix(info.Kind, "packet") {
+		writeError(w, http.StatusBadRequest, "label %q: model %q is a packet model; labeled generation is flow-only", req.Label, name)
+		return
+	}
 	if req.Fast || isFastKind(info.Kind) {
-		s.serveFastGenerate(w, name, req)
+		s.serveFastGenerate(w, name, req, label)
 		return
 	}
 
@@ -267,7 +285,20 @@ func (s *Server) handleModelGenerate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "load model %q: %v", name, err)
 			return
 		}
-		served = writeFlowResult(w, name, req.Format, syn.Generate(req.Count))
+		var gen *trace.FlowTrace
+		if label >= 0 {
+			if !syn.Conditional() {
+				writeError(w, http.StatusBadRequest, "label %q: model %q was not trained with scenario conditioning", req.Label, name)
+				return
+			}
+			if gen, err = syn.GenerateLabeled(req.Count, trace.Label(label)); err != nil {
+				writeError(w, http.StatusInternalServerError, "labeled generation for model %q: %v", name, err)
+				return
+			}
+		} else {
+			gen = syn.Generate(req.Count)
+		}
+		served = writeFlowResult(w, name, req.Format, gen)
 	case "packet":
 		syn, err := core.LoadPacketSynthesizer(bytes.NewReader(framed))
 		if err != nil {
@@ -332,7 +363,8 @@ func (s *Server) streamStoredTrace(w http.ResponseWriter, id string) bool {
 }
 
 // reloadTrace rebuilds a recovered job's trace from its persisted CSV
-// payload, for download formats that need re-encoding (pcap, netflow5).
+// payload, for download formats that need re-encoding (pcap, netflow5,
+// netflow9, ipfix).
 func (s *Server) reloadTrace(id string) (*trace.FlowTrace, *trace.PacketTrace, error) {
 	reg := s.registry()
 	if reg == nil {

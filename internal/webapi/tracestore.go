@@ -132,7 +132,10 @@ func (s *Server) artifactDrop(keep func(jobID string) bool) int {
 }
 
 // SweepRegistry re-runs the registry's garbage-collection sweep and
-// evicts cached encoded artifacts whose backing job the sweep removed.
+// evicts server caches the sweep invalidated: encoded artifacts whose
+// backing job is gone, and fast-serving snapshots whose model is gone
+// (fastserve.go sweepFastCache — queued waiters on a dropped snapshot
+// retry and get a clean 404 rather than a stale or partial response).
 // Safe to call periodically while serving.
 func (s *Server) SweepRegistry() (registry.SweepReport, error) {
 	reg := s.registry()
@@ -147,6 +150,11 @@ func (s *Server) SweepRegistry() (registry.SweepReport, error) {
 		_, err := reg.Job(jobID)
 		return err == nil
 	})
+	alive := make(map[string]bool)
+	for _, m := range reg.Models() {
+		alive[m.Name] = true
+	}
+	s.sweepFastCache(func(name string) bool { return alive[name] })
 	return rep, nil
 }
 
@@ -170,6 +178,10 @@ func (s *Server) streamEncodedTrace(w http.ResponseWriter, id, format string) bo
 		contentType, ext = "application/vnd.tcpdump.pcap", "pcap"
 	case rec.TraceKind == "netflow" && format == "netflow5":
 		contentType, ext = "application/octet-stream", "nf5"
+	case rec.TraceKind == "netflow" && format == "netflow9":
+		contentType, ext = "application/octet-stream", "nf9"
+	case rec.TraceKind == "netflow" && format == "ipfix":
+		contentType, ext = "application/octet-stream", "ipfix"
 	default:
 		return false
 	}
@@ -206,6 +218,10 @@ func (s *Server) streamEncodedTrace(w http.ResponseWriter, id, format string) bo
 		err = encodePCAPStream(mw, str)
 	case "netflow5":
 		err = encodeNFV5Stream(mw, str)
+	case "netflow9":
+		err = encodeNFV9Stream(mw, str)
+	case "ipfix":
+		err = encodeIPFIXStream(mw, str)
 	}
 	if err != nil {
 		telRegistryErrors.Inc()
@@ -243,6 +259,29 @@ func encodeNFV5Stream(w io.Writer, str *store.Store) error {
 		return err
 	}
 	return nw.Flush()
+}
+
+// encodeNFV9Stream re-encodes a flow store as NetFlow v9 export packets,
+// byte-identical to trace.WriteNetFlowV9 over the materialized trace
+// (same minimum-timestamp SysUptime base as the v5 stream).
+func encodeNFV9Stream(w io.Writer, str *store.Store) error {
+	base, _ := str.TimeRange()
+	nw := trace.NewNFV9Writer(w, base)
+	if err := str.ScanFlows(nw.Write); err != nil {
+		return err
+	}
+	return nw.Flush()
+}
+
+// encodeIPFIXStream re-encodes a flow store as IPFIX messages,
+// byte-identical to trace.WriteIPFIX over the materialized trace (IPFIX
+// timestamps are absolute, so no uptime base applies).
+func encodeIPFIXStream(w io.Writer, str *store.Store) error {
+	iw := trace.NewIPFIXWriter(w)
+	if err := str.ScanFlows(iw.Write); err != nil {
+		return err
+	}
+	return iw.Flush()
 }
 
 // flowJSON is one flow row in a query response.

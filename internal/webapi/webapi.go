@@ -751,11 +751,14 @@ func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
 	if format == "csv" && s.streamStoredTrace(w, st.ID) {
 		return
 	}
-	// pcap/netflow5 downloads of store-backed jobs stream the re-encode
-	// off the columnar scan, fronted by the bounded artifact LRU
-	// (tracestore.go).
-	if (format == "pcap" || format == "netflow5") && s.streamEncodedTrace(w, st.ID, format) {
-		return
+	// Encoded downloads (pcap, netflow5/netflow9/ipfix) of store-backed
+	// jobs stream the re-encode off the columnar scan, fronted by the
+	// bounded artifact LRU (tracestore.go).
+	switch format {
+	case "pcap", "netflow5", "netflow9", "ipfix":
+		if s.streamEncodedTrace(w, st.ID, format) {
+			return
+		}
 	}
 	// A job recovered after a restart has no in-memory trace; rebuild it
 	// from the persisted payload for the formats that need re-encoding.
@@ -778,6 +781,12 @@ func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
 	case flow != nil && format == "netflow5":
 		contentType, ext = "application/octet-stream", "nf5"
 		err = trace.WriteNetFlowV5(&buf, flow)
+	case flow != nil && format == "netflow9":
+		contentType, ext = "application/octet-stream", "nf9"
+		err = trace.WriteNetFlowV9(&buf, flow)
+	case flow != nil && format == "ipfix":
+		contentType, ext = "application/octet-stream", "ipfix"
+		err = trace.WriteIPFIX(&buf, flow)
 	case packet != nil && format == "csv":
 		contentType, ext = "text/csv", "csv"
 		err = trace.WritePacketCSV(&buf, packet)
